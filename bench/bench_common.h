@@ -1,0 +1,50 @@
+// Shared helpers for the benchmark harness: table printing in the
+// style of the paper's figures, and wall-clock helpers for the custom
+// (non-google-benchmark) report sections.
+
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+namespace bullion {
+namespace bench {
+
+/// Microsecond wall clock.
+inline double NowUs() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Times `fn()` and returns elapsed microseconds (single shot; callers
+/// repeat as needed).
+template <typename Fn>
+double TimeUs(Fn&& fn) {
+  double t0 = NowUs();
+  fn();
+  return NowUs() - t0;
+}
+
+/// Times `fn()` repeated until >= min_total_us elapsed; returns the
+/// mean per-iteration microseconds.
+template <typename Fn>
+double TimeUsAveraged(Fn&& fn, double min_total_us = 50000.0) {
+  // Warm-up.
+  fn();
+  double total = 0;
+  int iters = 0;
+  while (total < min_total_us) {
+    total += TimeUs(fn);
+    ++iters;
+  }
+  return total / iters;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace bench
+}  // namespace bullion

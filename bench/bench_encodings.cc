@@ -1,0 +1,179 @@
+// E11 — per-codec encode/decode micro-throughput across the Table 2
+// catalog (supports §2.6's discussion of decoding overhead of
+// lightweight vs general-purpose compression).
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench/bench_common.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "encoding/cascade.h"
+#include "workload/zipf.h"
+
+namespace bullion {
+namespace {
+
+constexpr size_t kN = 1 << 16;
+
+std::vector<int64_t> IntData() {
+  ZipfGenerator zipf(1 << 16, 1.1, 3);
+  std::vector<int64_t> v(kN);
+  for (auto& x : v) x = static_cast<int64_t>(zipf.Next());
+  return v;
+}
+
+void BM_IntEncode(benchmark::State& state) {
+  EncodingType type = static_cast<EncodingType>(state.range(0));
+  std::vector<int64_t> data = IntData();
+  for (auto _ : state) {
+    CascadeOptions opts;
+    CascadeContext ctx(opts, 0);
+    BufferBuilder out;
+    Status st = EncodeIntBlockAs(type, data, &ctx, &out);
+    BULLION_CHECK_OK(st);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kN * 8));
+  state.SetLabel(std::string(EncodingTypeName(type)));
+}
+
+void BM_IntDecode(benchmark::State& state) {
+  EncodingType type = static_cast<EncodingType>(state.range(0));
+  std::vector<int64_t> data = IntData();
+  CascadeOptions opts;
+  CascadeContext ctx(opts, 0);
+  BufferBuilder out;
+  BULLION_CHECK_OK(EncodeIntBlockAs(type, data, &ctx, &out));
+  Buffer block = out.Finish();
+  for (auto _ : state) {
+    std::vector<int64_t> decoded;
+    SliceReader reader(block.AsSlice());
+    Status st = DecodeIntBlock(&reader, &decoded);
+    BULLION_CHECK_OK(st);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kN * 8));
+  state.SetLabel(std::string(EncodingTypeName(type)));
+}
+
+#define INT_ENCODINGS                                              \
+  ->Arg(static_cast<int>(EncodingType::kTrivial))                  \
+      ->Arg(static_cast<int>(EncodingType::kVarint))               \
+      ->Arg(static_cast<int>(EncodingType::kZigZag))               \
+      ->Arg(static_cast<int>(EncodingType::kFixedBitWidth))        \
+      ->Arg(static_cast<int>(EncodingType::kForDelta))             \
+      ->Arg(static_cast<int>(EncodingType::kDelta))                \
+      ->Arg(static_cast<int>(EncodingType::kRle))                  \
+      ->Arg(static_cast<int>(EncodingType::kDictionary))           \
+      ->Arg(static_cast<int>(EncodingType::kFastPFor))             \
+      ->Arg(static_cast<int>(EncodingType::kFastBP128))            \
+      ->Arg(static_cast<int>(EncodingType::kBitShuffle))           \
+      ->Arg(static_cast<int>(EncodingType::kChunked))
+
+BENCHMARK(BM_IntEncode) INT_ENCODINGS;
+BENCHMARK(BM_IntDecode) INT_ENCODINGS;
+
+std::vector<double> FloatData() {
+  Random rng(5);
+  std::vector<double> v(kN);
+  double cur = 100.0;
+  for (auto& x : v) {
+    cur += rng.NextGaussian() * 0.01;
+    x = cur;
+  }
+  return v;
+}
+
+void BM_FloatEncode(benchmark::State& state) {
+  EncodingType type = static_cast<EncodingType>(state.range(0));
+  std::vector<double> data = FloatData();
+  for (auto _ : state) {
+    CascadeOptions opts;
+    CascadeContext ctx(opts, 0);
+    BufferBuilder out;
+    BULLION_CHECK_OK(EncodeDoubleBlockAs(type, data, &ctx, &out));
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kN * 8));
+  state.SetLabel(std::string(EncodingTypeName(type)));
+}
+
+void BM_FloatDecode(benchmark::State& state) {
+  EncodingType type = static_cast<EncodingType>(state.range(0));
+  std::vector<double> data = FloatData();
+  CascadeOptions opts;
+  CascadeContext ctx(opts, 0);
+  BufferBuilder out;
+  BULLION_CHECK_OK(EncodeDoubleBlockAs(type, data, &ctx, &out));
+  Buffer block = out.Finish();
+  for (auto _ : state) {
+    std::vector<double> decoded;
+    SliceReader reader(block.AsSlice());
+    BULLION_CHECK_OK(DecodeDoubleBlock(&reader, &decoded));
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kN * 8));
+  state.SetLabel(std::string(EncodingTypeName(type)));
+}
+
+#define FLOAT_ENCODINGS                                       \
+  ->Arg(static_cast<int>(EncodingType::kTrivial))             \
+      ->Arg(static_cast<int>(EncodingType::kGorilla))         \
+      ->Arg(static_cast<int>(EncodingType::kChimp))           \
+      ->Arg(static_cast<int>(EncodingType::kPseudodecimal))   \
+      ->Arg(static_cast<int>(EncodingType::kAlp))             \
+      ->Arg(static_cast<int>(EncodingType::kBitShuffle))      \
+      ->Arg(static_cast<int>(EncodingType::kChunked))
+
+BENCHMARK(BM_FloatEncode) FLOAT_ENCODINGS;
+BENCHMARK(BM_FloatDecode) FLOAT_ENCODINGS;
+
+void BM_StringFsstEncode(benchmark::State& state) {
+  Random rng(7);
+  std::vector<std::string> urls;
+  for (size_t i = 0; i < 20000; ++i) {
+    urls.push_back("https://cdn.example.com/item/" +
+                   std::to_string(rng.Uniform(1000000)));
+  }
+  size_t raw = 0;
+  for (const auto& s : urls) raw += s.size();
+  for (auto _ : state) {
+    CascadeOptions opts;
+    CascadeContext ctx(opts, 0);
+    BufferBuilder out;
+    BULLION_CHECK_OK(
+        EncodeStringBlockAs(EncodingType::kFsst, urls, &ctx, &out));
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(raw));
+}
+BENCHMARK(BM_StringFsstEncode);
+
+void BM_BoolRoaringEncode(benchmark::State& state) {
+  Random rng(9);
+  std::vector<uint8_t> bools(1 << 20);
+  for (auto& b : bools) b = rng.Bernoulli(0.03) ? 1 : 0;
+  for (auto _ : state) {
+    CascadeOptions opts;
+    CascadeContext ctx(opts, 0);
+    BufferBuilder out;
+    BULLION_CHECK_OK(
+        EncodeBoolBlockAs(EncodingType::kRoaring, bools, &ctx, &out));
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bools.size()));
+}
+BENCHMARK(BM_BoolRoaringEncode);
+
+}  // namespace
+}  // namespace bullion
+
+BENCHMARK_MAIN();

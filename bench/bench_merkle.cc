@@ -1,0 +1,115 @@
+// E4 — §2.1 / Fig. 2: Merkle-tree checksum maintenance.
+//
+// Compares the cost of maintaining file checksums after a one-page
+// in-place update: incremental Merkle path update (page -> row group ->
+// root) vs the monolithic approach (recompute over the whole file) used
+// by today's open columnar formats.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "format/merkle.h"
+
+namespace bullion {
+namespace {
+
+constexpr size_t kPageBytes = 64 * 1024;
+
+struct FileModel {
+  std::vector<std::vector<uint8_t>> pages;
+  std::vector<uint64_t> hashes;
+  std::vector<uint32_t> pages_per_group;
+
+  FileModel(size_t groups, size_t pages_per_group_n) {
+    Random rng(3);
+    for (size_t p = 0; p < groups * pages_per_group_n; ++p) {
+      std::vector<uint8_t> page(kPageBytes);
+      for (auto& b : page) b = static_cast<uint8_t>(rng.Next());
+      hashes.push_back(HashPage(Slice(page.data(), page.size())));
+      pages.push_back(std::move(page));
+    }
+    pages_per_group.assign(groups, static_cast<uint32_t>(pages_per_group_n));
+  }
+};
+
+void PrintMerkleReport() {
+  bench::PrintHeader(
+      "E4 / Fig. 2: checksum maintenance after a 1-page update");
+  std::printf("%8s %8s %14s %16s %16s %12s\n", "groups", "pages",
+              "incr_bytes", "monolith_bytes", "incr_folds", "mono_folds");
+  for (auto [groups, ppg] : std::initializer_list<std::pair<size_t, size_t>>{
+           {4, 16}, {16, 16}, {16, 64}, {64, 64}}) {
+    FileModel model(groups, ppg);
+    MerkleTree tree(model.hashes, model.pages_per_group);
+
+    // Incremental: rehash one page + fold one group + fold root.
+    size_t incr_folds = 0;
+    {
+      MerkleTree t = tree;
+      uint64_t new_hash = HashPage(
+          Slice(model.pages[0].data(), model.pages[0].size()));
+      incr_folds = t.UpdatePage(0, new_hash);
+    }
+    uint64_t incr_bytes = kPageBytes;  // bytes re-read for hashing
+
+    // Monolithic: re-read and rehash the entire file.
+    size_t mono_folds = 0;
+    {
+      MerkleTree t = tree;
+      mono_folds = t.RebuildAll() + model.pages.size();  // + page rehashes
+    }
+    uint64_t mono_bytes = model.pages.size() * kPageBytes;
+
+    std::printf("%8zu %8zu %14llu %16llu %16zu %12zu\n", groups,
+                groups * ppg, static_cast<unsigned long long>(incr_bytes),
+                static_cast<unsigned long long>(mono_bytes), incr_folds,
+                mono_folds);
+  }
+  std::printf(
+      "(incremental reads only the changed page; monolithic re-reads the "
+      "whole file)\n");
+}
+
+void BM_IncrementalUpdate(benchmark::State& state) {
+  FileModel model(static_cast<size_t>(state.range(0)), 64);
+  MerkleTree tree(model.hashes, model.pages_per_group);
+  Random rng(5);
+  for (auto _ : state) {
+    uint32_t page = static_cast<uint32_t>(rng.Uniform(model.pages.size()));
+    uint64_t h = HashPage(
+        Slice(model.pages[page].data(), model.pages[page].size()));
+    size_t folds = tree.UpdatePage(page, h);
+    benchmark::DoNotOptimize(folds);
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " groups x 64 pages");
+}
+BENCHMARK(BM_IncrementalUpdate)->Arg(16)->Arg(64);
+
+void BM_MonolithicRecompute(benchmark::State& state) {
+  FileModel model(static_cast<size_t>(state.range(0)), 64);
+  MerkleTree tree(model.hashes, model.pages_per_group);
+  for (auto _ : state) {
+    // Rehash every page (simulating the full-file read) + rebuild.
+    uint64_t acc = 0;
+    for (const auto& page : model.pages) {
+      acc ^= HashPage(Slice(page.data(), page.size()));
+    }
+    size_t folds = tree.RebuildAll();
+    benchmark::DoNotOptimize(acc + folds);
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " groups x 64 pages");
+}
+BENCHMARK(BM_MonolithicRecompute)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bullion
+
+int main(int argc, char** argv) {
+  bullion::PrintMerkleReport();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

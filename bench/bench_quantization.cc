@@ -1,0 +1,174 @@
+// E5 — §2.4 / Fig. 6: storage quantization.
+//
+// Reports, for embedding-like data (normalized to (-1,1), the paper's
+// stated domain): bytes per value, round-trip error, and the effect of
+// feeding quantized bit patterns through the cascade encoder (storage
+// after encoding). Also: lossless integer rehash factors by feature
+// cardinality, dual-column FP32 = 2xFP16 reconstruction error, and
+// quantize/dequantize throughput.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench/bench_common.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "core/bullion.h"
+#include "workload/zipf.h"
+
+namespace bullion {
+namespace {
+
+std::vector<float> MakeEmbeddings(size_t n, uint64_t seed) {
+  Random rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) {
+    x = static_cast<float>(std::tanh(rng.NextGaussian() * 0.5));
+  }
+  return v;
+}
+
+void PrintQuantizationReport() {
+  constexpr size_t kN = 1 << 20;
+  std::vector<float> emb = MakeEmbeddings(kN, 11);
+
+  bench::PrintHeader(
+      "E5 / §2.4: embedding storage by precision (1M values in (-1,1))");
+  std::printf("%10s %12s %14s %14s %14s %16s\n", "precision", "bytes/val",
+              "encoded_MB", "vs FP32", "rel_L2_err", "max_abs_err");
+  double fp32_mb = 0;
+  for (FloatPrecision p :
+       {FloatPrecision::kFp32, FloatPrecision::kFp16, FloatPrecision::kBf16,
+        FloatPrecision::kFp8E4M3, FloatPrecision::kFp8E5M2}) {
+    std::vector<int64_t> bits = QuantizeFloats(emb, p);
+    auto block = EncodeInt64Column(bits);
+    BULLION_CHECK_OK(block.status());
+    double mb = block->size() / 1048576.0;
+    if (p == FloatPrecision::kFp32) fp32_mb = mb;
+    QuantizationError err = MeasureQuantizationError(emb, p);
+    std::printf("%10s %12d %14.2f %13.2fx %14.2e %16.2e\n",
+                std::string(PrecisionName(p)).c_str(), PrecisionBytes(p), mb,
+                fp32_mb / mb, err.relative_l2, err.max_abs_error);
+  }
+  std::printf(
+      "(paper: FP16/BF16 halve and FP8 quarters storage, I/O, and "
+      "bandwidth)\n");
+
+  bench::PrintHeader("E5b: lossless integer rehash by feature cardinality");
+  std::printf("%14s %12s %12s %12s\n", "cardinality", "code_type",
+              "bytes/val", "factor");
+  Random rng(13);
+  for (size_t card : {100, 20000, 5000000}) {
+    std::vector<int64_t> ids(1 << 18);
+    ZipfGenerator zipf(card, 1.1, 7);
+    for (auto& x : ids) {
+      // Arbitrary 64-bit id hashes with the given cardinality.
+      x = static_cast<int64_t>(XxHash64(&x, 8, zipf.Next()));
+    }
+    IntRehasher rehash = IntRehasher::Train(ids);
+    std::printf("%14zu %12s %12d %11.1fx\n", rehash.cardinality(),
+                std::string(PhysicalTypeName(rehash.code_type())).c_str(),
+                ByteWidth(rehash.code_type()), rehash.CompressionFactor());
+  }
+
+  bench::PrintHeader("E5c: dual-column FP32 = hi/lo FP16 (§2.4 opp. 3)");
+  {
+    DualColumn dual = SplitDualColumn(emb);
+    std::vector<float> full = ReconstructDual(dual);
+    std::vector<float> hi = ReconstructHiOnly(dual);
+    double err_full = 0, err_hi = 0;
+    for (size_t i = 0; i < emb.size(); ++i) {
+      err_full += std::abs(full[i] - emb[i]);
+      err_hi += std::abs(hi[i] - emb[i]);
+    }
+    std::printf(
+        "  hi-only mean abs err: %.3e   hi+lo mean abs err: %.3e "
+        "(%.0fx better)\n",
+        err_hi / emb.size(), err_full / emb.size(),
+        err_hi / std::max(err_full, 1e-300));
+  }
+
+  bench::PrintHeader("E5d: mixed-precision policy on heterogeneous features");
+  {
+    MixedPrecisionPolicy policy;
+    struct Feat {
+      const char* name;
+      double tolerance;
+    };
+    for (const Feat& f : std::initializer_list<Feat>{
+             {"ctr_embedding", 0.05},
+             {"ranking_embedding", 5e-3},
+             {"bid_critical", 1e-5}}) {
+      PrecisionConstraint c;
+      c.max_relative_l2 = f.tolerance;
+      policy.SetAssignment(f.name, MixedPrecisionPolicy::Assign(emb, c));
+    }
+    for (const auto& [name, a] : policy.assignments()) {
+      std::printf("  %-20s -> %-8s (rel_l2 %.2e)\n", name.c_str(),
+                  std::string(PrecisionName(a.precision)).c_str(),
+                  a.error.relative_l2);
+    }
+    std::printf("  avg bytes/value: %.2f (vs 4.0 FP32)\n",
+                policy.AverageBytesPerValue());
+  }
+}
+
+void BM_QuantizeFp16(benchmark::State& state) {
+  std::vector<float> emb = MakeEmbeddings(1 << 18, 3);
+  for (auto _ : state) {
+    auto bits = QuantizeFloats(emb, FloatPrecision::kFp16);
+    benchmark::DoNotOptimize(bits);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(emb.size() * 4));
+}
+BENCHMARK(BM_QuantizeFp16);
+
+void BM_DequantizeFp16(benchmark::State& state) {
+  std::vector<float> emb = MakeEmbeddings(1 << 18, 3);
+  auto bits = QuantizeFloats(emb, FloatPrecision::kFp16);
+  for (auto _ : state) {
+    auto back = DequantizeFloats(bits, FloatPrecision::kFp16);
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(emb.size() * 4));
+}
+BENCHMARK(BM_DequantizeFp16);
+
+void BM_QuantizeFp8(benchmark::State& state) {
+  std::vector<float> emb = MakeEmbeddings(1 << 18, 3);
+  for (auto _ : state) {
+    auto bits = QuantizeFloats(emb, FloatPrecision::kFp8E4M3);
+    benchmark::DoNotOptimize(bits);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(emb.size() * 4));
+}
+BENCHMARK(BM_QuantizeFp8);
+
+void BM_IntRehashEncode(benchmark::State& state) {
+  Random rng(9);
+  std::vector<int64_t> ids(1 << 18);
+  ZipfGenerator zipf(20000, 1.1, 7);
+  for (auto& x : ids) x = static_cast<int64_t>(zipf.Next() * 7919);
+  IntRehasher rehash = IntRehasher::Train(ids);
+  for (auto _ : state) {
+    auto codes = rehash.Encode(ids);
+    benchmark::DoNotOptimize(codes);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(ids.size()));
+}
+BENCHMARK(BM_IntRehashEncode);
+
+}  // namespace
+}  // namespace bullion
+
+int main(int argc, char** argv) {
+  bullion::PrintQuantizationReport();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

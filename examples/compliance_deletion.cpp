@@ -1,0 +1,114 @@
+// Compliance deletion walkthrough (§2.1): write a user-event table at
+// compliance level 2, serve a GDPR erasure request for a set of users,
+// and show (a) the deleted data is physically gone, (b) the I/O cost
+// vs a full-file rewrite, (c) Merkle checksums stay valid.
+//
+//   ./build/examples/compliance_deletion
+
+#include <cstdio>
+
+#include "baseline/parquet_like.h"
+#include "core/bullion.h"
+
+using namespace bullion;  // NOLINT
+
+int main() {
+  Schema schema({
+      Field{"uid", DataType::Primitive(PhysicalType::kInt64),
+            LogicalType::kPlain, /*deletable=*/true},
+      Field{"device", DataType::Primitive(PhysicalType::kInt64),
+            LogicalType::kPlain, /*deletable=*/true},
+      Field{"interests",
+            DataType::List(DataType::Primitive(PhysicalType::kInt64)),
+            LogicalType::kPlain, /*deletable=*/true},
+  });
+
+  constexpr size_t kRows = 50000;
+  constexpr size_t kEventsPerUser = 10;
+  std::vector<ColumnVector> cols;
+  for (const LeafColumn& leaf : schema.leaves()) {
+    cols.push_back(ColumnVector::ForLeaf(leaf));
+  }
+  Random rng(2024);
+  for (size_t r = 0; r < kRows; ++r) {
+    cols[0].AppendInt(static_cast<int64_t>(r / kEventsPerUser));
+    cols[1].AppendInt(rng.UniformRange(0, 5000));
+    std::vector<int64_t> interests(4);
+    for (auto& x : interests) x = rng.UniformRange(0, 100000);
+    cols[2].AppendIntList(interests);
+  }
+
+  InMemoryFileSystem fs;
+  WriterOptions wopts;
+  wopts.rows_per_page = 512;
+  wopts.compliance = ComplianceLevel::kLevel2;
+  {
+    auto f = fs.NewWritableFile("events");
+    BULLION_CHECK_OK(WriteTableFile(f->get(), schema, {cols}, wopts));
+  }
+  uint64_t file_size = *fs.FileSize("events");
+  std::printf("events table: %zu rows, %.2f MB, compliance level 2\n", kRows,
+              file_size / 1048576.0);
+
+  // GDPR request: users 120..139 opted out -> erase their 200 rows.
+  std::vector<uint64_t> doomed;
+  for (uint64_t uid = 120; uid < 140; ++uid) {
+    for (size_t e = 0; e < kEventsPerUser; ++e) {
+      doomed.push_back(uid * kEventsPerUser + e);
+    }
+  }
+
+  auto reader = *TableReader::Open(*fs.NewReadableFile("events"));
+  int64_t victim_device;
+  {
+    ReadOptions keep;
+    keep.filter_deleted = false;
+    ColumnVector device;
+    BULLION_CHECK_OK(reader->ReadColumnChunk(0, 1, keep, &device));
+    victim_device = device.int_values()[1200];  // a doomed row
+  }
+
+  fs.ResetStats();
+  {
+    auto rf = *fs.NewReadableFile("events");
+    auto uf = *fs.OpenForUpdate("events");
+    DeleteExecutor exec(rf.get(), uf.get(), reader->footer());
+    auto report = exec.DeleteRows(doomed, ComplianceLevel::kLevel2);
+    BULLION_CHECK_OK(report.status());
+    std::printf(
+        "erased %llu rows: %llu pages rewritten, %.3f MB written "
+        "(%.1fx less than the %.2f MB a full rewrite costs)\n",
+        static_cast<unsigned long long>(report->rows_deleted),
+        static_cast<unsigned long long>(report->pages_rewritten),
+        report->total_bytes_written() / 1048576.0,
+        static_cast<double>(file_size) / report->total_bytes_written(),
+        file_size / 1048576.0);
+  }
+  std::printf("file size unchanged: %llu -> %llu bytes\n",
+              static_cast<unsigned long long>(file_size),
+              static_cast<unsigned long long>(*fs.FileSize("events")));
+
+  // Evidence of physical erasure: read WITHOUT filtering.
+  auto reader2 = *TableReader::Open(*fs.NewReadableFile("events"));
+  {
+    ReadOptions keep;
+    keep.filter_deleted = false;
+    ColumnVector device;
+    BULLION_CHECK_OK(reader2->ReadColumnChunk(0, 1, keep, &device));
+    std::printf(
+        "doomed row's device id before: %lld, after in-place erase: %lld\n",
+        static_cast<long long>(victim_device),
+        static_cast<long long>(device.int_values()[1200]));
+  }
+  // Normal reads skip the erased rows via the deletion vector.
+  {
+    ReadOptions filter;
+    ColumnVector uid;
+    BULLION_CHECK_OK(reader2->ReadColumnChunk(0, 0, filter, &uid));
+    std::printf("visible rows: %zu (200 erased)\n", uid.num_rows());
+  }
+  Status verify = reader2->VerifyChecksums();
+  std::printf("merkle verification after in-place updates: %s\n",
+              verify.ToString().c_str());
+  return verify.ok() ? 0 : 1;
+}

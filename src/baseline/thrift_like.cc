@@ -1,0 +1,187 @@
+#include "baseline/thrift_like.h"
+
+#include "common/varint.h"
+
+namespace bullion {
+namespace thriftlike {
+
+void Writer::FieldHeader(int16_t id, WireType type) {
+  int16_t delta = id - last_field_id_.back();
+  if (delta > 0 && delta <= 15) {
+    builder_.Append<uint8_t>(static_cast<uint8_t>(
+        (delta << 4) | static_cast<uint8_t>(type)));
+  } else {
+    builder_.Append<uint8_t>(static_cast<uint8_t>(type));
+    varint::PutVarint64(&builder_, varint::ZigZagEncode(id));
+  }
+  last_field_id_.back() = id;
+}
+
+void Writer::StructEnd() {
+  builder_.Append<uint8_t>(static_cast<uint8_t>(WireType::kStop));
+  last_field_id_.pop_back();
+}
+
+void Writer::FieldI64(int16_t id, int64_t value) {
+  FieldHeader(id, WireType::kI64);
+  varint::PutVarint64(&builder_, varint::ZigZagEncode(value));
+}
+
+void Writer::FieldBool(int16_t id, bool value) {
+  FieldHeader(id, value ? WireType::kBoolTrue : WireType::kBoolFalse);
+}
+
+void Writer::FieldDouble(int16_t id, double value) {
+  FieldHeader(id, WireType::kDouble);
+  builder_.Append<double>(value);
+}
+
+void Writer::FieldBinary(int16_t id, std::string_view value) {
+  FieldHeader(id, WireType::kBinary);
+  varint::PutVarint64(&builder_, value.size());
+  builder_.AppendBytes(value.data(), value.size());
+}
+
+void Writer::FieldListBegin(int16_t id, WireType element, uint32_t count) {
+  FieldHeader(id, WireType::kList);
+  builder_.Append<uint8_t>(static_cast<uint8_t>(element));
+  varint::PutVarint64(&builder_, count);
+}
+
+void Writer::RawI64(int64_t value) {
+  varint::PutVarint64(&builder_, varint::ZigZagEncode(value));
+}
+
+void Writer::RawDouble(double value) { builder_.Append<double>(value); }
+
+void Writer::RawBinary(std::string_view value) {
+  varint::PutVarint64(&builder_, value.size());
+  builder_.AppendBytes(value.data(), value.size());
+}
+
+Result<Reader::FieldHeader> Reader::NextField() {
+  if (reader_.AtEnd()) return Status::Corruption("thrift: truncated struct");
+  uint8_t byte = reader_.Read<uint8_t>();
+  FieldHeader h{false, 0, WireType::kStop, false};
+  if (byte == 0) {
+    h.stop = true;
+    return h;
+  }
+  uint8_t type_bits = byte & 0x0F;
+  uint8_t delta = byte >> 4;
+  h.type = static_cast<WireType>(type_bits);
+  if (delta != 0) {
+    h.id = static_cast<int16_t>(last_field_id_.back() + delta);
+  } else {
+    Slice rest(reader_.ReadBytes(reader_.remaining()));
+    size_t pos = 0;
+    uint64_t zz;
+    if (!varint::GetVarint64(rest, &pos, &zz)) {
+      return Status::Corruption("thrift: field id truncated");
+    }
+    reader_.Seek(reader_.position() - rest.size() + pos);
+    h.id = static_cast<int16_t>(varint::ZigZagDecode(zz));
+  }
+  last_field_id_.back() = h.id;
+  if (h.type == WireType::kBoolTrue) {
+    h.bool_value = true;
+    h.type = WireType::kBoolTrue;
+  }
+  return h;
+}
+
+Result<int64_t> Reader::ReadI64() {
+  Slice rest(reader_.ReadBytes(reader_.remaining()));
+  size_t pos = 0;
+  uint64_t zz;
+  if (!varint::GetVarint64(rest, &pos, &zz)) {
+    return Status::Corruption("thrift: i64 truncated");
+  }
+  reader_.Seek(reader_.position() - rest.size() + pos);
+  return varint::ZigZagDecode(zz);
+}
+
+Result<double> Reader::ReadDouble() {
+  if (reader_.remaining() < 8) {
+    return Status::Corruption("thrift: double truncated");
+  }
+  return reader_.Read<double>();
+}
+
+Result<std::string> Reader::ReadBinary() {
+  Slice rest(reader_.ReadBytes(reader_.remaining()));
+  size_t pos = 0;
+  uint64_t len;
+  if (!varint::GetVarint64(rest, &pos, &len)) {
+    return Status::Corruption("thrift: binary length truncated");
+  }
+  if (rest.size() - pos < len) {
+    return Status::Corruption("thrift: binary truncated");
+  }
+  std::string out(reinterpret_cast<const char*>(rest.data() + pos), len);
+  reader_.Seek(reader_.position() - rest.size() + pos + len);
+  return out;
+}
+
+Result<Reader::ListHeader> Reader::ReadListHeader() {
+  if (reader_.remaining() < 1) {
+    return Status::Corruption("thrift: list header truncated");
+  }
+  ListHeader h;
+  h.element = static_cast<WireType>(reader_.Read<uint8_t>());
+  Slice rest(reader_.ReadBytes(reader_.remaining()));
+  size_t pos = 0;
+  uint64_t count;
+  if (!varint::GetVarint64(rest, &pos, &count)) {
+    return Status::Corruption("thrift: list count truncated");
+  }
+  reader_.Seek(reader_.position() - rest.size() + pos);
+  h.count = static_cast<uint32_t>(count);
+  return h;
+}
+
+Status Reader::SkipValue(WireType type) {
+  switch (type) {
+    case WireType::kBoolTrue:
+    case WireType::kBoolFalse:
+      return Status::OK();
+    case WireType::kI64: {
+      BULLION_ASSIGN_OR_RETURN(int64_t v, ReadI64());
+      (void)v;
+      return Status::OK();
+    }
+    case WireType::kDouble: {
+      BULLION_ASSIGN_OR_RETURN(double v, ReadDouble());
+      (void)v;
+      return Status::OK();
+    }
+    case WireType::kBinary: {
+      BULLION_ASSIGN_OR_RETURN(std::string v, ReadBinary());
+      (void)v;
+      return Status::OK();
+    }
+    case WireType::kList: {
+      BULLION_ASSIGN_OR_RETURN(ListHeader h, ReadListHeader());
+      for (uint32_t i = 0; i < h.count; ++i) {
+        BULLION_RETURN_NOT_OK(SkipValue(h.element));
+      }
+      return Status::OK();
+    }
+    case WireType::kStruct: {
+      StructBegin();
+      while (true) {
+        BULLION_ASSIGN_OR_RETURN(FieldHeader h, NextField());
+        if (h.stop) break;
+        BULLION_RETURN_NOT_OK(SkipValue(h.type));
+      }
+      StructEnd();
+      return Status::OK();
+    }
+    case WireType::kStop:
+      return Status::Corruption("thrift: cannot skip stop");
+  }
+  return Status::Corruption("thrift: unknown wire type");
+}
+
+}  // namespace thriftlike
+}  // namespace bullion

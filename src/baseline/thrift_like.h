@@ -1,0 +1,102 @@
+// A Thrift-Compact-Protocol-style codec for the Parquet-like baseline's
+// metadata. Apache Parquet serializes its FileMetaData with Thrift:
+// every struct field carries a (field-id delta, wire type) header byte,
+// ints are zigzag varints, strings are length-prefixed, structs end
+// with a stop byte — and a reader must walk every field of every
+// column-chunk struct before it can locate a single column. This codec
+// reproduces exactly that deserialization cost profile (Zeng et al.
+// Fig. 11), which is what Bullion's flat footer eliminates (Fig. 5).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/buffer.h"
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace bullion {
+namespace thriftlike {
+
+/// Wire types (subset of Thrift compact).
+enum class WireType : uint8_t {
+  kStop = 0,
+  kBoolTrue = 1,
+  kBoolFalse = 2,
+  kI64 = 6,     // zigzag varint
+  kDouble = 7,
+  kBinary = 8,  // length-prefixed bytes
+  kList = 9,
+  kStruct = 12,
+};
+
+/// \brief Streaming writer of compact-protocol-style bytes.
+class Writer {
+ public:
+  void StructBegin() { last_field_id_.push_back(0); }
+  void StructEnd();
+  void FieldI64(int16_t id, int64_t value);
+  void FieldBool(int16_t id, bool value);
+  void FieldDouble(int16_t id, double value);
+  void FieldBinary(int16_t id, std::string_view value);
+  /// A list field of structs/values: caller writes `count` elements
+  /// after this (structs via StructBegin/End, i64 via RawI64...).
+  void FieldListBegin(int16_t id, WireType element, uint32_t count);
+
+  void RawI64(int64_t value);
+  void RawDouble(double value);
+  void RawBinary(std::string_view value);
+
+  Buffer Finish() { return builder_.Finish(); }
+  size_t size() const { return builder_.size(); }
+
+ private:
+  void FieldHeader(int16_t id, WireType type);
+
+  BufferBuilder builder_;
+  std::vector<int16_t> last_field_id_;
+};
+
+/// \brief Field-by-field reader; the caller dispatches on field ids,
+/// exactly as generated Thrift deserializers do.
+class Reader {
+ public:
+  explicit Reader(Slice data) : reader_(data) {}
+
+  struct FieldHeader {
+    bool stop;
+    int16_t id;
+    WireType type;
+    bool bool_value;  // compact protocol folds bool into the header
+  };
+
+  void StructBegin() { last_field_id_.push_back(0); }
+  void StructEnd() { last_field_id_.pop_back(); }
+  Result<FieldHeader> NextField();
+
+  Result<int64_t> ReadI64();
+  Result<double> ReadDouble();
+  Result<std::string> ReadBinary();
+  struct ListHeader {
+    WireType element;
+    uint32_t count;
+  };
+  Result<ListHeader> ReadListHeader();
+
+  /// Skips a value of the given type (recursively for structs/lists) —
+  /// needed for forward compatibility, and a real cost in wide footers.
+  Status SkipValue(WireType type);
+
+  size_t position() const { return reader_.position(); }
+  bool AtEnd() const { return reader_.AtEnd(); }
+
+ private:
+  SliceReader reader_;
+  std::vector<int16_t> last_field_id_;
+};
+
+}  // namespace thriftlike
+}  // namespace bullion

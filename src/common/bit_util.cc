@@ -1,0 +1,60 @@
+#include "common/bit_util.h"
+
+namespace bullion {
+namespace bit_util {
+
+void PackBits(const uint64_t* values, size_t n, int width,
+              std::vector<uint8_t>* out) {
+  out->assign(RoundUpToBytes(n * static_cast<size_t>(width)), 0);
+  size_t bit_pos = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t v = values[i];
+    for (int b = 0; b < width; ++b) {
+      if ((v >> b) & 1) {
+        (*out)[bit_pos >> 3] |= static_cast<uint8_t>(1u << (bit_pos & 7));
+      }
+      ++bit_pos;
+    }
+  }
+}
+
+void UnpackBits(Slice data, size_t n, int width, std::vector<uint64_t>* out) {
+  out->assign(n, 0);
+  size_t bit_pos = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t v = 0;
+    for (int b = 0; b < width; ++b) {
+      uint64_t bit = (data[bit_pos >> 3] >> (bit_pos & 7)) & 1;
+      v |= bit << b;
+      ++bit_pos;
+    }
+    (*out)[i] = v;
+  }
+}
+
+uint64_t GetPacked(Slice data, size_t idx, int width) {
+  size_t bit_pos = idx * static_cast<size_t>(width);
+  uint64_t v = 0;
+  for (int b = 0; b < width; ++b) {
+    uint64_t bit = (data[bit_pos >> 3] >> (bit_pos & 7)) & 1;
+    v |= bit << b;
+    ++bit_pos;
+  }
+  return v;
+}
+
+void SetPacked(uint8_t* data, size_t idx, int width, uint64_t value) {
+  size_t bit_pos = idx * static_cast<size_t>(width);
+  for (int b = 0; b < width; ++b) {
+    uint8_t mask = static_cast<uint8_t>(1u << (bit_pos & 7));
+    if ((value >> b) & 1) {
+      data[bit_pos >> 3] |= mask;
+    } else {
+      data[bit_pos >> 3] &= static_cast<uint8_t>(~mask);
+    }
+    ++bit_pos;
+  }
+}
+
+}  // namespace bit_util
+}  // namespace bullion

@@ -1,0 +1,87 @@
+// Bitmap: fixed-size bit vector used for deletion vectors, null
+// indicators, and validity tracking.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/buffer.h"
+#include "common/slice.h"
+
+namespace bullion {
+
+/// \brief A resizable bit vector with popcount and serialization.
+class Bitmap {
+ public:
+  Bitmap() : num_bits_(0) {}
+  explicit Bitmap(size_t num_bits)
+      : bytes_((num_bits + 7) / 8, 0), num_bits_(num_bits) {}
+
+  size_t size() const { return num_bits_; }
+  bool empty() const { return num_bits_ == 0; }
+
+  bool Get(size_t i) const { return (bytes_[i >> 3] >> (i & 7)) & 1; }
+  void Set(size_t i) { bytes_[i >> 3] |= static_cast<uint8_t>(1u << (i & 7)); }
+  void Clear(size_t i) {
+    bytes_[i >> 3] &= static_cast<uint8_t>(~(1u << (i & 7)));
+  }
+  void SetTo(size_t i, bool v) {
+    if (v) {
+      Set(i);
+    } else {
+      Clear(i);
+    }
+  }
+
+  /// Appends one bit at the end.
+  void Append(bool v) {
+    if (num_bits_ % 8 == 0) bytes_.push_back(0);
+    ++num_bits_;
+    SetTo(num_bits_ - 1, v);
+  }
+
+  /// Number of set bits.
+  size_t CountSet() const {
+    size_t n = 0;
+    for (size_t i = 0; i < num_bits_; ++i) n += Get(i);
+    return n;
+  }
+
+  /// Indices of all set bits.
+  std::vector<uint32_t> SetIndices() const {
+    std::vector<uint32_t> out;
+    for (size_t i = 0; i < num_bits_; ++i) {
+      if (Get(i)) out.push_back(static_cast<uint32_t>(i));
+    }
+    return out;
+  }
+
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  Slice AsSlice() const { return Slice(bytes_.data(), bytes_.size()); }
+
+  /// Serializes as [num_bits:u64][bytes].
+  void Serialize(BufferBuilder* out) const {
+    out->Append<uint64_t>(num_bits_);
+    out->AppendBytes(bytes_.data(), bytes_.size());
+  }
+
+  /// Deserializes a bitmap written by Serialize(); advances the reader.
+  static Bitmap Deserialize(SliceReader* in) {
+    uint64_t n = in->Read<uint64_t>();
+    Bitmap bm(n);
+    Slice payload = in->ReadBytes((n + 7) / 8);
+    std::memcpy(bm.bytes_.data(), payload.data(), payload.size());
+    return bm;
+  }
+
+  bool operator==(const Bitmap& other) const {
+    return num_bits_ == other.num_bits_ && bytes_ == other.bytes_;
+  }
+
+ private:
+  std::vector<uint8_t> bytes_;
+  size_t num_bits_;
+};
+
+}  // namespace bullion

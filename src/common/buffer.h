@@ -1,0 +1,126 @@
+// Buffer: owning, resizable byte container used for encoded pages,
+// footers, and file payloads. BufferBuilder appends primitives in
+// little-endian order.
+
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/slice.h"
+
+namespace bullion {
+
+/// \brief Owning byte buffer.
+///
+/// A thin wrapper over std::vector<uint8_t> with Slice interop; kept as
+/// a distinct type so ownership is visible in signatures.
+class Buffer {
+ public:
+  Buffer() = default;
+  explicit Buffer(size_t size) : data_(size) {}
+  explicit Buffer(std::vector<uint8_t> data) : data_(std::move(data)) {}
+  Buffer(const uint8_t* data, size_t size) : data_(data, data + size) {}
+  explicit Buffer(Slice s) : data_(s.data(), s.data() + s.size()) {}
+
+  const uint8_t* data() const { return data_.data(); }
+  uint8_t* mutable_data() { return data_.data(); }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  void Resize(size_t size) { data_.resize(size); }
+  void Reserve(size_t size) { data_.reserve(size); }
+  void Clear() { data_.clear(); }
+
+  void Append(const void* src, size_t len) {
+    const uint8_t* p = static_cast<const uint8_t*>(src);
+    data_.insert(data_.end(), p, p + len);
+  }
+  void Append(Slice s) { Append(s.data(), s.size()); }
+
+  Slice AsSlice() const { return Slice(data_.data(), data_.size()); }
+  Slice SubSlice(size_t offset, size_t len) const {
+    return AsSlice().SubSlice(offset, len);
+  }
+
+  uint8_t operator[](size_t i) const { return data_[i]; }
+  uint8_t& operator[](size_t i) { return data_[i]; }
+
+  bool operator==(const Buffer& other) const { return data_ == other.data_; }
+
+ private:
+  std::vector<uint8_t> data_;
+};
+
+/// \brief Little-endian primitive append helpers over a Buffer.
+class BufferBuilder {
+ public:
+  BufferBuilder() = default;
+  explicit BufferBuilder(size_t reserve) { buf_.Reserve(reserve); }
+
+  template <typename T>
+  void Append(T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    buf_.Append(&value, sizeof(T));
+  }
+  void AppendBytes(const void* src, size_t len) { buf_.Append(src, len); }
+  void AppendSlice(Slice s) { buf_.Append(s); }
+
+  /// Appends `len` copies of `byte`.
+  void AppendFill(uint8_t byte, size_t len) {
+    for (size_t i = 0; i < len; ++i) buf_.Append(&byte, 1);
+  }
+
+  size_t size() const { return buf_.size(); }
+  uint8_t* mutable_data() { return buf_.mutable_data(); }
+
+  /// Overwrites sizeof(T) bytes at `offset` (for back-patching lengths).
+  template <typename T>
+  void WriteAt(size_t offset, T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    assert(offset + sizeof(T) <= buf_.size());
+    std::memcpy(buf_.mutable_data() + offset, &value, sizeof(T));
+  }
+
+  Buffer Finish() { return std::move(buf_); }
+  Slice AsSlice() const { return buf_.AsSlice(); }
+
+ private:
+  Buffer buf_;
+};
+
+/// \brief Little-endian primitive reads over a Slice with a cursor.
+class SliceReader {
+ public:
+  explicit SliceReader(Slice s) : slice_(s), pos_(0) {}
+
+  template <typename T>
+  T Read() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T value{};
+    std::memcpy(&value, slice_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  Slice ReadBytes(size_t len) {
+    Slice s = slice_.SubSlice(pos_, len);
+    pos_ += len;
+    return s;
+  }
+
+  size_t remaining() const { return slice_.size() - pos_; }
+  size_t position() const { return pos_; }
+  void Seek(size_t pos) { pos_ = pos; }
+  bool AtEnd() const { return pos_ >= slice_.size(); }
+
+ private:
+  Slice slice_;
+  size_t pos_;
+};
+
+}  // namespace bullion

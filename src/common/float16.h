@@ -1,0 +1,247 @@
+// Software reduced-precision floating point types used by storage
+// quantization (paper §2.4, Fig. 6): IEEE FP16 (1/5/10), BF16 (1/8/7),
+// and NVIDIA-style FP8 variants E4M3 (1/4/3) and E5M2 (1/5/2).
+// Conversions are round-to-nearest-even; all types are storage formats
+// (2 or 1 bytes) convertible to/from float.
+
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+namespace bullion {
+
+namespace detail {
+
+inline uint32_t FloatBits(float f) {
+  uint32_t u;
+  std::memcpy(&u, &f, 4);
+  return u;
+}
+
+inline float BitsToFloat(uint32_t u) {
+  float f;
+  std::memcpy(&f, &u, 4);
+  return f;
+}
+
+/// Generic float32 -> small-float conversion with round-to-nearest-even.
+/// kExpBits/kManBits describe the target layout (sign is always 1 bit).
+/// kMaxFinite: largest representable magnitude (values beyond saturate,
+/// or go to infinity if the format has one).
+template <int kExpBits, int kManBits, bool kHasInf>
+uint16_t EncodeSmallFloat(float f) {
+  constexpr int kBias = (1 << (kExpBits - 1)) - 1;
+  constexpr int kTotal = 1 + kExpBits + kManBits;
+  constexpr uint16_t kSignMask = static_cast<uint16_t>(1u << (kTotal - 1));
+  constexpr uint16_t kExpMask =
+      static_cast<uint16_t>(((1u << kExpBits) - 1) << kManBits);
+
+  uint32_t bits = FloatBits(f);
+  uint16_t sign = (bits >> 31) ? kSignMask : 0;
+  uint32_t abs = bits & 0x7FFFFFFFu;
+
+  // NaN.
+  if (abs > 0x7F800000u) {
+    return static_cast<uint16_t>(sign | kExpMask | 1u);
+  }
+  // Infinity.
+  if (abs == 0x7F800000u) {
+    if (kHasInf) return static_cast<uint16_t>(sign | kExpMask);
+    // Saturate formats without infinity (E4M3 style): max finite is
+    // all-ones exponent with mantissa one below the NaN pattern.
+    return static_cast<uint16_t>(
+        sign | ((kExpMask | ((1u << kManBits) - 1)) - 1));
+  }
+
+  int32_t exp = static_cast<int32_t>((abs >> 23) & 0xFF) - 127;
+  uint32_t man = abs & 0x7FFFFFu;
+
+  int32_t new_exp = exp + kBias;
+  constexpr int32_t kMaxExpField = (1 << kExpBits) - 1;
+  // For formats with inf, the all-ones exponent is reserved.
+  constexpr int32_t kMaxNormalExp = kHasInf ? kMaxExpField - 1 : kMaxExpField;
+
+  if (abs == 0) return sign;
+
+  if (new_exp >= 1) {
+    // Normal in the target format (pending overflow check after rounding).
+    uint32_t shifted = man >> (23 - kManBits);
+    uint32_t rem = man & ((1u << (23 - kManBits)) - 1);
+    uint32_t half = 1u << (23 - kManBits - 1);
+    if (rem > half || (rem == half && (shifted & 1))) ++shifted;
+    if (shifted == (1u << kManBits)) {
+      shifted = 0;
+      ++new_exp;
+    }
+    if (new_exp > kMaxNormalExp) {
+      if (kHasInf) return static_cast<uint16_t>(sign | kExpMask);
+      // Saturate to max finite.
+      uint32_t max_man = (1u << kManBits) - 1;
+      if (!kHasInf) max_man -= 1;  // all-ones mantissa w/ all-ones exp is NaN
+      return static_cast<uint16_t>(
+          sign | (static_cast<uint32_t>(kMaxExpField) << kManBits) | max_man);
+    }
+    return static_cast<uint16_t>(
+        sign | (static_cast<uint32_t>(new_exp) << kManBits) | shifted);
+  }
+
+  // Subnormal in the target format.
+  int shift = 1 - new_exp;  // how far below the minimum normal exponent
+  if (shift > kManBits + 1) return sign;  // underflow to zero
+  uint32_t full_man = man | 0x800000u;    // implicit leading 1
+  int total_shift = (23 - kManBits) + shift;
+  uint32_t shifted = full_man >> total_shift;
+  uint32_t rem = full_man & ((1u << total_shift) - 1);
+  uint32_t half = 1u << (total_shift - 1);
+  if (rem > half || (rem == half && (shifted & 1))) ++shifted;
+  if (shifted >= (1u << kManBits)) {
+    // Rounded up into the smallest normal.
+    return static_cast<uint16_t>(sign | (1u << kManBits));
+  }
+  return static_cast<uint16_t>(sign | shifted);
+}
+
+template <int kExpBits, int kManBits, bool kHasInf>
+float DecodeSmallFloat(uint16_t v) {
+  constexpr int kBias = (1 << (kExpBits - 1)) - 1;
+  constexpr int kTotal = 1 + kExpBits + kManBits;
+
+  uint32_t sign = (v >> (kTotal - 1)) & 1;
+  uint32_t exp = (v >> kManBits) & ((1u << kExpBits) - 1);
+  uint32_t man = v & ((1u << kManBits) - 1);
+
+  if (exp == static_cast<uint32_t>((1 << kExpBits) - 1)) {
+    if (kHasInf) {
+      if (man == 0) {
+        return BitsToFloat((sign << 31) | 0x7F800000u);  // inf
+      }
+      return BitsToFloat((sign << 31) | 0x7FC00000u);  // NaN
+    }
+    // E4M3: all-ones exponent with all-ones mantissa is NaN; rest normal.
+    if (man == ((1u << kManBits) - 1)) {
+      return BitsToFloat((sign << 31) | 0x7FC00000u);
+    }
+  }
+
+  if (exp == 0) {
+    if (man == 0) return BitsToFloat(sign << 31);  // +-0
+    // Subnormal: man * 2^(1 - bias - kManBits)
+    float m = static_cast<float>(man) *
+              std::ldexp(1.0f, 1 - kBias - kManBits);
+    return sign ? -m : m;
+  }
+
+  uint32_t new_exp = exp - kBias + 127;
+  uint32_t bits = (sign << 31) | (new_exp << 23) | (man << (23 - kManBits));
+  return BitsToFloat(bits);
+}
+
+}  // namespace detail
+
+/// \brief IEEE 754 half precision (1 sign, 5 exponent, 10 mantissa).
+class Float16 {
+ public:
+  Float16() : bits_(0) {}
+  static Float16 FromFloat(float f) {
+    Float16 h;
+    h.bits_ = detail::EncodeSmallFloat<5, 10, true>(f);
+    return h;
+  }
+  static Float16 FromBits(uint16_t b) {
+    Float16 h;
+    h.bits_ = b;
+    return h;
+  }
+  float ToFloat() const { return detail::DecodeSmallFloat<5, 10, true>(bits_); }
+  uint16_t bits() const { return bits_; }
+
+ private:
+  uint16_t bits_;
+};
+
+/// \brief Google bfloat16 (1 sign, 8 exponent, 7 mantissa). Conversion
+/// from float truncates-with-rounding the low 16 mantissa bits; the
+/// exponent range matches FP32 exactly.
+class BFloat16 {
+ public:
+  BFloat16() : bits_(0) {}
+  static BFloat16 FromFloat(float f) {
+    uint32_t u = detail::FloatBits(f);
+    if ((u & 0x7FFFFFFFu) > 0x7F800000u) {
+      // NaN: preserve quietly.
+      BFloat16 b;
+      b.bits_ = static_cast<uint16_t>((u >> 16) | 0x0040);
+      return b;
+    }
+    // Round to nearest even on the truncated 16 bits.
+    uint32_t lsb = (u >> 16) & 1;
+    uint32_t rounding = 0x7FFFu + lsb;
+    u += rounding;
+    BFloat16 b;
+    b.bits_ = static_cast<uint16_t>(u >> 16);
+    return b;
+  }
+  static BFloat16 FromBits(uint16_t b) {
+    BFloat16 x;
+    x.bits_ = b;
+    return x;
+  }
+  float ToFloat() const {
+    return detail::BitsToFloat(static_cast<uint32_t>(bits_) << 16);
+  }
+  uint16_t bits() const { return bits_; }
+
+ private:
+  uint16_t bits_;
+};
+
+/// \brief FP8 E4M3 (1 sign, 4 exponent, 3 mantissa), NVIDIA style:
+/// no infinity, single NaN pattern, max finite 448.
+class Float8E4M3 {
+ public:
+  Float8E4M3() : bits_(0) {}
+  static Float8E4M3 FromFloat(float f) {
+    Float8E4M3 x;
+    x.bits_ = static_cast<uint8_t>(detail::EncodeSmallFloat<4, 3, false>(f));
+    return x;
+  }
+  static Float8E4M3 FromBits(uint8_t b) {
+    Float8E4M3 x;
+    x.bits_ = b;
+    return x;
+  }
+  float ToFloat() const {
+    return detail::DecodeSmallFloat<4, 3, false>(bits_);
+  }
+  uint8_t bits() const { return bits_; }
+
+ private:
+  uint8_t bits_;
+};
+
+/// \brief FP8 E5M2 (1 sign, 5 exponent, 2 mantissa), IEEE-like with
+/// infinity, max finite 57344.
+class Float8E5M2 {
+ public:
+  Float8E5M2() : bits_(0) {}
+  static Float8E5M2 FromFloat(float f) {
+    Float8E5M2 x;
+    x.bits_ = static_cast<uint8_t>(detail::EncodeSmallFloat<5, 2, true>(f));
+    return x;
+  }
+  static Float8E5M2 FromBits(uint8_t b) {
+    Float8E5M2 x;
+    x.bits_ = b;
+    return x;
+  }
+  float ToFloat() const { return detail::DecodeSmallFloat<5, 2, true>(bits_); }
+  uint8_t bits() const { return bits_; }
+
+ private:
+  uint8_t bits_;
+};
+
+}  // namespace bullion

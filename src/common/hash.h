@@ -1,0 +1,32 @@
+// Hash functions: XXH64-compatible 64-bit hash (used for page/row
+// group/file checksums and the Merkle tree) and CRC32C (software
+// table-driven, used for footer integrity).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/slice.h"
+
+namespace bullion {
+
+/// 64-bit XXH64 hash of `data` with the given seed.
+uint64_t XxHash64(const void* data, size_t len, uint64_t seed = 0);
+
+inline uint64_t XxHash64(Slice s, uint64_t seed = 0) {
+  return XxHash64(s.data(), s.size(), seed);
+}
+
+/// Combines two 64-bit hashes (order-dependent), used for Merkle
+/// interior nodes.
+uint64_t HashCombine(uint64_t a, uint64_t b);
+
+/// CRC32C (Castagnoli) of `data`, software implementation.
+uint32_t Crc32c(const void* data, size_t len, uint32_t init = 0);
+
+inline uint32_t Crc32c(Slice s, uint32_t init = 0) {
+  return Crc32c(s.data(), s.size(), init);
+}
+
+}  // namespace bullion

@@ -1,0 +1,35 @@
+// Assertion / check macros. BULLION_CHECK is active in all build modes
+// (invariants whose violation means memory corruption downstream);
+// BULLION_DCHECK compiles out in NDEBUG builds.
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#define BULLION_CHECK(cond)                                                   \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "BULLION_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #cond);                                          \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+#define BULLION_CHECK_OK(expr)                                                \
+  do {                                                                        \
+    ::bullion::Status _st = (expr);                                           \
+    if (!_st.ok()) {                                                          \
+      std::fprintf(stderr, "BULLION_CHECK_OK failed at %s:%d: %s\n",          \
+                   __FILE__, __LINE__, _st.ToString().c_str());               \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+#ifdef NDEBUG
+#define BULLION_DCHECK(cond) \
+  do {                       \
+  } while (0)
+#else
+#define BULLION_DCHECK(cond) BULLION_CHECK(cond)
+#endif

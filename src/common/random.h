@@ -1,0 +1,70 @@
+// Deterministic PRNG (xoshiro256**) and distribution helpers used by
+// the workload generators and property tests. Deterministic seeding
+// keeps every benchmark and test reproducible.
+
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+
+namespace bullion {
+
+/// \brief xoshiro256** PRNG. Fast, 64-bit, deterministic from seed.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x853c49e6748fea9bULL) {
+    // SplitMix64 seeding.
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      x += 0x9E3779B97f4A7C15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      s_[i] = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, n).
+  uint64_t Uniform(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+
+  /// Uniform in [lo, hi].
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  float NextFloat() { return static_cast<float>(NextDouble()); }
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian() {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t s_[4];
+};
+
+}  // namespace bullion

@@ -1,0 +1,61 @@
+// Result<T>: value-or-Status, the return type of fallible functions
+// that produce a value (Arrow idiom).
+
+#pragma once
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace bullion {
+
+/// \brief Holds either a value of type T or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  /// Implicit construction from a non-OK Status (failure).
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok() && "Result constructed from OK Status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error status; Status::OK() if this holds a value.
+  Status status() const& {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// The contained value. Must be checked with ok() first.
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    assert(ok());
+    return std::move(std::get<T>(repr_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  T&& operator*() && { return std::move(*this).ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Returns the value, or `alternative` if this holds an error.
+  T ValueOr(T alternative) const& {
+    return ok() ? std::get<T>(repr_) : std::move(alternative);
+  }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace bullion

@@ -1,0 +1,69 @@
+// Slice: non-owning view over a byte range (RocksDB idiom). Used for
+// all zero-copy paths: footer access, page payloads, encoded blocks.
+
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace bullion {
+
+/// \brief A non-owning pointer + length pair over immutable bytes.
+///
+/// The caller must guarantee the underlying storage outlives the Slice.
+class Slice {
+ public:
+  Slice() : data_(nullptr), size_(0) {}
+  Slice(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  Slice(const char* data, size_t size)
+      : data_(reinterpret_cast<const uint8_t*>(data)), size_(size) {}
+  Slice(std::string_view sv)  // NOLINT(google-explicit-constructor)
+      : data_(reinterpret_cast<const uint8_t*>(sv.data())), size_(sv.size()) {}
+  Slice(const std::string& s)  // NOLINT(google-explicit-constructor)
+      : data_(reinterpret_cast<const uint8_t*>(s.data())), size_(s.size()) {}
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  uint8_t operator[](size_t i) const {
+    assert(i < size_);
+    return data_[i];
+  }
+
+  /// Drops the first n bytes from the view.
+  void RemovePrefix(size_t n) {
+    assert(n <= size_);
+    data_ += n;
+    size_ -= n;
+  }
+
+  /// Returns the sub-view [offset, offset+len).
+  Slice SubSlice(size_t offset, size_t len) const {
+    assert(offset + len <= size_);
+    return Slice(data_ + offset, len);
+  }
+
+  std::string ToString() const {
+    return std::string(reinterpret_cast<const char*>(data_), size_);
+  }
+  std::string_view ToStringView() const {
+    return std::string_view(reinterpret_cast<const char*>(data_), size_);
+  }
+
+  bool operator==(const Slice& other) const {
+    return size_ == other.size_ &&
+           (size_ == 0 || std::memcmp(data_, other.data_, size_) == 0);
+  }
+  bool operator!=(const Slice& other) const { return !(*this == other); }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+};
+
+}  // namespace bullion

@@ -1,0 +1,133 @@
+// Bullion: a column store for machine learning.
+//
+// Status: lightweight error propagation, modeled after the
+// Arrow/RocksDB idiom. Functions that can fail return Status (or
+// Result<T>, see result.h) instead of throwing; the success path
+// carries no allocation.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace bullion {
+
+/// Machine-readable error category carried by a non-OK Status.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kIOError = 2,
+  kCorruption = 3,
+  kNotImplemented = 4,
+  kOutOfRange = 5,
+  kAlreadyExists = 6,
+  kNotFound = 7,
+  kResourceExhausted = 8,
+  kUnknown = 9,
+};
+
+/// Returns a stable human-readable name for a status code.
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation.
+///
+/// OK statuses are represented by a null state pointer, so returning
+/// Status::OK() never allocates. Non-OK statuses carry a code and a
+/// message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept = default;
+
+  Status(StatusCode code, std::string msg)
+      : state_(code == StatusCode::kOk
+                   ? nullptr
+                   : std::make_unique<State>(State{code, std::move(msg)})) {}
+
+  Status(const Status& other)
+      : state_(other.state_ ? std::make_unique<State>(*other.state_) : nullptr) {}
+  Status& operator=(const Status& other) {
+    if (this != &other) {
+      state_ = other.state_ ? std::make_unique<State>(*other.state_) : nullptr;
+    }
+    return *this;
+  }
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unknown(std::string msg) {
+    return Status(StatusCode::kUnknown, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->msg : kEmpty;
+  }
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+  bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  std::unique_ptr<State> state_;
+};
+
+}  // namespace bullion
+
+/// Propagates a non-OK Status to the caller.
+#define BULLION_RETURN_NOT_OK(expr)                 \
+  do {                                              \
+    ::bullion::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                      \
+  } while (0)
+
+#define BULLION_CONCAT_IMPL(x, y) x##y
+#define BULLION_CONCAT(x, y) BULLION_CONCAT_IMPL(x, y)
+
+/// Evaluates a Result<T> expression; on success binds the value to
+/// `lhs`, on failure returns the error Status.
+#define BULLION_ASSIGN_OR_RETURN(lhs, rexpr)                          \
+  auto BULLION_CONCAT(_res_, __LINE__) = (rexpr);                     \
+  if (!BULLION_CONCAT(_res_, __LINE__).ok())                          \
+    return BULLION_CONCAT(_res_, __LINE__).status();                  \
+  lhs = std::move(BULLION_CONCAT(_res_, __LINE__)).ValueOrDie()

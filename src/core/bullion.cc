@@ -1,0 +1,27 @@
+#include "core/bullion.h"
+
+namespace bullion {
+
+Status WriteTableFile(WritableFile* file, const Schema& schema,
+                      const std::vector<std::vector<ColumnVector>>& groups,
+                      const WriterOptions& options) {
+  TableWriter writer(schema, file, options);
+  for (const auto& group : groups) {
+    BULLION_RETURN_NOT_OK(writer.WriteRowGroup(group));
+  }
+  return writer.Finish();
+}
+
+Result<ColumnVector> ReadFullColumn(TableReader* reader,
+                                    const std::string& column,
+                                    const ReadOptions& options) {
+  BULLION_ASSIGN_OR_RETURN(uint32_t c, reader->footer().FindColumn(column));
+  ColumnRecord rec = reader->footer().column_record(c);
+  ColumnVector out(static_cast<PhysicalType>(rec.physical), rec.list_depth);
+  for (uint32_t g = 0; g < reader->num_row_groups(); ++g) {
+    BULLION_RETURN_NOT_OK(reader->ReadColumnChunk(g, c, options, &out));
+  }
+  return out;
+}
+
+}  // namespace bullion

@@ -1,0 +1,58 @@
+// Bullion: a column store for machine learning.
+//
+// Umbrella public header. Include this to get the full API:
+//
+//   Schema / ColumnVector      -- format/schema.h, format/column_vector.h
+//   TableWriter / TableReader  -- format/writer.h, format/reader.h
+//   DeleteExecutor             -- format/deletion.h (§2.1)
+//   Sparse sliding-window delta-- format/sparse_delta.h (§2.2)
+//   Flat footer                -- format/footer.h (§2.3)
+//   Cascading encodings        -- encoding/cascade.h (§2.6, Table 2)
+//   Storage quantization       -- quant/* (§2.4)
+//   Multimodal meta+media      -- multimodal/* (§2.5)
+//   Parquet-like baseline      -- baseline/parquet_like.h
+//
+// Quickstart: see examples/quickstart.cpp.
+
+#pragma once
+
+#include "common/float16.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "encoding/cascade.h"
+#include "format/column_vector.h"
+#include "format/compaction.h"
+#include "format/deletion.h"
+#include "format/footer.h"
+#include "format/merkle.h"
+#include "format/reader.h"
+#include "format/schema.h"
+#include "format/sparse_delta.h"
+#include "format/user_events.h"
+#include "format/writer.h"
+#include "io/file.h"
+#include "io/simulated_device.h"
+#include "multimodal/dataset.h"
+#include "quant/int_rehash.h"
+#include "quant/mixed_precision.h"
+#include "quant/quantize.h"
+
+namespace bullion {
+
+/// Library version.
+inline constexpr const char* kVersionString = "0.1.0";
+
+/// Convenience: writes a complete table (one call, many row groups).
+Status WriteTableFile(WritableFile* file, const Schema& schema,
+                      const std::vector<std::vector<ColumnVector>>& groups,
+                      const WriterOptions& options = {});
+
+/// Convenience: opens a table and reads one full column across all row
+/// groups (concatenated).
+Result<ColumnVector> ReadFullColumn(TableReader* reader,
+                                    const std::string& column,
+                                    const ReadOptions& options = {});
+
+}  // namespace bullion

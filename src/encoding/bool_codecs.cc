@@ -1,0 +1,245 @@
+#include "encoding/bool_codecs.h"
+
+#include <algorithm>
+
+#include "common/bit_util.h"
+#include "common/varint.h"
+#include "encoding/cascade.h"
+
+namespace bullion {
+namespace boolcodec {
+
+Status EncodeTrivial(std::span<const uint8_t> v, BufferBuilder* out) {
+  std::vector<uint8_t> bytes((v.size() + 7) / 8, 0);
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (v[i]) bytes[i >> 3] |= static_cast<uint8_t>(1u << (i & 7));
+  }
+  out->AppendBytes(bytes.data(), bytes.size());
+  return Status::OK();
+}
+
+Status DecodeTrivial(SliceReader* in, size_t n, std::vector<uint8_t>* out) {
+  size_t bytes = (n + 7) / 8;
+  if (in->remaining() < bytes) {
+    return Status::Corruption("bool bitmap truncated");
+  }
+  Slice bm = in->ReadBytes(bytes);
+  out->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    (*out)[i] = (bm[i >> 3] >> (i & 7)) & 1;
+  }
+  return Status::OK();
+}
+
+Status EncodeSparse(std::span<const uint8_t> v, BufferBuilder* out) {
+  std::vector<uint64_t> set_indices;
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (v[i]) set_indices.push_back(i);
+  }
+  varint::PutVarint64(out, set_indices.size());
+  uint64_t prev = 0;
+  for (uint64_t idx : set_indices) {
+    varint::PutVarint64(out, idx - prev);
+    prev = idx;
+  }
+  return Status::OK();
+}
+
+Status DecodeSparse(SliceReader* in, size_t n, std::vector<uint8_t>* out) {
+  out->assign(n, 0);
+  Slice rest = in->ReadBytes(in->remaining());
+  size_t pos = 0;
+  uint64_t n_set;
+  if (!varint::GetVarint64(rest, &pos, &n_set)) {
+    return Status::Corruption("sparse bool count truncated");
+  }
+  uint64_t cur = 0;
+  for (uint64_t i = 0; i < n_set; ++i) {
+    uint64_t delta;
+    if (!varint::GetVarint64(rest, &pos, &delta)) {
+      return Status::Corruption("sparse bool index truncated");
+    }
+    cur += delta;
+    if (cur >= n) return Status::Corruption("sparse bool index range");
+    (*out)[cur] = 1;
+  }
+  in->Seek(in->position() - rest.size() + pos);
+  return Status::OK();
+}
+
+Status EncodeRle(std::span<const uint8_t> v, CascadeContext* ctx,
+                 BufferBuilder* out) {
+  out->Append<uint8_t>(v.empty() ? 0 : (v[0] ? 1 : 0));
+  std::vector<int64_t> run_lengths;
+  for (size_t i = 0; i < v.size();) {
+    size_t j = i + 1;
+    while (j < v.size() && (v[j] != 0) == (v[i] != 0)) ++j;
+    run_lengths.push_back(static_cast<int64_t>(j - i));
+    i = j;
+  }
+  return ctx->EncodeIntChild(run_lengths, out);
+}
+
+Status DecodeRle(SliceReader* in, size_t n, std::vector<uint8_t>* out) {
+  if (in->remaining() < 1) return Status::Corruption("bool rle truncated");
+  uint8_t value = in->Read<uint8_t>();
+  std::vector<int64_t> run_lengths;
+  BULLION_RETURN_NOT_OK(DecodeIntBlock(in, &run_lengths));
+  out->clear();
+  out->reserve(n);
+  for (int64_t len : run_lengths) {
+    if (len < 0) return Status::Corruption("bool rle negative run");
+    if (static_cast<uint64_t>(len) > n - out->size()) {
+      return Status::Corruption("bool rle run overflows declared count");
+    }
+    for (int64_t k = 0; k < len; ++k) out->push_back(value);
+    value = value ? 0 : 1;
+  }
+  if (out->size() != n) return Status::Corruption("bool rle count mismatch");
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Roaring: containers of up to 65536 positions keyed by the high bits.
+// Container types: 0 = array (sorted u16 list), 1 = bitmap (8 KiB),
+// 2 = runs (u16 start, u16 len-1 pairs). The cheapest representation is
+// chosen per container.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Container {
+  std::vector<uint16_t> values;  // set positions within the container
+};
+
+size_t RunCount(const std::vector<uint16_t>& values) {
+  size_t runs = 0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i == 0 || values[i] != values[i - 1] + 1) ++runs;
+  }
+  return runs;
+}
+
+}  // namespace
+
+Status EncodeRoaring(std::span<const uint8_t> v, BufferBuilder* out) {
+  // Group set positions by high 16 bits.
+  std::vector<std::pair<uint32_t, Container>> containers;
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (!v[i]) continue;
+    uint32_t key = static_cast<uint32_t>(i >> 16);
+    if (containers.empty() || containers.back().first != key) {
+      containers.push_back({key, {}});
+    }
+    containers.back().second.values.push_back(static_cast<uint16_t>(i & 0xFFFF));
+  }
+  varint::PutVarint64(out, containers.size());
+  for (const auto& [key, c] : containers) {
+    varint::PutVarint64(out, key);
+    varint::PutVarint64(out, c.values.size());
+    size_t array_bytes = c.values.size() * 2;
+    size_t bitmap_bytes = 8192;
+    size_t runs = RunCount(c.values);
+    size_t run_bytes = runs * 4;
+    if (run_bytes <= array_bytes && run_bytes <= bitmap_bytes) {
+      out->Append<uint8_t>(2);
+      varint::PutVarint64(out, runs);
+      for (size_t i = 0; i < c.values.size();) {
+        size_t j = i + 1;
+        while (j < c.values.size() && c.values[j] == c.values[j - 1] + 1) ++j;
+        out->Append<uint16_t>(c.values[i]);
+        out->Append<uint16_t>(static_cast<uint16_t>(j - i - 1));
+        i = j;
+      }
+    } else if (array_bytes <= bitmap_bytes) {
+      out->Append<uint8_t>(0);
+      for (uint16_t x : c.values) out->Append<uint16_t>(x);
+    } else {
+      out->Append<uint8_t>(1);
+      std::vector<uint8_t> bm(8192, 0);
+      for (uint16_t x : c.values) {
+        bm[x >> 3] |= static_cast<uint8_t>(1u << (x & 7));
+      }
+      out->AppendBytes(bm.data(), bm.size());
+    }
+  }
+  return Status::OK();
+}
+
+Status DecodeRoaring(SliceReader* in, size_t n, std::vector<uint8_t>* out) {
+  out->assign(n, 0);
+  Slice rest = in->ReadBytes(in->remaining());
+  size_t pos = 0;
+  uint64_t n_containers;
+  if (!varint::GetVarint64(rest, &pos, &n_containers)) {
+    return Status::Corruption("roaring container count truncated");
+  }
+  auto set_bit = [&](uint64_t key, uint16_t low) -> Status {
+    uint64_t idx = (key << 16) | low;
+    if (idx >= n) return Status::Corruption("roaring index out of range");
+    (*out)[idx] = 1;
+    return Status::OK();
+  };
+  for (uint64_t c = 0; c < n_containers; ++c) {
+    uint64_t key, cardinality;
+    if (!varint::GetVarint64(rest, &pos, &key) ||
+        !varint::GetVarint64(rest, &pos, &cardinality)) {
+      return Status::Corruption("roaring container header truncated");
+    }
+    if (pos >= rest.size()) return Status::Corruption("roaring type missing");
+    uint8_t type = rest[pos++];
+    switch (type) {
+      case 0: {  // array
+        if (rest.size() - pos < cardinality * 2) {
+          return Status::Corruption("roaring array truncated");
+        }
+        for (uint64_t i = 0; i < cardinality; ++i) {
+          uint16_t x;
+          std::memcpy(&x, rest.data() + pos, 2);
+          pos += 2;
+          BULLION_RETURN_NOT_OK(set_bit(key, x));
+        }
+        break;
+      }
+      case 1: {  // bitmap
+        if (rest.size() - pos < 8192) {
+          return Status::Corruption("roaring bitmap truncated");
+        }
+        for (uint32_t x = 0; x < 65536; ++x) {
+          if ((rest[pos + (x >> 3)] >> (x & 7)) & 1) {
+            BULLION_RETURN_NOT_OK(set_bit(key, static_cast<uint16_t>(x)));
+          }
+        }
+        pos += 8192;
+        break;
+      }
+      case 2: {  // runs
+        uint64_t runs;
+        if (!varint::GetVarint64(rest, &pos, &runs)) {
+          return Status::Corruption("roaring run count truncated");
+        }
+        if (rest.size() - pos < runs * 4) {
+          return Status::Corruption("roaring runs truncated");
+        }
+        for (uint64_t r = 0; r < runs; ++r) {
+          uint16_t start, len_minus_1;
+          std::memcpy(&start, rest.data() + pos, 2);
+          std::memcpy(&len_minus_1, rest.data() + pos + 2, 2);
+          pos += 4;
+          for (uint32_t x = start; x <= static_cast<uint32_t>(start) + len_minus_1;
+               ++x) {
+            BULLION_RETURN_NOT_OK(set_bit(key, static_cast<uint16_t>(x)));
+          }
+        }
+        break;
+      }
+      default:
+        return Status::Corruption("roaring unknown container type");
+    }
+  }
+  in->Seek(in->position() - rest.size() + pos);
+  return Status::OK();
+}
+
+}  // namespace boolcodec
+}  // namespace bullion

@@ -1,0 +1,40 @@
+// Payload-level bool codecs. The bool domain uses one byte per value
+// (0/1) at the API surface; codecs compact it.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/buffer.h"
+#include "common/status.h"
+
+namespace bullion {
+
+class CascadeContext;
+
+namespace boolcodec {
+
+// kTrivial: packed bitmap, LSB-first.
+Status EncodeTrivial(std::span<const uint8_t> v, BufferBuilder* out);
+Status DecodeTrivial(SliceReader* in, size_t n, std::vector<uint8_t>* out);
+
+// kSparseBool: [n_set varint][delta varints of set-bit indices].
+// Optimal for sparse indicators (e.g. null tracking, Table 2).
+Status EncodeSparse(std::span<const uint8_t> v, BufferBuilder* out);
+Status DecodeSparse(SliceReader* in, size_t n, std::vector<uint8_t>* out);
+
+// kBoolRle: [first value: u8][run lengths child int block].
+Status EncodeRle(std::span<const uint8_t> v, CascadeContext* ctx,
+                 BufferBuilder* out);
+Status DecodeRle(SliceReader* in, size_t n, std::vector<uint8_t>* out);
+
+// kRoaring: roaring-bitmap containers keyed by the high 16 bits; each
+// container is array (sorted u16), bitmap (8 KiB), or run encoded,
+// picked by density (Chambi et al.).
+Status EncodeRoaring(std::span<const uint8_t> v, BufferBuilder* out);
+Status DecodeRoaring(SliceReader* in, size_t n, std::vector<uint8_t>* out);
+
+}  // namespace boolcodec
+}  // namespace bullion

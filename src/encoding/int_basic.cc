@@ -1,0 +1,229 @@
+// Basic integer codecs: Trivial, Varint, ZigZag, FixedBitWidth,
+// ForDelta, Delta, Constant.
+
+#include <algorithm>
+
+#include "common/bit_util.h"
+#include "common/varint.h"
+#include "encoding/cascade.h"
+#include "encoding/int_codecs.h"
+
+namespace bullion {
+namespace intcodec {
+
+Status EncodeTrivial(std::span<const int64_t> v, BufferBuilder* out) {
+  out->AppendBytes(v.data(), v.size() * sizeof(int64_t));
+  return Status::OK();
+}
+
+Status DecodeTrivial(SliceReader* in, size_t n, std::vector<int64_t>* out) {
+  if (in->remaining() < n * sizeof(int64_t)) {
+    return Status::Corruption("trivial payload truncated");
+  }
+  Slice bytes = in->ReadBytes(n * sizeof(int64_t));
+  out->resize(n);
+  std::memcpy(out->data(), bytes.data(), bytes.size());
+  return Status::OK();
+}
+
+Status EncodeVarint(std::span<const int64_t> v, BufferBuilder* out) {
+  for (int64_t x : v) {
+    if (x < 0) {
+      return Status::InvalidArgument("varint encoding requires non-negative");
+    }
+    varint::PutVarint64(out, static_cast<uint64_t>(x));
+  }
+  return Status::OK();
+}
+
+Status DecodeVarint(SliceReader* in, size_t n, std::vector<int64_t>* out) {
+  out->clear();
+  out->reserve(n);
+  Slice rest = in->ReadBytes(in->remaining());
+  size_t pos = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t x;
+    if (!varint::GetVarint64(rest, &pos, &x)) {
+      return Status::Corruption("varint payload truncated");
+    }
+    out->push_back(static_cast<int64_t>(x));
+  }
+  in->Seek(in->position() - rest.size() + pos);
+  return Status::OK();
+}
+
+Status EncodeZigZag(std::span<const int64_t> v, BufferBuilder* out) {
+  for (int64_t x : v) {
+    varint::PutVarint64(out, varint::ZigZagEncode(x));
+  }
+  return Status::OK();
+}
+
+Status DecodeZigZag(SliceReader* in, size_t n, std::vector<int64_t>* out) {
+  out->clear();
+  out->reserve(n);
+  Slice rest = in->ReadBytes(in->remaining());
+  size_t pos = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t x;
+    if (!varint::GetVarint64(rest, &pos, &x)) {
+      return Status::Corruption("zigzag payload truncated");
+    }
+    out->push_back(varint::ZigZagDecode(x));
+  }
+  in->Seek(in->position() - rest.size() + pos);
+  return Status::OK();
+}
+
+Status EncodeFixedBitWidth(std::span<const int64_t> v, BufferBuilder* out) {
+  uint64_t max_val = 0;
+  for (int64_t x : v) {
+    if (x < 0) {
+      return Status::InvalidArgument(
+          "fixed-bit-width encoding requires non-negative");
+    }
+    max_val = std::max(max_val, static_cast<uint64_t>(x));
+  }
+  int width = std::max(1, bit_util::BitWidth(max_val));
+  out->Append<uint8_t>(static_cast<uint8_t>(width));
+  std::vector<uint8_t> packed;
+  std::vector<uint64_t> u(v.begin(), v.end());
+  bit_util::PackBits(u.data(), u.size(), width, &packed);
+  out->AppendBytes(packed.data(), packed.size());
+  return Status::OK();
+}
+
+Status DecodeFixedBitWidth(SliceReader* in, size_t n,
+                           std::vector<int64_t>* out) {
+  if (in->remaining() < 1) return Status::Corruption("fbw payload truncated");
+  int width = in->Read<uint8_t>();
+  size_t bytes = bit_util::RoundUpToBytes(n * static_cast<size_t>(width));
+  if (in->remaining() < bytes) {
+    return Status::Corruption("fbw packed data truncated");
+  }
+  Slice packed = in->ReadBytes(bytes);
+  std::vector<uint64_t> u;
+  bit_util::UnpackBits(packed, n, width, &u);
+  out->assign(u.begin(), u.end());
+  return Status::OK();
+}
+
+Status EncodeForDelta(std::span<const int64_t> v, BufferBuilder* out) {
+  if (v.empty()) return Status::OK();
+  int64_t base = *std::min_element(v.begin(), v.end());
+  uint64_t max_off = 0;
+  for (int64_t x : v) {
+    max_off = std::max(max_off,
+                       static_cast<uint64_t>(x) - static_cast<uint64_t>(base));
+  }
+  int width = std::max(1, bit_util::BitWidth(max_off));
+  varint::PutVarint64(out, varint::ZigZagEncode(base));
+  out->Append<uint8_t>(static_cast<uint8_t>(width));
+  std::vector<uint64_t> offsets(v.size());
+  for (size_t i = 0; i < v.size(); ++i) {
+    offsets[i] = static_cast<uint64_t>(v[i]) - static_cast<uint64_t>(base);
+  }
+  std::vector<uint8_t> packed;
+  bit_util::PackBits(offsets.data(), offsets.size(), width, &packed);
+  out->AppendBytes(packed.data(), packed.size());
+  return Status::OK();
+}
+
+Status DecodeForDelta(SliceReader* in, size_t n, std::vector<int64_t>* out) {
+  out->clear();
+  if (n == 0) return Status::OK();
+  Slice rest = in->ReadBytes(in->remaining());
+  size_t pos = 0;
+  uint64_t zz;
+  if (!varint::GetVarint64(rest, &pos, &zz)) {
+    return Status::Corruption("for-delta base truncated");
+  }
+  int64_t base = varint::ZigZagDecode(zz);
+  if (pos >= rest.size()) return Status::Corruption("for-delta width missing");
+  int width = rest[pos++];
+  size_t bytes = bit_util::RoundUpToBytes(n * static_cast<size_t>(width));
+  if (rest.size() - pos < bytes) {
+    return Status::Corruption("for-delta packed data truncated");
+  }
+  std::vector<uint64_t> offsets;
+  bit_util::UnpackBits(rest.SubSlice(pos, bytes), n, width, &offsets);
+  pos += bytes;
+  out->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    (*out)[i] = static_cast<int64_t>(static_cast<uint64_t>(base) + offsets[i]);
+  }
+  in->Seek(in->position() - rest.size() + pos);
+  return Status::OK();
+}
+
+Status EncodeDelta(std::span<const int64_t> v, CascadeContext* ctx,
+                   BufferBuilder* out) {
+  if (v.empty()) return Status::OK();
+  varint::PutVarint64(out, varint::ZigZagEncode(v[0]));
+  if (v.size() == 1) return Status::OK();
+  std::vector<int64_t> deltas(v.size() - 1);
+  for (size_t i = 1; i < v.size(); ++i) {
+    // Two's-complement wraparound is well-defined via unsigned math and
+    // reverses exactly on decode.
+    deltas[i - 1] = static_cast<int64_t>(static_cast<uint64_t>(v[i]) -
+                                         static_cast<uint64_t>(v[i - 1]));
+    deltas[i - 1] = static_cast<int64_t>(
+        varint::ZigZagEncode(deltas[i - 1]));
+  }
+  return ctx->EncodeIntChild(deltas, out);
+}
+
+Status DecodeDelta(SliceReader* in, size_t n, std::vector<int64_t>* out) {
+  out->clear();
+  if (n == 0) return Status::OK();
+  Slice rest = in->ReadBytes(in->remaining());
+  size_t pos = 0;
+  uint64_t zz;
+  if (!varint::GetVarint64(rest, &pos, &zz)) {
+    return Status::Corruption("delta first value truncated");
+  }
+  in->Seek(in->position() - rest.size() + pos);
+  out->reserve(n);
+  out->push_back(varint::ZigZagDecode(zz));
+  if (n > 1) {
+    std::vector<int64_t> deltas;
+    BULLION_RETURN_NOT_OK(DecodeIntBlock(in, &deltas));
+    if (deltas.size() != n - 1) {
+      return Status::Corruption("delta child count mismatch");
+    }
+    for (int64_t zzd : deltas) {
+      int64_t d = varint::ZigZagDecode(static_cast<uint64_t>(zzd));
+      out->push_back(static_cast<int64_t>(
+          static_cast<uint64_t>(out->back()) + static_cast<uint64_t>(d)));
+    }
+  }
+  return Status::OK();
+}
+
+Status EncodeConstant(std::span<const int64_t> v, BufferBuilder* out) {
+  if (v.empty()) return Status::OK();
+  for (int64_t x : v) {
+    if (x != v[0]) {
+      return Status::InvalidArgument("constant encoding requires one value");
+    }
+  }
+  varint::PutVarint64(out, varint::ZigZagEncode(v[0]));
+  return Status::OK();
+}
+
+Status DecodeConstant(SliceReader* in, size_t n, std::vector<int64_t>* out) {
+  out->clear();
+  if (n == 0) return Status::OK();
+  Slice rest = in->ReadBytes(in->remaining());
+  size_t pos = 0;
+  uint64_t zz;
+  if (!varint::GetVarint64(rest, &pos, &zz)) {
+    return Status::Corruption("constant value truncated");
+  }
+  in->Seek(in->position() - rest.size() + pos);
+  out->assign(n, varint::ZigZagDecode(zz));
+  return Status::OK();
+}
+
+}  // namespace intcodec
+}  // namespace bullion

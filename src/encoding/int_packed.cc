@@ -1,0 +1,240 @@
+// Block-packed integer codecs: FastBP128, FastPFor (patched
+// frame-of-reference), BitShuffle (+deflate), and Chunked for ints.
+// FastPFor/FastBP128 are scalar ports of the Lemire FastPFor family's
+// layout ideas (per-128 miniblocks, per-block width, patched
+// exceptions); the SIMD kernels are out of scope on this substrate.
+
+#include <algorithm>
+
+#include "common/bit_util.h"
+#include "common/varint.h"
+#include "encoding/deflate_util.h"
+#include "encoding/int_codecs.h"
+
+namespace bullion {
+namespace intcodec {
+
+namespace {
+
+constexpr size_t kBlockSize = 128;
+
+/// Per-block frame of reference: returns min of the block.
+int64_t BlockMin(std::span<const int64_t> block) {
+  return *std::min_element(block.begin(), block.end());
+}
+
+}  // namespace
+
+Status EncodeFastBP128(std::span<const int64_t> v, BufferBuilder* out) {
+  size_t n_blocks = (v.size() + kBlockSize - 1) / kBlockSize;
+  for (size_t b = 0; b < n_blocks; ++b) {
+    size_t off = b * kBlockSize;
+    size_t len = std::min(kBlockSize, v.size() - off);
+    std::span<const int64_t> block = v.subspan(off, len);
+    int64_t base = BlockMin(block);
+    uint64_t max_off = 0;
+    for (int64_t x : block) {
+      max_off = std::max(
+          max_off, static_cast<uint64_t>(x) - static_cast<uint64_t>(base));
+    }
+    int width = std::max(1, bit_util::BitWidth(max_off));
+    varint::PutVarint64(out, varint::ZigZagEncode(base));
+    out->Append<uint8_t>(static_cast<uint8_t>(width));
+    std::vector<uint64_t> offsets(len);
+    for (size_t i = 0; i < len; ++i) {
+      offsets[i] =
+          static_cast<uint64_t>(block[i]) - static_cast<uint64_t>(base);
+    }
+    std::vector<uint8_t> packed;
+    bit_util::PackBits(offsets.data(), offsets.size(), width, &packed);
+    out->AppendBytes(packed.data(), packed.size());
+  }
+  return Status::OK();
+}
+
+Status DecodeFastBP128(SliceReader* in, size_t n, std::vector<int64_t>* out) {
+  out->clear();
+  out->reserve(n);
+  Slice rest = in->ReadBytes(in->remaining());
+  size_t pos = 0;
+  size_t remaining = n;
+  while (remaining > 0) {
+    size_t len = std::min(kBlockSize, remaining);
+    uint64_t zz;
+    if (!varint::GetVarint64(rest, &pos, &zz)) {
+      return Status::Corruption("bp128 base truncated");
+    }
+    int64_t base = varint::ZigZagDecode(zz);
+    if (pos >= rest.size()) return Status::Corruption("bp128 width missing");
+    int width = rest[pos++];
+    size_t bytes = bit_util::RoundUpToBytes(len * static_cast<size_t>(width));
+    if (rest.size() - pos < bytes) {
+      return Status::Corruption("bp128 packed truncated");
+    }
+    std::vector<uint64_t> offsets;
+    bit_util::UnpackBits(rest.SubSlice(pos, bytes), len, width, &offsets);
+    pos += bytes;
+    for (uint64_t o : offsets) {
+      out->push_back(static_cast<int64_t>(static_cast<uint64_t>(base) + o));
+    }
+    remaining -= len;
+  }
+  in->Seek(in->position() - rest.size() + pos);
+  return Status::OK();
+}
+
+// FastPFor block layout:
+//   [base: zigzag varint][width: u8]
+//   [packed (v - base) & ((1<<width)-1), len values]
+//   [n_exceptions: varint]
+//   per exception: [idx: varint][high bits: varint]
+// Width is chosen as the 87.5th percentile bit width of the block so
+// ~1/8 of values become exceptions at most.
+Status EncodeFastPFor(std::span<const int64_t> v, BufferBuilder* out) {
+  size_t n_blocks = (v.size() + kBlockSize - 1) / kBlockSize;
+  for (size_t b = 0; b < n_blocks; ++b) {
+    size_t off = b * kBlockSize;
+    size_t len = std::min(kBlockSize, v.size() - off);
+    std::span<const int64_t> block = v.subspan(off, len);
+    int64_t base = BlockMin(block);
+
+    std::vector<uint64_t> offsets(len);
+    std::vector<int> widths(len);
+    for (size_t i = 0; i < len; ++i) {
+      offsets[i] =
+          static_cast<uint64_t>(block[i]) - static_cast<uint64_t>(base);
+      widths[i] = bit_util::BitWidth(offsets[i]);
+    }
+    std::vector<int> sorted_widths = widths;
+    std::sort(sorted_widths.begin(), sorted_widths.end());
+    int width =
+        std::max(1, sorted_widths[(len * 7) / 8 == len ? len - 1 : (len * 7) / 8]);
+
+    varint::PutVarint64(out, varint::ZigZagEncode(base));
+    out->Append<uint8_t>(static_cast<uint8_t>(width));
+
+    std::vector<uint64_t> low(len);
+    std::vector<std::pair<size_t, uint64_t>> exceptions;
+    uint64_t mask = width == 64 ? ~0ull : ((1ull << width) - 1);
+    for (size_t i = 0; i < len; ++i) {
+      low[i] = offsets[i] & mask;
+      if (widths[i] > width) {
+        exceptions.push_back({i, offsets[i] >> width});
+      }
+    }
+    std::vector<uint8_t> packed;
+    bit_util::PackBits(low.data(), low.size(), width, &packed);
+    out->AppendBytes(packed.data(), packed.size());
+    varint::PutVarint64(out, exceptions.size());
+    for (const auto& [idx, high] : exceptions) {
+      varint::PutVarint64(out, idx);
+      varint::PutVarint64(out, high);
+    }
+  }
+  return Status::OK();
+}
+
+Status DecodeFastPFor(SliceReader* in, size_t n, std::vector<int64_t>* out) {
+  out->clear();
+  out->reserve(n);
+  Slice rest = in->ReadBytes(in->remaining());
+  size_t pos = 0;
+  size_t remaining = n;
+  while (remaining > 0) {
+    size_t len = std::min(kBlockSize, remaining);
+    uint64_t zz;
+    if (!varint::GetVarint64(rest, &pos, &zz)) {
+      return Status::Corruption("pfor base truncated");
+    }
+    int64_t base = varint::ZigZagDecode(zz);
+    if (pos >= rest.size()) return Status::Corruption("pfor width missing");
+    int width = rest[pos++];
+    size_t bytes = bit_util::RoundUpToBytes(len * static_cast<size_t>(width));
+    if (rest.size() - pos < bytes) {
+      return Status::Corruption("pfor packed truncated");
+    }
+    std::vector<uint64_t> low;
+    bit_util::UnpackBits(rest.SubSlice(pos, bytes), len, width, &low);
+    pos += bytes;
+    uint64_t n_exc;
+    if (!varint::GetVarint64(rest, &pos, &n_exc)) {
+      return Status::Corruption("pfor exception count truncated");
+    }
+    for (uint64_t e = 0; e < n_exc; ++e) {
+      uint64_t idx, high;
+      if (!varint::GetVarint64(rest, &pos, &idx) ||
+          !varint::GetVarint64(rest, &pos, &high)) {
+        return Status::Corruption("pfor exception truncated");
+      }
+      if (idx >= len) return Status::Corruption("pfor exception idx range");
+      low[idx] |= high << width;
+    }
+    for (uint64_t o : low) {
+      out->push_back(static_cast<int64_t>(static_cast<uint64_t>(base) + o));
+    }
+    remaining -= len;
+  }
+  in->Seek(in->position() - rest.size() + pos);
+  return Status::OK();
+}
+
+// BitShuffle: transpose the n x 64 bit matrix of values so bit plane j
+// holds bit j of every value, then deflate the planes. Low-entropy high
+// bits become long zero runs that deflate collapses.
+Status EncodeBitShuffle(std::span<const int64_t> v, BufferBuilder* out) {
+  size_t n = v.size();
+  size_t plane_bytes = (n + 7) / 8;
+  std::vector<uint8_t> planes(plane_bytes * 64, 0);
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t x = static_cast<uint64_t>(v[i]);
+    for (int b = 0; b < 64; ++b) {
+      if ((x >> b) & 1) {
+        planes[static_cast<size_t>(b) * plane_bytes + (i >> 3)] |=
+            static_cast<uint8_t>(1u << (i & 7));
+      }
+    }
+  }
+  return deflate_util::CompressChunked(
+      Slice(planes.data(), planes.size()), out);
+}
+
+Status DecodeBitShuffle(SliceReader* in, size_t n, std::vector<int64_t>* out) {
+  std::vector<uint8_t> planes;
+  BULLION_RETURN_NOT_OK(deflate_util::DecompressChunked(in, &planes));
+  size_t plane_bytes = (n + 7) / 8;
+  if (planes.size() != plane_bytes * 64) {
+    return Status::Corruption("bitshuffle plane size mismatch");
+  }
+  out->assign(n, 0);
+  for (int b = 0; b < 64; ++b) {
+    const uint8_t* plane = planes.data() + static_cast<size_t>(b) * plane_bytes;
+    for (size_t i = 0; i < n; ++i) {
+      if ((plane[i >> 3] >> (i & 7)) & 1) {
+        (*out)[i] = static_cast<int64_t>(static_cast<uint64_t>((*out)[i]) |
+                                         (1ull << b));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status EncodeChunked(std::span<const int64_t> v, BufferBuilder* out) {
+  return deflate_util::CompressChunked(
+      Slice(reinterpret_cast<const uint8_t*>(v.data()),
+            v.size() * sizeof(int64_t)),
+      out);
+}
+
+Status DecodeChunked(SliceReader* in, size_t n, std::vector<int64_t>* out) {
+  std::vector<uint8_t> raw;
+  BULLION_RETURN_NOT_OK(deflate_util::DecompressChunked(in, &raw));
+  if (raw.size() != n * sizeof(int64_t)) {
+    return Status::Corruption("chunked int payload size mismatch");
+  }
+  out->resize(n);
+  std::memcpy(out->data(), raw.data(), raw.size());
+  return Status::OK();
+}
+
+}  // namespace intcodec
+}  // namespace bullion

@@ -1,0 +1,150 @@
+#include "encoding/stats.h"
+
+#include <cmath>
+#include <unordered_map>
+
+namespace bullion {
+
+IntStats ComputeIntStats(std::span<const int64_t> values) {
+  IntStats s;
+  s.count = values.size();
+  if (values.empty()) return s;
+
+  s.min = values[0];
+  s.max = values[0];
+  s.run_count = 1;
+  double abs_delta_sum = 0.0;
+
+  std::unordered_map<int64_t, size_t> freq;
+  bool tracking_distinct = true;
+
+  for (size_t i = 0; i < values.size(); ++i) {
+    int64_t v = values[i];
+    if (v < s.min) s.min = v;
+    if (v > s.max) s.max = v;
+    if (v < 0) s.non_negative = false;
+    if (i > 0) {
+      if (v != values[i - 1]) ++s.run_count;
+      if (v < values[i - 1]) s.sorted_non_decreasing = false;
+      abs_delta_sum += std::abs(static_cast<double>(v) -
+                                static_cast<double>(values[i - 1]));
+    }
+    if (tracking_distinct) {
+      ++freq[v];
+      if (freq.size() > IntStats::kDistinctCap) {
+        tracking_distinct = false;
+        freq.clear();
+      }
+    }
+  }
+
+  if (tracking_distinct) {
+    s.distinct = freq.size();
+    for (const auto& [v, f] : freq) {
+      if (f > s.top_frequency) {
+        s.top_frequency = f;
+        s.top_value = v;
+      }
+    }
+  } else {
+    s.distinct = IntStats::kDistinctCap + 1;
+    s.top_frequency = 0;
+  }
+
+  if (values.size() > 1) {
+    s.mean_abs_delta = abs_delta_sum / static_cast<double>(values.size() - 1);
+  }
+
+  uint64_t range = static_cast<uint64_t>(s.max) - static_cast<uint64_t>(s.min);
+  s.range_bit_width = range == 0 ? 0 : 64 - __builtin_clzll(range);
+  return s;
+}
+
+namespace {
+
+/// Checks whether v == round(v * 10^e) / 10^e exactly (decimal origin).
+bool IsDecimalAtExponent(double v, int e, int64_t* mantissa_out) {
+  static const double kPow10[19] = {1e0,  1e1,  1e2,  1e3,  1e4,  1e5,  1e6,
+                                    1e7,  1e8,  1e9,  1e10, 1e11, 1e12, 1e13,
+                                    1e14, 1e15, 1e16, 1e17, 1e18};
+  if (!std::isfinite(v)) return false;
+  if (v == 0.0 && std::signbit(v)) return false;  // -0.0 cannot round-trip
+  double scaled = v * kPow10[e];
+  if (std::abs(scaled) >= 1.125899906842624e15) return false;  // 2^50
+  double rounded = std::nearbyint(scaled);
+  if (rounded / kPow10[e] != v) return false;
+  *mantissa_out = static_cast<int64_t>(rounded);
+  return true;
+}
+
+}  // namespace
+
+FloatStats ComputeFloatStats(std::span<const double> values) {
+  FloatStats s;
+  s.count = values.size();
+  if (values.empty()) return s;
+
+  // Find the decimal exponent that makes the most values round-trip.
+  size_t best_hits = 0;
+  int best_e = 0;
+  for (int e = 0; e <= 14; ++e) {
+    size_t hits = 0;
+    int64_t m;
+    for (double v : values) {
+      if (IsDecimalAtExponent(v, e, &m)) ++hits;
+    }
+    if (hits > best_hits) {
+      best_hits = hits;
+      best_e = e;
+    }
+    if (hits == values.size()) break;  // cannot do better
+  }
+  s.decimal_fraction =
+      static_cast<double>(best_hits) / static_cast<double>(values.size());
+  s.best_decimal_exponent = best_e;
+
+  std::unordered_map<double, size_t> freq;
+  for (double v : values) {
+    ++freq[v];
+    if (freq.size() > IntStats::kDistinctCap) break;
+  }
+  s.distinct = freq.size() > IntStats::kDistinctCap
+                   ? IntStats::kDistinctCap + 1
+                   : freq.size();
+  return s;
+}
+
+StringStats ComputeStringStats(std::span<const std::string> values) {
+  StringStats s;
+  s.count = values.size();
+  std::unordered_map<std::string, size_t> freq;
+  bool tracking = true;
+  for (const std::string& v : values) {
+    s.total_bytes += v.size();
+    if (tracking) {
+      ++freq[v];
+      if (freq.size() > IntStats::kDistinctCap) {
+        tracking = false;
+        freq.clear();
+      }
+    }
+  }
+  s.distinct = tracking ? freq.size() : IntStats::kDistinctCap + 1;
+  s.avg_length =
+      s.count == 0 ? 0.0 : static_cast<double>(s.total_bytes) / s.count;
+  return s;
+}
+
+BoolStats ComputeBoolStats(std::span<const uint8_t> values) {
+  BoolStats s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  s.run_count = 1;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (values[i]) ++s.set_count;
+    if (i > 0 && (values[i] != 0) != (values[i - 1] != 0)) ++s.run_count;
+  }
+  return s;
+}
+
+}  // namespace bullion

@@ -1,0 +1,77 @@
+// Column statistics driving cascade encoding selection (paper §2.6:
+// "sampling-based distribution analysis and heuristic approaches for
+// encoding selection", after Procella/BtrBlocks).
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace bullion {
+
+/// \brief Single-pass statistics over an int64 stream.
+struct IntStats {
+  size_t count = 0;
+  int64_t min = 0;
+  int64_t max = 0;
+  /// Number of runs of equal consecutive values.
+  size_t run_count = 0;
+  /// Exact distinct count up to `kDistinctCap`; kDistinctCap+1 beyond.
+  size_t distinct = 0;
+  /// Frequency of the most common value (exact when distinct tracked).
+  size_t top_frequency = 0;
+  int64_t top_value = 0;
+  bool sorted_non_decreasing = true;
+  bool non_negative = true;
+  /// Mean absolute difference between consecutive values (0 if count<2).
+  double mean_abs_delta = 0.0;
+  /// Bits needed for (max - min) as unsigned.
+  int range_bit_width = 0;
+
+  static constexpr size_t kDistinctCap = 1u << 16;
+
+  bool DistinctCapped() const { return distinct > kDistinctCap; }
+};
+
+IntStats ComputeIntStats(std::span<const int64_t> values);
+
+/// \brief Statistics over a double stream.
+struct FloatStats {
+  size_t count = 0;
+  /// Fraction of values exactly representable as m * 10^-e with
+  /// e <= 14 and |m| < 2^50 (ALP/Pseudodecimal applicability).
+  double decimal_fraction = 0.0;
+  /// Best decimal exponent found on the sample (for ALP).
+  int best_decimal_exponent = 0;
+  size_t distinct = 0;
+  bool DistinctCapped() const { return distinct > IntStats::kDistinctCap; }
+};
+
+FloatStats ComputeFloatStats(std::span<const double> values);
+
+/// \brief Statistics over a string stream.
+struct StringStats {
+  size_t count = 0;
+  size_t total_bytes = 0;
+  size_t distinct = 0;
+  double avg_length = 0.0;
+  bool DistinctCapped() const { return distinct > IntStats::kDistinctCap; }
+};
+
+StringStats ComputeStringStats(std::span<const std::string> values);
+
+/// \brief Statistics over a bool stream (one byte per value, 0/1).
+struct BoolStats {
+  size_t count = 0;
+  size_t set_count = 0;
+  size_t run_count = 0;
+  double density() const {
+    return count == 0 ? 0.0 : static_cast<double>(set_count) / count;
+  }
+};
+
+BoolStats ComputeBoolStats(std::span<const uint8_t> values);
+
+}  // namespace bullion

@@ -1,0 +1,47 @@
+// Payload-level string codecs: StringTrivial, StringDict, FSST, and
+// Chunked over the concatenated bytes.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/buffer.h"
+#include "common/status.h"
+
+namespace bullion {
+
+class CascadeContext;
+
+namespace stringcodec {
+
+// kStringTrivial: [lengths child int block][concatenated bytes].
+Status EncodeTrivial(std::span<const std::string> v, CascadeContext* ctx,
+                     BufferBuilder* out);
+Status DecodeTrivial(SliceReader* in, size_t n, std::vector<std::string>* out);
+
+// kStringDict: [n_entries varint][entry lengths child][entry bytes]
+//              [codes child].
+Status EncodeDict(std::span<const std::string> v, CascadeContext* ctx,
+                  BufferBuilder* out);
+Status DecodeDict(SliceReader* in, size_t n, std::vector<std::string>* out);
+
+// kFsst: greedy static-symbol-table compression (Boncz et al. FSST,
+// simplified: up to 255 multi-byte symbols trained on a sample, escape
+// byte 0xFF for literals).
+//   [n_symbols: u8][per symbol: len u8 + bytes]
+//   [lengths-of-encoded child int block][encoded bytes]
+//   [lengths-of-raw child int block]
+Status EncodeFsst(std::span<const std::string> v, CascadeContext* ctx,
+                  BufferBuilder* out);
+Status DecodeFsst(SliceReader* in, size_t n, std::vector<std::string>* out);
+
+// kChunked: [lengths child int block][deflate chunks of the bytes].
+Status EncodeChunked(std::span<const std::string> v, CascadeContext* ctx,
+                     BufferBuilder* out);
+Status DecodeChunked(SliceReader* in, size_t n, std::vector<std::string>* out);
+
+}  // namespace stringcodec
+}  // namespace bullion

@@ -1,0 +1,77 @@
+#include "format/column_vector.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace bullion {
+
+Result<ColumnVector> ColumnVector::Permute(
+    const std::vector<uint32_t>& perm) const {
+  ColumnVector out(physical_, list_depth_);
+  for (uint32_t src : perm) {
+    if (src >= num_rows()) {
+      return Status::InvalidArgument("gather index out of range");
+    }
+    switch (list_depth_) {
+      case 0:
+        switch (domain()) {
+          case ValueDomain::kInt:
+            out.AppendInt(int_values_[src]);
+            break;
+          case ValueDomain::kReal:
+            out.AppendReal(real_values_[src]);
+            break;
+          case ValueDomain::kBinary:
+            out.AppendBinary(bin_values_[src]);
+            break;
+        }
+        break;
+      case 1: {
+        auto [b, e] = ListRange(src);
+        switch (domain()) {
+          case ValueDomain::kInt:
+            out.AppendIntList(std::vector<int64_t>(int_values_.begin() + b,
+                                                   int_values_.begin() + e));
+            break;
+          case ValueDomain::kReal:
+            out.AppendRealList(std::vector<double>(real_values_.begin() + b,
+                                                   real_values_.begin() + e));
+            break;
+          case ValueDomain::kBinary:
+            out.AppendBinaryList(std::vector<std::string>(
+                bin_values_.begin() + b, bin_values_.begin() + e));
+            break;
+        }
+        break;
+      }
+      case 2: {
+        int64_t inner_b = offsets_[0][src];
+        int64_t inner_e = offsets_[0][src + 1];
+        std::vector<std::vector<int64_t>> row;
+        for (int64_t j = inner_b; j < inner_e; ++j) {
+          int64_t vb = offsets_[1][j];
+          int64_t ve = offsets_[1][j + 1];
+          row.push_back(std::vector<int64_t>(int_values_.begin() + vb,
+                                             int_values_.begin() + ve));
+        }
+        out.AppendIntListList(row);
+        break;
+      }
+      default:
+        return Status::NotImplemented("list depth > 2");
+    }
+  }
+  return out;
+}
+
+std::vector<uint32_t> SortPermutationDescending(
+    const std::vector<double>& scores) {
+  std::vector<uint32_t> perm(scores.size());
+  std::iota(perm.begin(), perm.end(), 0);
+  std::stable_sort(perm.begin(), perm.end(), [&](uint32_t a, uint32_t b) {
+    return scores[a] > scores[b];
+  });
+  return perm;
+}
+
+}  // namespace bullion

@@ -1,0 +1,160 @@
+// In-memory representation of one leaf column's data for a batch of
+// rows. Values live in one of three domains (int64, double, binary);
+// list nesting (up to 2 levels) is carried by offset arrays, like
+// Arrow's variable-size list layout.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "format/schema.h"
+
+namespace bullion {
+
+/// Value domain a physical type maps to for encoding purposes.
+enum class ValueDomain : uint8_t { kInt = 0, kReal = 1, kBinary = 2 };
+
+inline ValueDomain DomainOf(PhysicalType t) {
+  switch (t) {
+    case PhysicalType::kFloat32:
+    case PhysicalType::kFloat64:
+      return ValueDomain::kReal;
+    case PhysicalType::kBinary:
+      return ValueDomain::kBinary;
+    default:
+      // Narrow ints, bools, and fp16/bf16/fp8 bit patterns ride the int
+      // domain.
+      return ValueDomain::kInt;
+  }
+}
+
+/// \brief Columnar data for one leaf over a row batch.
+///
+/// offsets[level] has (#items at that level + 1) entries; level 0 is
+/// the row level. For list_depth == 0 there are no offset arrays and
+/// one value per row.
+class ColumnVector {
+ public:
+  ColumnVector() = default;
+  ColumnVector(PhysicalType physical, int list_depth)
+      : physical_(physical), list_depth_(list_depth) {
+    offsets_.resize(static_cast<size_t>(list_depth));
+    for (auto& level : offsets_) level.push_back(0);
+  }
+
+  static ColumnVector ForLeaf(const LeafColumn& leaf) {
+    return ColumnVector(leaf.physical, leaf.list_depth);
+  }
+
+  PhysicalType physical() const { return physical_; }
+  int list_depth() const { return list_depth_; }
+  ValueDomain domain() const { return DomainOf(physical_); }
+
+  /// Number of rows in the batch.
+  size_t num_rows() const {
+    if (list_depth_ == 0) return LeafCount();
+    return offsets_[0].size() - 1;
+  }
+
+  /// Number of leaf values.
+  size_t LeafCount() const {
+    switch (domain()) {
+      case ValueDomain::kInt:
+        return int_values_.size();
+      case ValueDomain::kReal:
+        return real_values_.size();
+      case ValueDomain::kBinary:
+        return bin_values_.size();
+    }
+    return 0;
+  }
+
+  // -- Appending (writer side) ---------------------------------------------
+
+  /// Appends a scalar row (list_depth must be 0).
+  void AppendInt(int64_t v) { int_values_.push_back(v); }
+  void AppendReal(double v) { real_values_.push_back(v); }
+  void AppendBinary(std::string v) { bin_values_.push_back(std::move(v)); }
+
+  /// Appends a list<int> row (list_depth must be 1).
+  void AppendIntList(const std::vector<int64_t>& v) {
+    int_values_.insert(int_values_.end(), v.begin(), v.end());
+    offsets_[0].push_back(static_cast<int64_t>(int_values_.size()));
+  }
+  void AppendRealList(const std::vector<double>& v) {
+    real_values_.insert(real_values_.end(), v.begin(), v.end());
+    offsets_[0].push_back(static_cast<int64_t>(real_values_.size()));
+  }
+  void AppendBinaryList(const std::vector<std::string>& v) {
+    bin_values_.insert(bin_values_.end(), v.begin(), v.end());
+    offsets_[0].push_back(static_cast<int64_t>(bin_values_.size()));
+  }
+
+  /// Appends a list<list<int>> row (list_depth must be 2).
+  void AppendIntListList(const std::vector<std::vector<int64_t>>& v) {
+    for (const auto& inner : v) {
+      int_values_.insert(int_values_.end(), inner.begin(), inner.end());
+      offsets_[1].push_back(static_cast<int64_t>(int_values_.size()));
+    }
+    offsets_[0].push_back(static_cast<int64_t>(offsets_[1].size() - 1));
+  }
+
+  // -- Access (reader side) ------------------------------------------------
+
+  const std::vector<int64_t>& int_values() const { return int_values_; }
+  const std::vector<double>& real_values() const { return real_values_; }
+  const std::vector<std::string>& bin_values() const { return bin_values_; }
+  std::vector<int64_t>& mutable_int_values() { return int_values_; }
+  std::vector<double>& mutable_real_values() { return real_values_; }
+  std::vector<std::string>& mutable_bin_values() { return bin_values_; }
+
+  const std::vector<std::vector<int64_t>>& offsets() const { return offsets_; }
+  std::vector<std::vector<int64_t>>& mutable_offsets() { return offsets_; }
+
+  /// The [begin,end) leaf range of row `row` at list_depth 1.
+  std::pair<int64_t, int64_t> ListRange(size_t row) const {
+    return {offsets_[0][row], offsets_[0][row + 1]};
+  }
+
+  /// Row `row` as a vector<int64> (list_depth 1, int domain).
+  std::vector<int64_t> IntListAt(size_t row) const {
+    auto [b, e] = ListRange(row);
+    return std::vector<int64_t>(int_values_.begin() + b,
+                                int_values_.begin() + e);
+  }
+  std::vector<double> RealListAt(size_t row) const {
+    auto [b, e] = ListRange(row);
+    return std::vector<double>(real_values_.begin() + b,
+                               real_values_.begin() + e);
+  }
+
+  /// Gathers rows so out[i] = in[perm[i]]. perm may be any row-index
+  /// sequence (a permutation for quality-aware reordering §2.5, or a
+  /// subset for survivor selection in delete-by-rewrite).
+  Result<ColumnVector> Permute(const std::vector<uint32_t>& perm) const;
+
+  bool operator==(const ColumnVector& o) const {
+    return physical_ == o.physical_ && list_depth_ == o.list_depth_ &&
+           offsets_ == o.offsets_ && int_values_ == o.int_values_ &&
+           real_values_ == o.real_values_ && bin_values_ == o.bin_values_;
+  }
+
+ private:
+  PhysicalType physical_ = PhysicalType::kInt64;
+  int list_depth_ = 0;
+  std::vector<std::vector<int64_t>> offsets_;
+  std::vector<int64_t> int_values_;
+  std::vector<double> real_values_;
+  std::vector<std::string> bin_values_;
+};
+
+/// Permutation that sorts `scores` descending (highest quality first).
+std::vector<uint32_t> SortPermutationDescending(
+    const std::vector<double>& scores);
+
+}  // namespace bullion

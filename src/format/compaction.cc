@@ -1,0 +1,42 @@
+#include "format/compaction.h"
+
+namespace bullion {
+
+Result<CompactionReport> CompactTable(TableReader* reader,
+                                      WritableFile* dest,
+                                      const WriterOptions& options) {
+  CompactionReport report;
+  report.rows_before = reader->num_rows();
+
+  Schema schema = reader->footer().ReconstructSchema();
+  TableWriter writer(schema, dest, options);
+
+  ReadOptions ropts;
+  ropts.filter_deleted = true;
+  for (uint32_t g = 0; g < reader->num_row_groups(); ++g) {
+    std::vector<uint32_t> all_columns(reader->num_columns());
+    for (uint32_t c = 0; c < all_columns.size(); ++c) all_columns[c] = c;
+    std::vector<ColumnVector> cols;
+    BULLION_RETURN_NOT_OK(
+        reader->ReadProjection(g, all_columns, ropts, &cols));
+    if (cols.empty() || cols[0].num_rows() == 0) continue;  // all deleted
+    report.rows_after += cols[0].num_rows();
+    BULLION_RETURN_NOT_OK(writer.WriteRowGroup(cols));
+  }
+  BULLION_RETURN_NOT_OK(writer.Finish());
+  BULLION_ASSIGN_OR_RETURN(report.bytes_written, dest->Size());
+  return report;
+}
+
+double DeletedFraction(const TableReader& reader) {
+  const FooterView& f = reader.footer();
+  uint64_t deleted = 0;
+  for (uint32_t g = 0; g < f.num_row_groups(); ++g) {
+    deleted += f.DeletedCount(g);
+  }
+  return f.num_rows() == 0
+             ? 0.0
+             : static_cast<double>(deleted) / static_cast<double>(f.num_rows());
+}
+
+}  // namespace bullion

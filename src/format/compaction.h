@@ -1,0 +1,36 @@
+// Compaction: reclaims the space of deleted rows.
+//
+// In-place deletion (§2.1) is the compliance fast path — data is erased
+// immediately without rewriting the file — but masked slots and RLE
+// padding still occupy their original bytes. Once a file accumulates
+// enough deletions, a background rewrite reclaims the space. This is
+// the deliberate division of labour the paper implies: urgent erasure
+// is in-place and cheap; space reclamation is deferred and batched.
+
+#pragma once
+
+#include "common/result.h"
+#include "common/status.h"
+#include "format/reader.h"
+#include "format/writer.h"
+#include "io/file.h"
+
+namespace bullion {
+
+struct CompactionReport {
+  uint64_t rows_before = 0;
+  uint64_t rows_after = 0;
+  uint64_t bytes_written = 0;
+};
+
+/// Rewrites `reader`'s table into `dest` without the deleted rows.
+/// The schema is reconstructed at leaf level from the footer.
+Result<CompactionReport> CompactTable(TableReader* reader,
+                                      WritableFile* dest,
+                                      const WriterOptions& options = {});
+
+/// Fraction of rows deleted across all groups (compaction trigger
+/// heuristic: compact when this exceeds a policy threshold).
+double DeletedFraction(const TableReader& reader);
+
+}  // namespace bullion

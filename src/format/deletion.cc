@@ -1,0 +1,382 @@
+#include "format/deletion.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/bit_util.h"
+#include "common/varint.h"
+#include "encoding/cascade.h"
+#include "encoding/int_codecs.h"
+#include "format/page.h"
+
+namespace bullion {
+
+namespace {
+
+/// Parses a block header from raw bytes at `pos`; returns payload start.
+Status ParseHeaderAt(const std::vector<uint8_t>& bytes, size_t pos,
+                     EncodingType* type, uint64_t* count,
+                     size_t* payload_pos) {
+  Slice s(bytes.data(), bytes.size());
+  if (pos >= bytes.size()) return Status::Corruption("block header oob");
+  *type = static_cast<EncodingType>(bytes[pos]);
+  size_t p = pos + 1;
+  if (!varint::GetVarint64(s, &p, count)) {
+    return Status::Corruption("block count oob");
+  }
+  *payload_pos = p;
+  return Status::OK();
+}
+
+/// Zeros the low 7 bits of every byte of the `idx`-th varint starting
+/// at `pos`, preserving continuation MSBs (§2.1 Varint masking).
+Status MaskVarintAt(std::vector<uint8_t>* bytes, size_t payload_pos,
+                    const std::vector<uint32_t>& sorted_indices) {
+  size_t p = payload_pos;
+  size_t value_idx = 0;
+  size_t target = 0;
+  for (uint32_t want : sorted_indices) {
+    while (value_idx < want) {
+      // Skip one varint.
+      while (p < bytes->size() && ((*bytes)[p] & 0x80)) ++p;
+      if (p >= bytes->size()) return Status::Corruption("varint walk oob");
+      ++p;
+      ++value_idx;
+    }
+    // Mask this varint: zero payload bits, keep MSBs.
+    size_t q = p;
+    while (q < bytes->size() && ((*bytes)[q] & 0x80)) {
+      (*bytes)[q] = 0x80;
+      ++q;
+    }
+    if (q >= bytes->size()) return Status::Corruption("varint mask oob");
+    (*bytes)[q] = 0x00;
+    // Note: p stays — the masked varint has the same byte length, so
+    // the walk continues from it for the next target.
+    (void)target;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status MaskPageRows(std::vector<uint8_t>* page_bytes,
+                    std::span<const uint32_t> rows,
+                    std::span<const uint8_t> previously_removed) {
+  if (rows.empty()) return Status::OK();
+  Slice page(page_bytes->data(), page_bytes->size());
+  SliceReader in(page);
+  if (in.remaining() < 2) return Status::Corruption("page too small");
+  PageFormat format = static_cast<PageFormat>(in.Read<uint8_t>());
+  if (format != PageFormat::kGeneric) {
+    return Status::InvalidArgument(
+        "in-place deletion requires generic page format");
+  }
+  int depth = in.Read<uint8_t>();
+
+  std::vector<std::vector<int64_t>> offsets(static_cast<size_t>(depth));
+  for (int level = 0; level < depth; ++level) {
+    BULLION_RETURN_NOT_OK(DecodeIntBlock(&in, &offsets[level]));
+  }
+  size_t values_pos = in.position();
+
+  // Element indices to mask, per the list nesting.
+  std::vector<uint32_t> elems;
+  for (uint32_t r : rows) {
+    if (depth == 0) {
+      elems.push_back(r);
+    } else if (depth == 1) {
+      for (int64_t e = offsets[0][r]; e < offsets[0][r + 1]; ++e) {
+        elems.push_back(static_cast<uint32_t>(e));
+      }
+    } else {
+      for (int64_t j = offsets[0][r]; j < offsets[0][r + 1]; ++j) {
+        for (int64_t e = offsets[1][static_cast<size_t>(j)];
+             e < offsets[1][static_cast<size_t>(j) + 1]; ++e) {
+          elems.push_back(static_cast<uint32_t>(e));
+        }
+      }
+    }
+  }
+  std::sort(elems.begin(), elems.end());
+
+  EncodingType type;
+  uint64_t count;
+  size_t payload;
+  BULLION_RETURN_NOT_OK(
+      ParseHeaderAt(*page_bytes, values_pos, &type, &count, &payload));
+
+  switch (type) {
+    case EncodingType::kTrivial: {
+      for (uint32_t e : elems) {
+        if (payload + 8ull * e + 8 > page_bytes->size()) {
+          return Status::Corruption("trivial mask oob");
+        }
+        std::memset(page_bytes->data() + payload + 8ull * e, 0, 8);
+      }
+      return Status::OK();
+    }
+    case EncodingType::kFixedBitWidth: {
+      int width = (*page_bytes)[payload];
+      uint8_t* packed = page_bytes->data() + payload + 1;
+      for (uint32_t e : elems) {
+        bit_util::SetPacked(packed, e, width, 0);
+      }
+      return Status::OK();
+    }
+    case EncodingType::kForDelta: {
+      // Payload: [base zigzag varint][width u8][packed offsets].
+      Slice s(page_bytes->data(), page_bytes->size());
+      size_t p = payload;
+      uint64_t zz;
+      if (!varint::GetVarint64(s, &p, &zz)) {
+        return Status::Corruption("for-delta base oob");
+      }
+      int width = (*page_bytes)[p];
+      uint8_t* packed = page_bytes->data() + p + 1;
+      for (uint32_t e : elems) {
+        bit_util::SetPacked(packed, e, width, 0);
+      }
+      return Status::OK();
+    }
+    case EncodingType::kVarint: {
+      return MaskVarintAt(page_bytes, payload, elems);
+    }
+    case EncodingType::kDictionary: {
+      // [has_mask u8][n_entries varint][entries block][codes block].
+      Slice s(page_bytes->data(), page_bytes->size());
+      size_t p = payload;
+      uint8_t has_mask = (*page_bytes)[p++];
+      if (!has_mask) {
+        return Status::InvalidArgument(
+            "dictionary page lacks the reserved mask entry");
+      }
+      uint64_t n_entries;
+      if (!varint::GetVarint64(s, &p, &n_entries)) {
+        return Status::Corruption("dict n_entries oob");
+      }
+      // Skip the entries block by decoding it.
+      SliceReader skip(s);
+      skip.Seek(p);
+      std::vector<int64_t> scratch;
+      BULLION_RETURN_NOT_OK(DecodeIntBlock(&skip, &scratch));
+      size_t codes_pos = skip.position();
+      EncodingType codes_type;
+      uint64_t codes_count;
+      size_t codes_payload;
+      BULLION_RETURN_NOT_OK(ParseHeaderAt(*page_bytes, codes_pos, &codes_type,
+                                          &codes_count, &codes_payload));
+      if (codes_type != EncodingType::kFixedBitWidth) {
+        return Status::InvalidArgument(
+            "deletable dictionary codes must be fixed-bit-width");
+      }
+      int width = (*page_bytes)[codes_payload];
+      uint8_t* packed = page_bytes->data() + codes_payload + 1;
+      for (uint32_t e : elems) {
+        bit_util::SetPacked(packed, e, width, 0);  // mask entry
+      }
+      return Status::OK();
+    }
+    case EncodingType::kRle: {
+      // Scalar pages only (writer guarantees). Decode surviving values,
+      // drop the newly deleted rows' values, re-encode, pad.
+      SliceReader rle_in(Slice(page_bytes->data(), page_bytes->size()));
+      rle_in.Seek(values_pos);
+      std::vector<int64_t> values;
+      BULLION_RETURN_NOT_OK(DecodeIntBlock(&rle_in, &values));
+      // Map page rows -> surviving positions (rows with
+      // previously_removed unset, in order).
+      std::vector<uint8_t> drop(values.size(), 0);
+      {
+        size_t pos = 0;
+        size_t next_row = 0;
+        std::vector<uint8_t> is_target(previously_removed.size(), 0);
+        for (uint32_t r : rows) is_target[r] = 1;
+        for (size_t r = 0; r < previously_removed.size(); ++r) {
+          if (previously_removed[r]) continue;  // not present in stream
+          if (pos >= values.size()) {
+            return Status::Corruption("rle survivors exceed stream");
+          }
+          if (is_target[r]) drop[pos] = 1;
+          ++pos;
+          ++next_row;
+        }
+        if (pos != values.size()) {
+          return Status::Corruption("rle survivor count mismatch");
+        }
+      }
+      std::vector<int64_t> kept;
+      kept.reserve(values.size());
+      for (size_t i = 0; i < values.size(); ++i) {
+        if (!drop[i]) kept.push_back(values[i]);
+      }
+      BufferBuilder rebuilt;
+      WriteBlockHeader(EncodingType::kRle, kept.size(), &rebuilt);
+      // Must match the writer's deletable-RLE child encoding (ZigZag:
+      // per-value independent, hence monotone under deletion).
+      CascadeOptions opts;
+      opts.allowed = {EncodingType::kZigZag};
+      opts.max_depth = 1;
+      CascadeContext ctx(opts, 1);
+      BULLION_RETURN_NOT_OK(intcodec::EncodeRle(kept, &ctx, &rebuilt));
+      size_t avail = page_bytes->size() - values_pos;
+      if (rebuilt.size() > avail) {
+        return Status::ResourceExhausted(
+            "re-encoded RLE page exceeds original slot");
+      }
+      std::memcpy(page_bytes->data() + values_pos, rebuilt.AsSlice().data(),
+                  rebuilt.size());
+      std::memset(page_bytes->data() + values_pos + rebuilt.size(), 0,
+                  avail - rebuilt.size());
+      return Status::OK();
+    }
+    default:
+      return Status::InvalidArgument(
+          "page encoding is not in-place maskable: " +
+          std::string(EncodingTypeName(type)));
+  }
+}
+
+DeleteExecutor::DeleteExecutor(RandomAccessFile* read_file,
+                               WritableFile* update_file,
+                               const FooterView& footer)
+    : read_(read_file),
+      update_(update_file),
+      footer_(footer),
+      merkle_([&] {
+        std::vector<uint64_t> hashes(footer.total_pages());
+        for (uint32_t p = 0; p < footer.total_pages(); ++p) {
+          hashes[p] = footer.page_hash(p);
+        }
+        std::vector<uint32_t> ppg(footer.num_row_groups());
+        for (uint32_t g = 0; g < footer.num_row_groups(); ++g) {
+          auto [b, e] = footer.group_page_range(g);
+          ppg[g] = e - b;
+        }
+        return MerkleTree(std::move(hashes), std::move(ppg));
+      }()) {
+  dv_.resize(footer_.num_row_groups());
+  for (uint32_t g = 0; g < footer_.num_row_groups(); ++g) {
+    Slice dv = footer_.deletion_vector(g);
+    dv_[g].assign(dv.data(), dv.data() + dv.size());
+  }
+}
+
+Result<DeleteReport> DeleteExecutor::DeleteRows(
+    std::span<const uint64_t> row_ids, ComplianceLevel level) {
+  DeleteReport report;
+  if (level == ComplianceLevel::kLevel0) {
+    return Status::InvalidArgument(
+        "level 0 has no deletion support; rewrite the file");
+  }
+  const FooterView& f = footer_;
+
+  // Resolve global row ids to (group, group-relative row), dedup, and
+  // skip rows already deleted.
+  std::map<uint32_t, std::vector<uint32_t>> rows_per_group;
+  for (uint64_t row : row_ids) {
+    if (row >= f.num_rows()) {
+      return Status::InvalidArgument("row id out of range");
+    }
+    uint32_t lo = 0, hi = f.num_row_groups();
+    while (lo + 1 < hi) {
+      uint32_t mid = (lo + hi) / 2;
+      if (f.group_first_row(mid) <= row) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    uint32_t rel = static_cast<uint32_t>(row - f.group_first_row(lo));
+    if (DvGet(lo, rel)) continue;  // already deleted
+    rows_per_group[lo].push_back(rel);
+  }
+  for (auto& [g, rows] : rows_per_group) {
+    std::sort(rows.begin(), rows.end());
+    rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+    report.rows_deleted += rows.size();
+  }
+
+  // Level 2: physically mask every affected page of every column,
+  // before flipping DV bits (the RLE path needs the pre-delete DV to
+  // locate surviving values).
+  if (level == ComplianceLevel::kLevel2) {
+    uint32_t rpp = f.rows_per_page();
+    for (const auto& [g, rows] : rows_per_group) {
+      for (uint32_t c = 0; c < f.num_columns(); ++c) {
+        // Per-column compliance (§2.1: levels adjust "on a per-table or
+        // per-column basis"): only columns flagged deletable carry
+        // maskable encodings and get physical erasure; the rest are
+        // hidden by the deletion vector alone.
+        if ((f.column_record(c).flags & 1) == 0) continue;
+        auto [first_page, end_page] = f.chunk_pages(g, c);
+        // Group target rows by page.
+        std::map<uint32_t, std::vector<uint32_t>> rows_per_page_map;
+        for (uint32_t r : rows) {
+          uint32_t page = first_page + r / rpp;
+          if (page >= end_page) {
+            return Status::Corruption("row maps past chunk pages");
+          }
+          rows_per_page_map[page].push_back(r % rpp);
+        }
+        for (const auto& [p, page_rows] : rows_per_page_map) {
+          uint64_t off = f.page_offset(p);
+          uint64_t slot = f.page_slot_size(p);
+          Buffer buf;
+          BULLION_RETURN_NOT_OK(read_->Read(off, slot, &buf));
+          report.page_bytes_read += slot;
+          std::vector<uint8_t> bytes(buf.data(), buf.data() + buf.size());
+
+          uint32_t page_first_row = (p - first_page) * rpp;
+          uint32_t page_rows_n = f.page_row_count(p);
+          std::vector<uint8_t> previously_removed(page_rows_n, 0);
+          for (uint32_t r = 0; r < page_rows_n; ++r) {
+            previously_removed[r] = DvGet(g, page_first_row + r) ? 1 : 0;
+          }
+          BULLION_RETURN_NOT_OK(
+              MaskPageRows(&bytes, page_rows, previously_removed));
+          BULLION_RETURN_NOT_OK(
+              update_->WriteAt(off, Slice(bytes.data(), bytes.size())));
+          report.page_bytes_written += bytes.size();
+          ++report.pages_rewritten;
+
+          // Incremental Merkle path update (page -> group -> root).
+          uint64_t new_hash = HashPage(Slice(bytes.data(), bytes.size()));
+          report.merkle_folds += merkle_.UpdatePage(p, new_hash);
+          BufferBuilder h;
+          h.Append<uint64_t>(new_hash);
+          BULLION_RETURN_NOT_OK(
+              update_->WriteAt(f.file_offset_of_page_hash(p), h.AsSlice()));
+          report.footer_bytes_written += 8;
+        }
+      }
+    }
+    // Write back the updated interior hashes once per touched group +
+    // the root.
+    for (const auto& [g, rows] : rows_per_group) {
+      BufferBuilder gh;
+      gh.Append<uint64_t>(merkle_.group_hash(g));
+      BULLION_RETURN_NOT_OK(
+          update_->WriteAt(f.file_offset_of_group_hash(g), gh.AsSlice()));
+      report.footer_bytes_written += 8;
+    }
+    BufferBuilder rh;
+    rh.Append<uint64_t>(merkle_.root());
+    BULLION_RETURN_NOT_OK(
+        update_->WriteAt(f.file_offset_of_root_hash(), rh.AsSlice()));
+    report.footer_bytes_written += 8;
+  }
+
+  // Flip DV bits and persist the touched groups' vectors.
+  for (const auto& [g, rows] : rows_per_group) {
+    for (uint32_t r : rows) DvSet(g, r);
+    BULLION_RETURN_NOT_OK(update_->WriteAt(
+        f.file_offset_of_deletion_vector(g),
+        Slice(dv_[g].data(), dv_[g].size())));
+    report.footer_bytes_written += dv_[g].size();
+  }
+  BULLION_RETURN_NOT_OK(update_->Flush());
+  return report;
+}
+
+}  // namespace bullion

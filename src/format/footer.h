@@ -1,0 +1,261 @@
+// BullionFooter: a flat, position-independent binary footer enabling
+// direct metadata access "without deserialization" (paper §2.3).
+//
+// The footer is one contiguous byte region of typed arrays behind a
+// fixed header + section directory (Cap'n-Proto/FlatBuffers style).
+// Opening a file costs one pread() of the footer; locating a column is
+// a binary search over the sorted-name index; fetching its byte range
+// is two array loads. Nothing is copied into owned structs — FooterView
+// reads straight out of the buffer. Contrast with the Parquet-like
+// baseline (src/baseline), which must deserialize metadata for every
+// column before the first read.
+//
+// Sections (mirroring the paper's BullionFooter table):
+//   group_row_counts[], group_first_row[], chunk_offsets[],
+//   chunk_page_start[], page_offsets[], page_row_counts[],
+//   page_encodings[]  (= paper's rows_per_page / page_offsets /
+//   page_compression_types), group/page/root checksums (Merkle),
+//   deletion vectors (fixed full-bitmap slots so level-2 deletes can
+//   update them in place), column records + name blob + sorted index
+//   (= paper's column_sizes/column_offsets/schema).
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/buffer.h"
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "format/schema.h"
+
+namespace bullion {
+
+/// Compliance levels (paper §2.1): 0 = plain columnar, 1 = deletion
+/// vectors only (query-time filtering), 2 = deletion vectors + in-place
+/// physical erasure.
+enum class ComplianceLevel : uint8_t {
+  kLevel0 = 0,
+  kLevel1 = 1,
+  kLevel2 = 2,
+};
+
+constexpr uint32_t kFooterMagic = 0x4C4C5542;  // "BULL"
+constexpr uint32_t kFooterVersion = 1;
+/// Trailer appended after the footer: [footer_size:u32][magic:u32].
+constexpr size_t kTrailerSize = 8;
+
+/// Section ids in the footer directory.
+enum FooterSection : uint32_t {
+  kSecGroupRowCounts = 0,   // u32[num_groups]
+  kSecGroupFirstRow = 1,    // u64[num_groups]
+  kSecChunkOffsets = 2,     // u64[num_groups*num_cols]
+  kSecChunkPageStart = 3,   // u32[num_groups*num_cols + 1]
+  kSecPageOffsets = 4,      // u64[total_pages + 1] (last = data_end)
+  kSecPageRowCounts = 5,    // u32[total_pages]
+  kSecPageEncodings = 6,    // u8[total_pages]
+  kSecPageHashes = 7,       // u64[total_pages]
+  kSecGroupHashes = 8,      // u64[num_groups]
+  kSecRootHash = 9,         // u64[1]
+  kSecDvOffsets = 10,       // u32[num_groups + 1] (into the DV section)
+  kSecDeletionVectors = 11, // fixed ceil(rows/8)-byte bitmap per group
+  kSecColumnRecords = 12,   // ColumnRecord[num_cols]
+  kSecNameBlob = 13,        // bytes
+  kSecNameSortedIdx = 14,   // u32[num_cols]
+  kNumFooterSections = 15,
+};
+
+/// Fixed-width per-column record in kSecColumnRecords.
+struct ColumnRecord {
+  uint32_t name_offset;
+  uint16_t name_len;
+  uint8_t physical;
+  uint8_t list_depth;
+  uint8_t logical;
+  uint8_t flags;  // bit 0: deletable
+  uint16_t field_index;
+};
+static_assert(sizeof(ColumnRecord) == 12);
+
+/// \brief Accumulates footer contents during a write and serializes the
+/// flat layout.
+class FooterBuilder {
+ public:
+  FooterBuilder(const Schema& schema, uint32_t rows_per_page,
+                ComplianceLevel compliance);
+
+  /// Called once per row group, before its chunks are recorded.
+  void BeginRowGroup(uint32_t row_count);
+
+  /// Called per page in file order: absolute offset, rows, encoding tag,
+  /// page hash. Pages of a chunk must be appended contiguously. Returns
+  /// the global (file-order) page index.
+  uint32_t AddPage(uint64_t file_offset, uint32_t row_count, uint8_t encoding,
+                   uint64_t hash);
+
+  /// Records chunk (group, logical column) starting at `file_offset`
+  /// with its first page at global index `first_page`. Chunks may be
+  /// placed in any physical order (column reordering, §2.5/§3), so this
+  /// indexes by logical position rather than call order.
+  void SetChunk(uint32_t group, uint32_t column, uint64_t file_offset,
+                uint32_t first_page);
+
+  /// Serializes the footer given the end of the data region.
+  Result<Buffer> Finish(uint64_t data_end, uint64_t num_rows);
+
+ private:
+  const Schema& schema_;
+  uint32_t rows_per_page_;
+  ComplianceLevel compliance_;
+  std::vector<uint32_t> group_row_counts_;
+  std::vector<uint64_t> group_first_row_;
+  std::vector<uint32_t> group_first_page_;
+  std::vector<uint64_t> chunk_offsets_;
+  std::vector<uint32_t> chunk_page_start_;
+  std::vector<uint64_t> page_offsets_;
+  std::vector<uint32_t> page_row_counts_;
+  std::vector<uint8_t> page_encodings_;
+  std::vector<uint64_t> page_hashes_;
+};
+
+/// \brief Zero-copy view over a serialized footer.
+///
+/// Construction validates the header and section directory only (O(1));
+/// all accessors index directly into the underlying buffer, which must
+/// outlive the view.
+class FooterView {
+ public:
+  /// Wraps footer bytes. `footer_file_offset` is where the footer
+  /// region begins in the file (used to compute absolute positions for
+  /// in-place updates).
+  static Result<FooterView> Parse(Slice footer, uint64_t footer_file_offset);
+
+  uint32_t num_columns() const { return num_columns_; }
+  uint32_t num_row_groups() const { return num_row_groups_; }
+  uint32_t total_pages() const { return total_pages_; }
+  uint64_t num_rows() const { return num_rows_; }
+  uint64_t data_end() const { return data_end_; }
+  uint32_t rows_per_page() const { return rows_per_page_; }
+  ComplianceLevel compliance() const { return compliance_; }
+
+  uint32_t group_row_count(uint32_t g) const {
+    return LoadU32(kSecGroupRowCounts, g);
+  }
+  uint64_t group_first_row(uint32_t g) const {
+    return LoadU64(kSecGroupFirstRow, g);
+  }
+  uint64_t chunk_offset(uint32_t g, uint32_t c) const {
+    return LoadU64(kSecChunkOffsets, static_cast<size_t>(g) * num_columns_ + c);
+  }
+  /// Global page index range [first, last) of chunk (g, c). Pages of a
+  /// chunk are contiguous in file order; the count follows from the
+  /// group's row count and the fixed rows_per_page.
+  std::pair<uint32_t, uint32_t> chunk_pages(uint32_t g, uint32_t c) const {
+    size_t idx = static_cast<size_t>(g) * num_columns_ + c;
+    uint32_t first = LoadU32(kSecChunkPageStart, idx);
+    uint32_t rows = group_row_count(g);
+    uint32_t n = (rows + rows_per_page_ - 1) / rows_per_page_;
+    return {first, first + n};
+  }
+  uint64_t page_offset(uint32_t p) const { return LoadU64(kSecPageOffsets, p); }
+  /// Size of the page's slot (fixed at write; in-place updates may use
+  /// less, blocks are self-delimiting).
+  uint64_t page_slot_size(uint32_t p) const {
+    return LoadU64(kSecPageOffsets, p + 1) - LoadU64(kSecPageOffsets, p);
+  }
+  uint32_t page_row_count(uint32_t p) const {
+    return LoadU32(kSecPageRowCounts, p);
+  }
+  uint8_t page_encoding(uint32_t p) const {
+    return footer_[section_offset_[kSecPageEncodings] + p];
+  }
+  uint64_t page_hash(uint32_t p) const { return LoadU64(kSecPageHashes, p); }
+  /// Global page index range [first, last) of all pages in group g
+  /// (file order; chunks of a group are contiguous).
+  std::pair<uint32_t, uint32_t> group_page_range(uint32_t g) const {
+    uint32_t first = UINT32_MAX, last = 0;
+    for (uint32_t c = 0; c < num_columns_; ++c) {
+      auto [b, e] = chunk_pages(g, c);
+      first = std::min(first, b);
+      last = std::max(last, e);
+    }
+    return {first, last};
+  }
+  uint64_t group_hash(uint32_t g) const { return LoadU64(kSecGroupHashes, g); }
+  uint64_t root_hash() const { return LoadU64(kSecRootHash, 0); }
+
+  /// Deletion-vector bytes for group g (fixed ceil(rows/8) slot).
+  Slice deletion_vector(uint32_t g) const {
+    uint32_t b = LoadU32(kSecDvOffsets, g);
+    uint32_t e = LoadU32(kSecDvOffsets, g + 1);
+    return footer_.SubSlice(section_offset_[kSecDeletionVectors] + b, e - b);
+  }
+  /// True if row `r` (group-relative) of group g is deleted.
+  bool IsDeleted(uint32_t g, uint32_t r) const {
+    Slice dv = deletion_vector(g);
+    return (dv[r >> 3] >> (r & 7)) & 1;
+  }
+  /// Number of deleted rows in group g.
+  uint32_t DeletedCount(uint32_t g) const;
+
+  ColumnRecord column_record(uint32_t c) const;
+  std::string_view column_name(uint32_t c) const;
+
+  /// Binary search over the sorted-name index ("binary map scan").
+  Result<uint32_t> FindColumn(std::string_view name) const;
+
+  /// Rebuilds a Schema object from the records (used when the caller
+  /// needs the logical view; not required for data access).
+  Schema ReconstructSchema() const;
+
+  // -- Absolute file offsets for in-place footer updates (§2.1) -----------
+  uint64_t file_offset_of_page_hash(uint32_t p) const {
+    return footer_file_offset_ + section_offset_[kSecPageHashes] + 8ull * p;
+  }
+  uint64_t file_offset_of_group_hash(uint32_t g) const {
+    return footer_file_offset_ + section_offset_[kSecGroupHashes] + 8ull * g;
+  }
+  uint64_t file_offset_of_root_hash() const {
+    return footer_file_offset_ + section_offset_[kSecRootHash];
+  }
+  uint64_t file_offset_of_deletion_vector(uint32_t g) const {
+    return footer_file_offset_ + section_offset_[kSecDeletionVectors] +
+           LoadU32(kSecDvOffsets, g);
+  }
+
+  Slice raw() const { return footer_; }
+
+ private:
+  uint64_t LoadU64(uint32_t section, size_t idx) const {
+    uint64_t v;
+    std::memcpy(&v, footer_.data() + section_offset_[section] + 8 * idx, 8);
+    return v;
+  }
+  uint32_t LoadU32(uint32_t section, size_t idx) const {
+    uint32_t v;
+    std::memcpy(&v, footer_.data() + section_offset_[section] + 4 * idx, 4);
+    return v;
+  }
+
+  Slice footer_;
+  uint64_t footer_file_offset_ = 0;
+  uint32_t num_columns_ = 0;
+  uint32_t num_row_groups_ = 0;
+  uint32_t total_pages_ = 0;
+  uint32_t rows_per_page_ = 0;
+  uint64_t num_rows_ = 0;
+  uint64_t data_end_ = 0;
+  ComplianceLevel compliance_ = ComplianceLevel::kLevel0;
+  uint64_t section_offset_[kNumFooterSections] = {};
+};
+
+/// Reads the trailer of a Bullion file and returns (footer_offset,
+/// footer_size).
+Result<std::pair<uint64_t, uint32_t>> ReadTrailer(Slice last_bytes,
+                                                  uint64_t file_size);
+
+}  // namespace bullion

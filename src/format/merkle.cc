@@ -1,0 +1,83 @@
+#include "format/merkle.h"
+
+#include "common/logging.h"
+
+namespace bullion {
+
+MerkleTree::MerkleTree(std::vector<uint64_t> page_hashes,
+                       std::vector<uint32_t> pages_per_group)
+    : page_hashes_(std::move(page_hashes)),
+      pages_per_group_(std::move(pages_per_group)) {
+  uint32_t first = 0;
+  for (uint32_t n : pages_per_group_) {
+    group_first_page_.push_back(first);
+    first += n;
+  }
+  BULLION_CHECK(first == page_hashes_.size());
+  group_hashes_.resize(pages_per_group_.size());
+  RebuildAll();
+}
+
+uint32_t MerkleTree::GroupOfPage(uint32_t page_idx) const {
+  // Binary search over group_first_page_.
+  uint32_t lo = 0, hi = static_cast<uint32_t>(group_first_page_.size());
+  while (lo + 1 < hi) {
+    uint32_t mid = (lo + hi) / 2;
+    if (group_first_page_[mid] <= page_idx) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+uint64_t MerkleTree::FoldGroup(uint32_t g, size_t* folds) const {
+  uint64_t h = 0;
+  uint32_t first = group_first_page_[g];
+  for (uint32_t p = first; p < first + pages_per_group_[g]; ++p) {
+    h = HashCombineForMerkle(h, page_hashes_[p]);
+    ++(*folds);
+  }
+  return h;
+}
+
+size_t MerkleTree::UpdatePage(uint32_t page_idx, uint64_t new_hash) {
+  BULLION_CHECK(page_idx < page_hashes_.size());
+  page_hashes_[page_idx] = new_hash;
+  size_t folds = 0;
+  uint32_t g = GroupOfPage(page_idx);
+  group_hashes_[g] = FoldGroup(g, &folds);
+  root_ = 0;
+  for (uint64_t gh : group_hashes_) {
+    root_ = HashCombineForMerkle(root_, gh);
+    ++folds;
+  }
+  return folds;
+}
+
+size_t MerkleTree::RebuildAll() {
+  size_t folds = 0;
+  for (uint32_t g = 0; g < group_hashes_.size(); ++g) {
+    group_hashes_[g] = FoldGroup(g, &folds);
+  }
+  root_ = 0;
+  for (uint64_t gh : group_hashes_) {
+    root_ = HashCombineForMerkle(root_, gh);
+    ++folds;
+  }
+  return folds;
+}
+
+bool MerkleTree::Verify() const {
+  size_t folds = 0;
+  uint64_t root = 0;
+  for (uint32_t g = 0; g < group_hashes_.size(); ++g) {
+    uint64_t gh = FoldGroup(g, &folds);
+    if (gh != group_hashes_[g]) return false;
+    root = HashCombineForMerkle(root, gh);
+  }
+  return root == root_;
+}
+
+}  // namespace bullion

@@ -1,0 +1,66 @@
+// Merkle-tree checksums over pages → row groups → file (paper §2.1,
+// Fig. 2). Page hashes are the leaves; a row group's hash folds its
+// page hashes in order; the root folds group hashes. An in-place page
+// update therefore rehashes: the page bytes, one group fold, and the
+// root fold — instead of re-reading the whole file as monolithic
+// formats must.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace bullion {
+
+/// Order-dependent fold used for interior Merkle nodes.
+inline uint64_t HashCombineForMerkle(uint64_t acc, uint64_t leaf) {
+  return HashCombine(acc, leaf);
+}
+
+/// Hash of a page's bytes (Merkle leaf).
+inline uint64_t HashPage(Slice page) { return XxHash64(page, /*seed=*/0x42); }
+
+/// \brief In-memory Merkle tree mirroring the footer checksum sections.
+///
+/// Tracks how many hash-fold operations each update performs, so the
+/// incremental-vs-monolithic benchmark (bench_merkle) can report work
+/// alongside wall time.
+class MerkleTree {
+ public:
+  /// Builds from per-page hashes and the page→group assignment
+  /// (pages_per_group[g] pages per group, in order).
+  MerkleTree(std::vector<uint64_t> page_hashes,
+             std::vector<uint32_t> pages_per_group);
+
+  uint64_t root() const { return root_; }
+  uint64_t page_hash(uint32_t p) const { return page_hashes_[p]; }
+  uint64_t group_hash(uint32_t g) const { return group_hashes_[g]; }
+  size_t num_pages() const { return page_hashes_.size(); }
+  size_t num_groups() const { return group_hashes_.size(); }
+
+  /// Replaces one leaf and recomputes its group hash and the root.
+  /// Returns the number of hash folds performed (the incremental cost).
+  size_t UpdatePage(uint32_t page_idx, uint64_t new_hash);
+
+  /// Recomputes everything from the leaves (the monolithic cost).
+  /// Returns the number of hash folds performed.
+  size_t RebuildAll();
+
+  /// True when `group_hashes_`/`root_` are consistent with the leaves.
+  bool Verify() const;
+
+ private:
+  uint32_t GroupOfPage(uint32_t page_idx) const;
+  uint64_t FoldGroup(uint32_t g, size_t* folds) const;
+
+  std::vector<uint64_t> page_hashes_;
+  std::vector<uint32_t> pages_per_group_;
+  std::vector<uint32_t> group_first_page_;
+  std::vector<uint64_t> group_hashes_;
+  uint64_t root_ = 0;
+};
+
+}  // namespace bullion

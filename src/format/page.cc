@@ -1,0 +1,377 @@
+#include "format/page.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/varint.h"
+#include "encoding/cascade.h"
+#include "encoding/int_codecs.h"
+#include "encoding/stats.h"
+#include "format/sparse_delta.h"
+
+namespace bullion {
+
+namespace {
+
+/// Deletable RLE: children restricted to ZigZag varints. Each value's
+/// encoded size is independent of its neighbours, so deleting rows can
+/// only shrink the re-encoded block: run values become a subset, run
+/// lengths only decrease, run count never grows. (Width-shared layouts
+/// like FOR-delta are NOT monotone here: removing rows can widen the
+/// run-length range and grow the shared bit width.)
+CascadeOptions DeletableRleChildOptions(const CascadeOptions& base) {
+  CascadeOptions opts = base;
+  opts.allowed = {EncodingType::kZigZag};
+  opts.max_depth = 1;
+  return opts;
+}
+
+/// Dictionary with the reserved mask entry and codes forced to
+/// FixedBitWidth (absolute, non-negative codes stay maskable to 0).
+Status EncodeDeletableDictionary(std::span<const int64_t> values,
+                                 const CascadeOptions& base,
+                                 BufferBuilder* out) {
+  WriteBlockHeader(EncodingType::kDictionary, values.size(), out);
+  std::vector<int64_t> entries(values.begin(), values.end());
+  std::sort(entries.begin(), entries.end());
+  entries.erase(std::unique(entries.begin(), entries.end()), entries.end());
+  std::unordered_map<int64_t, int64_t> index;
+  index.reserve(entries.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    index[entries[i]] = static_cast<int64_t>(i) + 1;  // 0 = mask slot
+  }
+  out->Append<uint8_t>(1);  // has_mask
+  varint::PutVarint64(out, entries.size());
+  // Entries: FOR-delta (handles negatives, deterministic).
+  CascadeOptions entry_opts = base;
+  entry_opts.allowed = {EncodingType::kForDelta};
+  CascadeContext entry_ctx(entry_opts, 1);
+  BULLION_RETURN_NOT_OK(
+      EncodeIntBlockAs(EncodingType::kForDelta, entries, &entry_ctx, out));
+  // Codes: FixedBitWidth, absolute.
+  std::vector<int64_t> codes(values.size());
+  for (size_t i = 0; i < values.size(); ++i) codes[i] = index[values[i]];
+  CascadeContext code_ctx(entry_opts, 1);
+  return EncodeIntBlockAs(EncodingType::kFixedBitWidth, codes, &code_ctx,
+                          out);
+}
+
+}  // namespace
+
+Status EncodeDeletableIntValues(std::span<const int64_t> values,
+                                bool allow_rle, BufferBuilder* out,
+                                uint8_t* encoding_out) {
+  CascadeOptions base;  // deterministic children only; no sampling needed
+  IntStats stats = ComputeIntStats(values);
+
+  struct Candidate {
+    EncodingType type;
+    Buffer buf;
+  };
+  std::vector<Candidate> candidates;
+
+  auto try_candidate = [&](EncodingType t, auto encode_fn) {
+    BufferBuilder b;
+    Status st = encode_fn(&b);
+    if (st.ok()) candidates.push_back({t, b.Finish()});
+  };
+
+  if (!stats.DistinctCapped() && stats.distinct <= 4096 &&
+      stats.distinct * 2 <= std::max<size_t>(stats.count, 1)) {
+    try_candidate(EncodingType::kDictionary, [&](BufferBuilder* b) {
+      return EncodeDeletableDictionary(values, base, b);
+    });
+  }
+  if (allow_rle && stats.run_count * 2 <= std::max<size_t>(stats.count, 1)) {
+    try_candidate(EncodingType::kRle, [&](BufferBuilder* b) {
+      WriteBlockHeader(EncodingType::kRle, values.size(), b);
+      CascadeOptions rle_opts = DeletableRleChildOptions(base);
+      CascadeContext ctx(rle_opts, 1);
+      return intcodec::EncodeRle(values, &ctx, b);
+    });
+  }
+  if (stats.non_negative) {
+    try_candidate(EncodingType::kVarint, [&](BufferBuilder* b) {
+      WriteBlockHeader(EncodingType::kVarint, values.size(), b);
+      return intcodec::EncodeVarint(values, b);
+    });
+    try_candidate(EncodingType::kFixedBitWidth, [&](BufferBuilder* b) {
+      WriteBlockHeader(EncodingType::kFixedBitWidth, values.size(), b);
+      return intcodec::EncodeFixedBitWidth(values, b);
+    });
+  }
+  try_candidate(EncodingType::kForDelta, [&](BufferBuilder* b) {
+    WriteBlockHeader(EncodingType::kForDelta, values.size(), b);
+    return intcodec::EncodeForDelta(values, b);
+  });
+  try_candidate(EncodingType::kTrivial, [&](BufferBuilder* b) {
+    WriteBlockHeader(EncodingType::kTrivial, values.size(), b);
+    return intcodec::EncodeTrivial(values, b);
+  });
+
+  if (candidates.empty()) {
+    return Status::Unknown("no deletable encoding candidate");
+  }
+  size_t best = 0;
+  for (size_t i = 1; i < candidates.size(); ++i) {
+    if (candidates[i].buf.size() < candidates[best].buf.size()) best = i;
+  }
+  *encoding_out = static_cast<uint8_t>(candidates[best].type);
+  out->AppendSlice(candidates[best].buf.AsSlice());
+  return Status::OK();
+}
+
+namespace {
+
+/// Slices one row range out of a ColumnVector as a standalone batch.
+ColumnVector SliceRows(const ColumnVector& col, size_t row_begin,
+                       size_t row_end) {
+  ColumnVector out(col.physical(), col.list_depth());
+  for (size_t r = row_begin; r < row_end; ++r) {
+    switch (col.list_depth()) {
+      case 0:
+        switch (col.domain()) {
+          case ValueDomain::kInt:
+            out.AppendInt(col.int_values()[r]);
+            break;
+          case ValueDomain::kReal:
+            out.AppendReal(col.real_values()[r]);
+            break;
+          case ValueDomain::kBinary:
+            out.AppendBinary(col.bin_values()[r]);
+            break;
+        }
+        break;
+      case 1: {
+        auto [b, e] = col.ListRange(r);
+        switch (col.domain()) {
+          case ValueDomain::kInt:
+            out.AppendIntList(std::vector<int64_t>(
+                col.int_values().begin() + b, col.int_values().begin() + e));
+            break;
+          case ValueDomain::kReal:
+            out.AppendRealList(std::vector<double>(
+                col.real_values().begin() + b, col.real_values().begin() + e));
+            break;
+          case ValueDomain::kBinary:
+            out.AppendBinaryList(std::vector<std::string>(
+                col.bin_values().begin() + b, col.bin_values().begin() + e));
+            break;
+        }
+        break;
+      }
+      default: {
+        int64_t ib = col.offsets()[0][r];
+        int64_t ie = col.offsets()[0][r + 1];
+        std::vector<std::vector<int64_t>> row;
+        for (int64_t j = ib; j < ie; ++j) {
+          int64_t vb = col.offsets()[1][j];
+          int64_t ve = col.offsets()[1][j + 1];
+          row.push_back(std::vector<int64_t>(col.int_values().begin() + vb,
+                                             col.int_values().begin() + ve));
+        }
+        out.AppendIntListList(row);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<EncodedPage> EncodePage(const ColumnVector& col, size_t row_begin,
+                               size_t row_end,
+                               const PageEncodeOptions& options) {
+  ColumnVector page_rows = SliceRows(col, row_begin, row_end);
+  uint32_t row_count = static_cast<uint32_t>(row_end - row_begin);
+  BufferBuilder out;
+
+  // Sparse-delta fast path: whole page encoded jointly.
+  if (options.use_sparse_delta && page_rows.list_depth() == 1 &&
+      page_rows.domain() == ValueDomain::kInt) {
+    out.Append<uint8_t>(static_cast<uint8_t>(PageFormat::kSparseDelta));
+    SparseDeltaOptions sd;
+    sd.cascade = options.cascade;
+    sd.min_overlap = options.min_sparse_overlap;
+    BULLION_ASSIGN_OR_RETURN(
+        Buffer block, EncodeSparseDeltaColumn(page_rows.offsets()[0],
+                                              page_rows.int_values(), sd));
+    out.AppendSlice(block.AsSlice());
+    return EncodedPage{out.Finish(), row_count,
+                       static_cast<uint8_t>(EncodingType::kSparseDelta)};
+  }
+
+  out.Append<uint8_t>(static_cast<uint8_t>(PageFormat::kGeneric));
+  out.Append<uint8_t>(static_cast<uint8_t>(page_rows.list_depth()));
+
+  CascadeContext ctx(options.cascade, 0);
+  for (int level = 0; level < page_rows.list_depth(); ++level) {
+    BULLION_RETURN_NOT_OK(
+        ctx.EncodeIntChild(page_rows.offsets()[level], &out));
+  }
+
+  uint8_t encoding = 0;
+  switch (page_rows.domain()) {
+    case ValueDomain::kInt: {
+      if (options.deletable) {
+        BULLION_RETURN_NOT_OK(EncodeDeletableIntValues(
+            page_rows.int_values(), /*allow_rle=*/page_rows.list_depth() == 0,
+            &out, &encoding));
+      } else {
+        SelectionDecision decision;
+        BULLION_ASSIGN_OR_RETURN(
+            Buffer block, EncodeInt64ColumnWithDecision(
+                              page_rows.int_values(), options.cascade,
+                              &decision));
+        encoding = static_cast<uint8_t>(decision.chosen);
+        out.AppendSlice(block.AsSlice());
+      }
+      break;
+    }
+    case ValueDomain::kReal: {
+      BULLION_ASSIGN_OR_RETURN(
+          Buffer block,
+          EncodeDoubleColumn(page_rows.real_values(), options.cascade));
+      BULLION_ASSIGN_OR_RETURN(EncodingType t,
+                               PeekEncodingType(block.AsSlice()));
+      encoding = static_cast<uint8_t>(t);
+      out.AppendSlice(block.AsSlice());
+      break;
+    }
+    case ValueDomain::kBinary: {
+      BULLION_ASSIGN_OR_RETURN(
+          Buffer block,
+          EncodeStringColumn(page_rows.bin_values(), options.cascade));
+      BULLION_ASSIGN_OR_RETURN(EncodingType t,
+                               PeekEncodingType(block.AsSlice()));
+      encoding = static_cast<uint8_t>(t);
+      out.AppendSlice(block.AsSlice());
+      break;
+    }
+  }
+  return EncodedPage{out.Finish(), row_count, encoding};
+}
+
+Status DecodePage(Slice page, ColumnVector* out) {
+  SliceReader in(page);
+  if (in.remaining() < 1) return Status::Corruption("empty page");
+  PageFormat format = static_cast<PageFormat>(in.Read<uint8_t>());
+
+  if (format == PageFormat::kSparseDelta) {
+    std::vector<int64_t> offsets, values;
+    BULLION_RETURN_NOT_OK(DecodeSparseDeltaColumn(
+        page.SubSlice(1, page.size() - 1), &offsets, &values));
+    for (size_t r = 0; r + 1 < offsets.size(); ++r) {
+      out->AppendIntList(std::vector<int64_t>(
+          values.begin() + offsets[r], values.begin() + offsets[r + 1]));
+    }
+    return Status::OK();
+  }
+  if (format != PageFormat::kGeneric) {
+    return Status::Corruption("unknown page format");
+  }
+  if (in.remaining() < 1) return Status::Corruption("page missing depth");
+  int depth = in.Read<uint8_t>();
+  if (depth != out->list_depth()) {
+    return Status::Corruption("page list depth mismatch");
+  }
+
+  std::vector<std::vector<int64_t>> offsets(static_cast<size_t>(depth));
+  for (int level = 0; level < depth; ++level) {
+    BULLION_RETURN_NOT_OK(DecodeIntBlock(&in, &offsets[level]));
+  }
+
+  // Validate offset arrays before indexing through them (decoded bytes
+  // may be corrupt; see tests/robustness_test.cc).
+  auto validate_offsets = [](const std::vector<int64_t>& offs,
+                             int64_t upper) -> Status {
+    if (offs.empty() || offs.front() != 0) {
+      return Status::Corruption("page offsets must start at 0");
+    }
+    for (size_t i = 1; i < offs.size(); ++i) {
+      if (offs[i] < offs[i - 1]) {
+        return Status::Corruption("page offsets not monotone");
+      }
+    }
+    if (offs.back() > upper) {
+      return Status::Corruption("page offsets exceed value count");
+    }
+    return Status::OK();
+  };
+
+  switch (out->domain()) {
+    case ValueDomain::kInt: {
+      std::vector<int64_t> values;
+      BULLION_RETURN_NOT_OK(DecodeIntBlock(&in, &values));
+      if (depth == 2) {
+        BULLION_RETURN_NOT_OK(validate_offsets(
+            offsets[1], static_cast<int64_t>(values.size())));
+        BULLION_RETURN_NOT_OK(validate_offsets(
+            offsets[0], static_cast<int64_t>(offsets[1].size()) - 1));
+      } else if (depth == 1) {
+        BULLION_RETURN_NOT_OK(validate_offsets(
+            offsets[0], static_cast<int64_t>(values.size())));
+      }
+      if (depth == 0) {
+        for (int64_t v : values) out->AppendInt(v);
+      } else if (depth == 1) {
+        for (size_t r = 0; r + 1 < offsets[0].size(); ++r) {
+          out->AppendIntList(std::vector<int64_t>(
+              values.begin() + offsets[0][r],
+              values.begin() + offsets[0][r + 1]));
+        }
+      } else {
+        for (size_t r = 0; r + 1 < offsets[0].size(); ++r) {
+          std::vector<std::vector<int64_t>> row;
+          for (int64_t j = offsets[0][r]; j < offsets[0][r + 1]; ++j) {
+            row.push_back(std::vector<int64_t>(
+                values.begin() + offsets[1][static_cast<size_t>(j)],
+                values.begin() + offsets[1][static_cast<size_t>(j) + 1]));
+          }
+          out->AppendIntListList(row);
+        }
+      }
+      break;
+    }
+    case ValueDomain::kReal: {
+      std::vector<double> values;
+      BULLION_RETURN_NOT_OK(DecodeDoubleBlock(&in, &values));
+      if (depth >= 1) {
+        BULLION_RETURN_NOT_OK(validate_offsets(
+            offsets[0], static_cast<int64_t>(values.size())));
+      }
+      if (depth == 0) {
+        for (double v : values) out->AppendReal(v);
+      } else {
+        for (size_t r = 0; r + 1 < offsets[0].size(); ++r) {
+          out->AppendRealList(std::vector<double>(
+              values.begin() + offsets[0][r],
+              values.begin() + offsets[0][r + 1]));
+        }
+      }
+      break;
+    }
+    case ValueDomain::kBinary: {
+      std::vector<std::string> values;
+      BULLION_RETURN_NOT_OK(DecodeStringBlock(&in, &values));
+      if (depth >= 1) {
+        BULLION_RETURN_NOT_OK(validate_offsets(
+            offsets[0], static_cast<int64_t>(values.size())));
+      }
+      if (depth == 0) {
+        for (auto& v : values) out->AppendBinary(std::move(v));
+      } else {
+        for (size_t r = 0; r + 1 < offsets[0].size(); ++r) {
+          out->AppendBinaryList(std::vector<std::string>(
+              values.begin() + offsets[0][r],
+              values.begin() + offsets[0][r + 1]));
+        }
+      }
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace bullion

@@ -1,0 +1,70 @@
+// Page encode/decode. A page holds `rows_per_page` rows of one leaf
+// column: optional offset blocks (list nesting) followed by a values
+// block. Pages are the unit of encoding, checksumming, and in-place
+// deletion.
+//
+// Page payload layout:
+//   [format: u8]   0 = generic, 1 = sparse-delta (whole page jointly)
+//   generic: [list_depth: u8][offset block]*depth [values block]
+//   sparse-delta: [sparse-delta block] (list<int64> only)
+//
+// Deletable pages (§2.1, compliance level 2) restrict the values block
+// to in-place maskable encodings chosen by a deterministic decision
+// tree (not the cascade): Dictionary-with-mask-entry (codes forced to
+// FixedBitWidth), RLE with FOR-delta children, Varint, FixedBitWidth,
+// FOR-delta, or Trivial. See format/deletion.cc for the masking rules.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/buffer.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "encoding/encoding.h"
+#include "format/column_vector.h"
+#include "format/schema.h"
+
+namespace bullion {
+
+/// Page format tags (first payload byte).
+enum class PageFormat : uint8_t { kGeneric = 0, kSparseDelta = 1 };
+
+struct PageEncodeOptions {
+  CascadeOptions cascade;
+  /// Restrict the values block to maskable encodings (level 2 columns).
+  bool deletable = false;
+  /// Encode list<int64> pages with the sliding-window codec (§2.2).
+  bool use_sparse_delta = false;
+  /// Reserve 0 as the dictionary deletion-mask code.
+  size_t min_sparse_overlap = 8;
+};
+
+/// \brief An encoded page plus the metadata the footer records.
+struct EncodedPage {
+  Buffer data;
+  uint32_t row_count;
+  /// Top-level values-block encoding tag (footer page_compression_types).
+  uint8_t encoding;
+};
+
+/// Encodes rows [row_begin, row_end) of `col` into one page.
+Result<EncodedPage> EncodePage(const ColumnVector& col, size_t row_begin,
+                               size_t row_end,
+                               const PageEncodeOptions& options);
+
+/// Decodes a page and appends its rows to `out` (which must match the
+/// leaf's physical/list shape).
+Status DecodePage(Slice page, ColumnVector* out);
+
+/// Encodes a deletable int values block using the deterministic
+/// decision tree described above. `allow_rle` must be false for list
+/// columns: the RLE deletion path physically removes elements, which
+/// only scalar pages can realign from the deletion vector. Exposed for
+/// tests.
+Status EncodeDeletableIntValues(std::span<const int64_t> values,
+                                bool allow_rle, BufferBuilder* out,
+                                uint8_t* encoding_out);
+
+}  // namespace bullion

@@ -1,0 +1,314 @@
+#include "format/reader.h"
+
+#include <algorithm>
+
+#include "format/merkle.h"
+#include "format/page.h"
+
+namespace bullion {
+
+Result<std::unique_ptr<TableReader>> TableReader::Open(
+    std::unique_ptr<RandomAccessFile> file) {
+  BULLION_ASSIGN_OR_RETURN(uint64_t size, file->Size());
+  if (size < kTrailerSize) return Status::Corruption("file too small");
+
+  // pread 1: the 8-byte trailer.
+  Buffer trailer;
+  BULLION_RETURN_NOT_OK(
+      file->Read(size - kTrailerSize, kTrailerSize, &trailer));
+  BULLION_ASSIGN_OR_RETURN(auto loc, ReadTrailer(trailer.AsSlice(), size));
+  auto [footer_offset, footer_size] = loc;
+
+  // pread 2: the footer region, wrapped zero-copy.
+  auto reader = std::unique_ptr<TableReader>(new TableReader());
+  BULLION_RETURN_NOT_OK(
+      file->Read(footer_offset, footer_size, &reader->footer_buffer_));
+  BULLION_ASSIGN_OR_RETURN(
+      reader->footer_view_,
+      FooterView::Parse(reader->footer_buffer_.AsSlice(), footer_offset));
+  reader->file_ = std::move(file);
+  return reader;
+}
+
+Result<std::vector<uint32_t>> TableReader::ResolveColumns(
+    const std::vector<std::string>& names) const {
+  std::vector<uint32_t> out;
+  out.reserve(names.size());
+  for (const std::string& name : names) {
+    BULLION_ASSIGN_OR_RETURN(uint32_t c, footer_view_.FindColumn(name));
+    out.push_back(c);
+  }
+  return out;
+}
+
+namespace {
+
+/// Appends one row from `src` (or a placeholder when src_row < 0).
+void AppendRow(const ColumnVector& src, int64_t src_row, ColumnVector* out) {
+  if (src_row < 0) {
+    // Placeholder for a physically removed row.
+    switch (out->list_depth()) {
+      case 0:
+        switch (out->domain()) {
+          case ValueDomain::kInt:
+            out->AppendInt(0);
+            break;
+          case ValueDomain::kReal:
+            out->AppendReal(0.0);
+            break;
+          case ValueDomain::kBinary:
+            out->AppendBinary("");
+            break;
+        }
+        break;
+      case 1:
+        switch (out->domain()) {
+          case ValueDomain::kInt:
+            out->AppendIntList({});
+            break;
+          case ValueDomain::kReal:
+            out->AppendRealList({});
+            break;
+          case ValueDomain::kBinary:
+            out->AppendBinaryList({});
+            break;
+        }
+        break;
+      default:
+        out->AppendIntListList({});
+        break;
+    }
+    return;
+  }
+  size_t r = static_cast<size_t>(src_row);
+  switch (out->list_depth()) {
+    case 0:
+      switch (out->domain()) {
+        case ValueDomain::kInt:
+          out->AppendInt(src.int_values()[r]);
+          break;
+        case ValueDomain::kReal:
+          out->AppendReal(src.real_values()[r]);
+          break;
+        case ValueDomain::kBinary:
+          out->AppendBinary(src.bin_values()[r]);
+          break;
+      }
+      break;
+    case 1: {
+      auto [b, e] = src.ListRange(r);
+      switch (out->domain()) {
+        case ValueDomain::kInt:
+          out->AppendIntList(std::vector<int64_t>(
+              src.int_values().begin() + b, src.int_values().begin() + e));
+          break;
+        case ValueDomain::kReal:
+          out->AppendRealList(std::vector<double>(
+              src.real_values().begin() + b, src.real_values().begin() + e));
+          break;
+        case ValueDomain::kBinary:
+          out->AppendBinaryList(std::vector<std::string>(
+              src.bin_values().begin() + b, src.bin_values().begin() + e));
+          break;
+      }
+      break;
+    }
+    default: {
+      int64_t ib = src.offsets()[0][r];
+      int64_t ie = src.offsets()[0][r + 1];
+      std::vector<std::vector<int64_t>> row;
+      for (int64_t j = ib; j < ie; ++j) {
+        int64_t vb = src.offsets()[1][j];
+        int64_t ve = src.offsets()[1][j + 1];
+        row.push_back(std::vector<int64_t>(src.int_values().begin() + vb,
+                                           src.int_values().begin() + ve));
+      }
+      out->AppendIntListList(row);
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+Status TableReader::DecodeChunkFromBuffer(uint32_t g, uint32_t c,
+                                          Slice chunk_bytes,
+                                          uint64_t chunk_file_offset,
+                                          const ReadOptions& options,
+                                          ColumnVector* out) const {
+  const FooterView& f = footer_view_;
+  ColumnRecord rec = f.column_record(c);
+  auto [first_page, end_page] = f.chunk_pages(g, c);
+  if (end_page > f.total_pages()) {
+    return Status::Corruption("chunk pages exceed total pages");
+  }
+
+  uint32_t row0 = 0;  // group-relative first row of the current page
+  for (uint32_t p = first_page; p < end_page; ++p) {
+    if (f.page_offset(p) < chunk_file_offset) {
+      return Status::Corruption("page offset before chunk start");
+    }
+    uint64_t page_off = f.page_offset(p) - chunk_file_offset;
+    uint64_t slot = f.page_slot_size(p);
+    if (page_off + slot > chunk_bytes.size()) {
+      return Status::Corruption("page extends past chunk bytes");
+    }
+    Slice page = chunk_bytes.SubSlice(page_off, slot);
+    if (options.verify_checksums) {
+      if (HashPage(page) != f.page_hash(p)) {
+        return Status::Corruption("page checksum mismatch at page " +
+                                  std::to_string(p));
+      }
+    }
+    ColumnVector decoded(static_cast<PhysicalType>(rec.physical),
+                         rec.list_depth);
+    BULLION_RETURN_NOT_OK(DecodePage(page, &decoded));
+
+    uint32_t expected = f.page_row_count(p);
+    size_t got = decoded.num_rows();
+    if (got == expected) {
+      for (uint32_t r = 0; r < expected; ++r) {
+        if (options.filter_deleted && f.IsDeleted(g, row0 + r)) continue;
+        AppendRow(decoded, static_cast<int64_t>(r), out);
+      }
+    } else if (got < expected) {
+      // Rows physically removed by in-place deletion (§2.1 RLE path):
+      // re-align using the deletion vector.
+      size_t ti = 0;
+      for (uint32_t r = 0; r < expected; ++r) {
+        if (f.IsDeleted(g, row0 + r)) {
+          if (!options.filter_deleted) AppendRow(decoded, -1, out);
+          continue;
+        }
+        if (ti >= got) {
+          return Status::Corruption("page realign: values exhausted");
+        }
+        AppendRow(decoded, static_cast<int64_t>(ti++), out);
+      }
+      if (ti != got) {
+        return Status::Corruption("page realign: trailing values");
+      }
+    } else {
+      return Status::Corruption("page decoded more rows than recorded");
+    }
+    row0 += expected;
+  }
+  return Status::OK();
+}
+
+Status TableReader::ReadColumnChunk(uint32_t g, uint32_t c,
+                                    const ReadOptions& options,
+                                    ColumnVector* out) const {
+  const FooterView& f = footer_view_;
+  if (g >= f.num_row_groups() || c >= f.num_columns()) {
+    return Status::InvalidArgument("group/column out of range");
+  }
+  auto [first_page, end_page] = f.chunk_pages(g, c);
+  uint64_t begin = f.chunk_offset(g, c);
+  uint64_t end = f.page_offset(end_page);  // sentinel-safe
+  Buffer bytes;
+  BULLION_RETURN_NOT_OK(file_->Read(begin, end - begin, &bytes));
+  ColumnRecord rec = f.column_record(c);
+  *out = ColumnVector(static_cast<PhysicalType>(rec.physical), rec.list_depth);
+  return DecodeChunkFromBuffer(g, c, bytes.AsSlice(), begin, options, out);
+}
+
+Status TableReader::ReadProjection(uint32_t g,
+                                   const std::vector<uint32_t>& columns,
+                                   const ReadOptions& options,
+                                   std::vector<ColumnVector>* out) const {
+  const FooterView& f = footer_view_;
+  if (g >= f.num_row_groups()) {
+    return Status::InvalidArgument("group out of range");
+  }
+  struct ChunkRange {
+    uint64_t begin;
+    uint64_t end;
+    uint32_t column;
+    size_t request_slot;
+  };
+  std::vector<ChunkRange> ranges;
+  ranges.reserve(columns.size());
+  for (size_t i = 0; i < columns.size(); ++i) {
+    uint32_t c = columns[i];
+    if (c >= f.num_columns()) {
+      return Status::InvalidArgument("column out of range");
+    }
+    auto [first_page, end_page] = f.chunk_pages(g, c);
+    ranges.push_back(ChunkRange{f.chunk_offset(g, c),
+                                f.page_offset(end_page), c, i});
+  }
+  std::sort(ranges.begin(), ranges.end(),
+            [](const ChunkRange& a, const ChunkRange& b) {
+              return a.begin < b.begin;
+            });
+
+  out->clear();
+  out->resize(columns.size());
+
+  // Coalesce adjacent ranges into single preads (Alpha-style).
+  size_t i = 0;
+  while (i < ranges.size()) {
+    size_t j = i;
+    uint64_t io_begin = ranges[i].begin;
+    uint64_t io_end = ranges[i].end;
+    while (j + 1 < ranges.size()) {
+      const ChunkRange& next = ranges[j + 1];
+      if (next.begin > io_end + options.coalesce_gap_bytes) break;
+      if (std::max(io_end, next.end) - io_begin >
+          options.max_coalesced_bytes) {
+        break;
+      }
+      io_end = std::max(io_end, next.end);
+      ++j;
+    }
+    Buffer bytes;
+    BULLION_RETURN_NOT_OK(file_->Read(io_begin, io_end - io_begin, &bytes));
+    for (size_t k = i; k <= j; ++k) {
+      const ChunkRange& r = ranges[k];
+      ColumnRecord rec = f.column_record(r.column);
+      ColumnVector col(static_cast<PhysicalType>(rec.physical),
+                       rec.list_depth);
+      Slice chunk = bytes.AsSlice().SubSlice(r.begin - io_begin,
+                                             r.end - r.begin);
+      BULLION_RETURN_NOT_OK(DecodeChunkFromBuffer(g, r.column, chunk, r.begin,
+                                                  options, &col));
+      (*out)[r.request_slot] = std::move(col);
+    }
+    i = j + 1;
+  }
+  return Status::OK();
+}
+
+Status TableReader::VerifyChecksums() const {
+  const FooterView& f = footer_view_;
+  std::vector<uint64_t> page_hashes(f.total_pages());
+  for (uint32_t p = 0; p < f.total_pages(); ++p) {
+    Buffer page;
+    BULLION_RETURN_NOT_OK(
+        file_->Read(f.page_offset(p), f.page_slot_size(p), &page));
+    page_hashes[p] = HashPage(page.AsSlice());
+    if (page_hashes[p] != f.page_hash(p)) {
+      return Status::Corruption("page hash mismatch at page " +
+                                std::to_string(p));
+    }
+  }
+  std::vector<uint32_t> pages_per_group(f.num_row_groups());
+  for (uint32_t g = 0; g < f.num_row_groups(); ++g) {
+    auto [b, e] = f.group_page_range(g);
+    pages_per_group[g] = e - b;
+  }
+  MerkleTree tree(std::move(page_hashes), std::move(pages_per_group));
+  for (uint32_t g = 0; g < f.num_row_groups(); ++g) {
+    if (tree.group_hash(g) != f.group_hash(g)) {
+      return Status::Corruption("group hash mismatch at group " +
+                                std::to_string(g));
+    }
+  }
+  if (tree.root() != f.root_hash()) {
+    return Status::Corruption("root hash mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace bullion

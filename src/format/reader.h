@@ -1,0 +1,82 @@
+// TableReader: opens a Bullion file with two preads (trailer + footer),
+// then serves projection reads straight off the zero-copy FooterView.
+//
+// Opening never deserializes per-column metadata — the Fig. 5 claim.
+// Projection reads coalesce adjacent chunk byte ranges into single
+// pread()s (Alpha-style "coalesced reads", capped at
+// ReadOptions::max_coalesced_bytes).
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/buffer.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "format/column_vector.h"
+#include "format/footer.h"
+#include "format/schema.h"
+#include "io/file.h"
+
+namespace bullion {
+
+struct ReadOptions {
+  /// Drop rows whose deletion-vector bit is set (levels 1/2).
+  bool filter_deleted = true;
+  /// Verify page checksums against the footer Merkle leaves.
+  bool verify_checksums = false;
+  /// Merge reads whose gap is at most this many bytes.
+  uint64_t coalesce_gap_bytes = 64 * 1024;
+  /// Upper bound for one coalesced I/O (Alpha uses 1.25 MiB).
+  uint64_t max_coalesced_bytes = 1280 * 1024;
+};
+
+/// \brief Read handle over one Bullion file.
+class TableReader {
+ public:
+  /// Opens the file: pread trailer, pread footer, O(1) header parse.
+  static Result<std::unique_ptr<TableReader>> Open(
+      std::unique_ptr<RandomAccessFile> file);
+
+  const FooterView& footer() const { return footer_view_; }
+  uint64_t num_rows() const { return footer_view_.num_rows(); }
+  uint32_t num_row_groups() const { return footer_view_.num_row_groups(); }
+  uint32_t num_columns() const { return footer_view_.num_columns(); }
+
+  /// Resolves leaf column names to indices via the footer's binary
+  /// name index.
+  Result<std::vector<uint32_t>> ResolveColumns(
+      const std::vector<std::string>& names) const;
+
+  /// Reads one column chunk (group g, logical column c), realigning
+  /// rows physically removed by in-place deletion and, if requested,
+  /// filtering deleted rows out.
+  Status ReadColumnChunk(uint32_t g, uint32_t c, const ReadOptions& options,
+                         ColumnVector* out) const;
+
+  /// Projection read of a full row group with I/O coalescing. `out`
+  /// receives one ColumnVector per requested column, in request order.
+  Status ReadProjection(uint32_t g, const std::vector<uint32_t>& columns,
+                        const ReadOptions& options,
+                        std::vector<ColumnVector>* out) const;
+
+  /// Verifies the whole-file Merkle tree (group/root hashes vs leaves).
+  Status VerifyChecksums() const;
+
+ private:
+  TableReader() = default;
+
+  Status DecodeChunkFromBuffer(uint32_t g, uint32_t c, Slice chunk_bytes,
+                               uint64_t chunk_file_offset,
+                               const ReadOptions& options,
+                               ColumnVector* out) const;
+
+  std::unique_ptr<RandomAccessFile> file_;
+  Buffer footer_buffer_;
+  FooterView footer_view_;
+};
+
+}  // namespace bullion

@@ -1,0 +1,73 @@
+#include "format/schema.h"
+
+namespace bullion {
+
+std::string DataType::ToString() const {
+  switch (kind) {
+    case Kind::kPrimitive:
+      return std::string(PhysicalTypeName(physical));
+    case Kind::kList:
+      return "list<" + children[0].ToString() + ">";
+    case Kind::kStruct: {
+      std::string s = "struct<";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i) s += ",";
+        s += children[i].ToString();
+      }
+      s += ">";
+      return s;
+    }
+  }
+  return "?";
+}
+
+Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields)) {
+  for (uint32_t f = 0; f < fields_.size(); ++f) {
+    Flatten(fields_[f].name, fields_[f].type, fields_[f].logical,
+            fields_[f].deletable, f, 0);
+  }
+  for (uint32_t i = 0; i < leaves_.size(); ++i) {
+    leaf_index_[leaves_[i].name] = i;
+  }
+}
+
+void Schema::Flatten(const std::string& prefix, const DataType& type,
+                     LogicalType logical, bool deletable,
+                     uint32_t field_index, int list_depth) {
+  switch (type.kind) {
+    case DataType::Kind::kPrimitive:
+      leaves_.push_back(LeafColumn{prefix, type.physical, list_depth, logical,
+                                   deletable, field_index});
+      break;
+    case DataType::Kind::kList:
+      Flatten(prefix, type.children[0], logical, deletable, field_index,
+              list_depth + 1);
+      break;
+    case DataType::Kind::kStruct:
+      for (size_t c = 0; c < type.children.size(); ++c) {
+        Flatten(prefix + ".f" + std::to_string(c), type.children[c], logical,
+                deletable, field_index, list_depth);
+      }
+      break;
+  }
+}
+
+Result<uint32_t> Schema::LeafIndex(const std::string& name) const {
+  auto it = leaf_index_.find(name);
+  if (it == leaf_index_.end()) {
+    return Status::NotFound("no leaf column named " + name);
+  }
+  return it->second;
+}
+
+Result<std::vector<uint32_t>> Schema::LeavesOfField(
+    const std::string& name) const {
+  std::vector<uint32_t> out;
+  for (uint32_t i = 0; i < leaves_.size(); ++i) {
+    if (fields_[leaves_[i].field_index].name == name) out.push_back(i);
+  }
+  if (out.empty()) return Status::NotFound("no field named " + name);
+  return out;
+}
+
+}  // namespace bullion

@@ -1,0 +1,115 @@
+// Schema model for Bullion files.
+//
+// Logical columns may be nested (list<int64>, struct<list<int64>,
+// list<float>>, list<list<int64>>, ... — the shapes in the paper's
+// Table 1). Like Meta's Alpha format (§3, "feature flattening"),
+// Bullion flattens nesting at write time: every *leaf* becomes its own
+// physical column stream on disk (struct members become independent
+// streams named "parent.member"; list nesting is carried by offset
+// streams inside the leaf's pages). The schema records both views.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace bullion {
+
+/// \brief A logical data type: primitive, list<T>, or struct<fields>.
+struct DataType {
+  enum class Kind : uint8_t { kPrimitive = 0, kList = 1, kStruct = 2 };
+
+  Kind kind = Kind::kPrimitive;
+  PhysicalType physical = PhysicalType::kInt64;  // when kPrimitive
+  std::vector<DataType> children;                // list: 1, struct: n
+
+  static DataType Primitive(PhysicalType t) {
+    DataType d;
+    d.kind = Kind::kPrimitive;
+    d.physical = t;
+    return d;
+  }
+  static DataType List(DataType element) {
+    DataType d;
+    d.kind = Kind::kList;
+    d.children.push_back(std::move(element));
+    return d;
+  }
+  static DataType Struct(std::vector<DataType> members) {
+    DataType d;
+    d.kind = Kind::kStruct;
+    d.children = std::move(members);
+    return d;
+  }
+
+  bool operator==(const DataType& o) const {
+    return kind == o.kind &&
+           (kind != Kind::kPrimitive || physical == o.physical) &&
+           children == o.children;
+  }
+
+  /// "int64", "list<int64>", "struct<list<int64>,list<float>>", ...
+  std::string ToString() const;
+};
+
+/// \brief A named logical column.
+struct Field {
+  std::string name;
+  DataType type;
+  LogicalType logical = LogicalType::kPlain;
+  /// Whether this column participates in in-place deletion (level 2
+  /// compliance restricts its page encodings to maskable ones, §2.1).
+  bool deletable = false;
+};
+
+/// \brief One physical leaf stream after flattening.
+struct LeafColumn {
+  std::string name;       // dotted path, e.g. "user_feats.ids"
+  PhysicalType physical;  // leaf value type
+  int list_depth;         // 0, 1, or 2 levels of list nesting
+  LogicalType logical;
+  bool deletable;
+  uint32_t field_index;  // owning logical field
+};
+
+/// \brief Logical schema plus its flattened physical view.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields);
+
+  const std::vector<Field>& fields() const { return fields_; }
+  const std::vector<LeafColumn>& leaves() const { return leaves_; }
+  size_t num_fields() const { return fields_.size(); }
+  size_t num_leaves() const { return leaves_.size(); }
+
+  /// Index of a leaf by dotted name; NotFound if absent.
+  Result<uint32_t> LeafIndex(const std::string& name) const;
+
+  /// All leaf indices belonging to a logical field name.
+  Result<std::vector<uint32_t>> LeavesOfField(const std::string& name) const;
+
+  bool operator==(const Schema& o) const { return fields_ == o.fields_; }
+
+ private:
+  void Flatten(const std::string& prefix, const DataType& type,
+               LogicalType logical, bool deletable, uint32_t field_index,
+               int list_depth);
+
+  std::vector<Field> fields_;
+  std::vector<LeafColumn> leaves_;
+  std::map<std::string, uint32_t> leaf_index_;
+};
+
+inline bool operator==(const Field& a, const Field& b) {
+  return a.name == b.name && a.type == b.type && a.logical == b.logical &&
+         a.deletable == b.deletable;
+}
+
+}  // namespace bullion

@@ -1,0 +1,103 @@
+// User-centric event-sequence storage (paper §2.2 "Challenge").
+//
+// Generative Recommendation replaces impression-centric training rows
+// with one example per user: the full temporal sequence of organic and
+// advertising events. The paper notes that bolting this onto existing
+// columnar stores via "suboptimal user-based bucketing and sorting"
+// performs poorly, and calls for storage that encapsulates rich
+// temporal sequences "as a single training example per user".
+//
+// UserEventStore provides exactly that on top of the Bullion format:
+// each user is ONE row whose event history lives in parallel list
+// columns (timestamps, event types, item ids, values), so a user's
+// entire sequence decodes from a single row of co-located pages.
+// Point lookups binary-search the uid column (rows are uid-sorted) at
+// row-group granularity and read only the matching group's chunks.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "format/reader.h"
+#include "format/schema.h"
+#include "format/writer.h"
+#include "io/file.h"
+
+namespace bullion {
+
+/// \brief One interaction event.
+struct UserEvent {
+  int64_t timestamp = 0;
+  /// Organic activity vs advertising engagement (request / impression /
+  /// conversion...), the §2.2 taxonomy.
+  enum class Kind : uint8_t {
+    kOrganic = 0,
+    kAdRequest = 1,
+    kAdImpression = 2,
+    kAdConversion = 3,
+  };
+  Kind kind = Kind::kOrganic;
+  int64_t item_id = 0;
+  double value = 0.0;
+
+  bool operator==(const UserEvent&) const = default;
+};
+
+/// \brief A user's full history (one training example).
+struct UserHistory {
+  int64_t uid = 0;
+  std::vector<UserEvent> events;
+};
+
+struct UserEventStoreOptions {
+  uint32_t users_per_group = 4096;
+  uint32_t rows_per_page = 512;
+  WriterOptions writer;
+};
+
+/// \brief Reads/writes the user-centric event table.
+class UserEventStore {
+ public:
+  /// The underlying Bullion schema: uid + four parallel event-list
+  /// columns (timestamps are monotone within a user, which the
+  /// cascade's Delta encoding exploits; item ids are skewed and land on
+  /// dictionary/varint encodings).
+  static Schema EventSchema();
+
+  /// Writes histories (must be sorted by uid ascending, events sorted
+  /// by timestamp within each user).
+  static Status Write(WritableFile* file,
+                      const std::vector<UserHistory>& histories,
+                      const UserEventStoreOptions& options = {});
+
+  static Result<std::unique_ptr<UserEventStore>> Open(
+      std::unique_ptr<RandomAccessFile> file);
+
+  uint64_t num_users() const { return reader_->num_rows(); }
+
+  /// Point lookup: binary search over row groups on the uid column,
+  /// then read only that group's event chunks and slice one row.
+  Result<UserHistory> GetUserHistory(int64_t uid) const;
+
+  /// Sequential training scan: invokes `fn` for every user of every
+  /// row group (mini-batch style).
+  Status ScanAll(const std::function<void(const UserHistory&)>& fn) const;
+
+  TableReader* reader() { return reader_.get(); }
+
+ private:
+  explicit UserEventStore(std::unique_ptr<TableReader> reader)
+      : reader_(std::move(reader)) {}
+
+  Result<UserHistory> AssembleRow(uint32_t group, uint32_t row,
+                                  int64_t uid) const;
+
+  std::unique_ptr<TableReader> reader_;
+};
+
+}  // namespace bullion

@@ -1,0 +1,116 @@
+#include "format/writer.h"
+
+#include "format/merkle.h"
+
+namespace bullion {
+
+TableWriter::TableWriter(Schema schema, WritableFile* file,
+                         WriterOptions options)
+    : schema_(std::move(schema)),
+      file_(file),
+      options_(std::move(options)),
+      footer_(schema_, options_.rows_per_page, options_.compliance) {}
+
+Status TableWriter::WriteRowGroup(const std::vector<ColumnVector>& columns) {
+  if (finished_) return Status::InvalidArgument("writer already finished");
+  if (columns.size() != schema_.num_leaves()) {
+    return Status::InvalidArgument(
+        "row group has " + std::to_string(columns.size()) +
+        " columns, schema has " + std::to_string(schema_.num_leaves()) +
+        " leaves");
+  }
+  size_t rows = columns.empty() ? 0 : columns[0].num_rows();
+  for (const ColumnVector& col : columns) {
+    if (col.num_rows() != rows) {
+      return Status::InvalidArgument("row group columns disagree on rows");
+    }
+  }
+  if (rows == 0) return Status::InvalidArgument("empty row group");
+
+  if (options_.quality_sort_column >= 0) {
+    uint32_t qc = static_cast<uint32_t>(options_.quality_sort_column);
+    if (qc >= columns.size()) {
+      return Status::InvalidArgument("quality sort column out of range");
+    }
+    const ColumnVector& qcol = columns[qc];
+    if (qcol.domain() != ValueDomain::kReal || qcol.list_depth() != 0) {
+      return Status::InvalidArgument("quality column must be scalar float");
+    }
+    std::vector<uint32_t> perm =
+        SortPermutationDescending(qcol.real_values());
+    std::vector<ColumnVector> sorted;
+    sorted.reserve(columns.size());
+    for (const ColumnVector& col : columns) {
+      BULLION_ASSIGN_OR_RETURN(ColumnVector p, col.Permute(perm));
+      sorted.push_back(std::move(p));
+    }
+    return WriteRowGroupImpl(sorted);
+  }
+  return WriteRowGroupImpl(columns);
+}
+
+Status TableWriter::WriteRowGroupImpl(const std::vector<ColumnVector>& columns) {
+  size_t rows = columns[0].num_rows();
+  footer_.BeginRowGroup(static_cast<uint32_t>(rows));
+
+  std::vector<uint32_t> order = options_.column_order;
+  if (order.empty()) {
+    order.resize(schema_.num_leaves());
+    for (uint32_t c = 0; c < order.size(); ++c) order[c] = c;
+  } else if (order.size() != schema_.num_leaves()) {
+    return Status::InvalidArgument("column_order size mismatch");
+  }
+
+  for (uint32_t c : order) {
+    const LeafColumn& leaf = schema_.leaves()[c];
+    const ColumnVector& col = columns[c];
+
+    PageEncodeOptions popts;
+    popts.cascade = options_.cascade;
+    popts.deletable = options_.compliance == ComplianceLevel::kLevel2 &&
+                      leaf.deletable && col.domain() == ValueDomain::kInt;
+    popts.use_sparse_delta = options_.enable_sparse_delta &&
+                             leaf.logical == LogicalType::kIdSequence &&
+                             leaf.list_depth == 1 &&
+                             col.domain() == ValueDomain::kInt &&
+                             !popts.deletable;
+    popts.min_sparse_overlap = options_.min_sparse_overlap;
+
+    uint32_t first_page = 0;
+    bool first = true;
+    uint64_t chunk_offset = offset_;
+    for (size_t row = 0; row < rows; row += options_.rows_per_page) {
+      size_t end = std::min(rows, row + options_.rows_per_page);
+      BULLION_ASSIGN_OR_RETURN(EncodedPage page,
+                               EncodePage(col, row, end, popts));
+      uint64_t hash = HashPage(page.data.AsSlice());
+      uint32_t page_idx =
+          footer_.AddPage(offset_, page.row_count, page.encoding, hash);
+      if (first) {
+        first_page = page_idx;
+        first = false;
+      }
+      BULLION_RETURN_NOT_OK(file_->Append(page.data.AsSlice()));
+      offset_ += page.data.size();
+    }
+    footer_.SetChunk(group_index_, c, chunk_offset, first_page);
+  }
+
+  num_rows_ += rows;
+  ++group_index_;
+  return Status::OK();
+}
+
+Status TableWriter::Finish() {
+  if (finished_) return Status::InvalidArgument("writer already finished");
+  finished_ = true;
+  BULLION_ASSIGN_OR_RETURN(Buffer footer, footer_.Finish(offset_, num_rows_));
+  BULLION_RETURN_NOT_OK(file_->Append(footer.AsSlice()));
+  BufferBuilder trailer;
+  trailer.Append<uint32_t>(static_cast<uint32_t>(footer.size()));
+  trailer.Append<uint32_t>(kFooterMagic);
+  BULLION_RETURN_NOT_OK(file_->Append(trailer.AsSlice()));
+  return file_->Flush();
+}
+
+}  // namespace bullion

@@ -1,0 +1,74 @@
+// TableWriter: streams row groups of columnar data into a Bullion file.
+//
+// File layout:
+//   [RG0: chunks in placement order, each chunk = its pages]
+//   [RG1: ...] ... [footer][footer_size:u32][magic:u32]
+//
+// Placement order defaults to schema order; WriterOptions::column_order
+// implements Alpha-style feature reordering (§3): columns that training
+// jobs co-access are placed adjacently so projection reads coalesce.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "encoding/encoding.h"
+#include "format/column_vector.h"
+#include "format/footer.h"
+#include "format/page.h"
+#include "format/schema.h"
+#include "io/file.h"
+
+namespace bullion {
+
+struct WriterOptions {
+  /// Rows per page (unit of encoding / checksum / in-place deletion).
+  uint32_t rows_per_page = 4096;
+  /// Cascade tuning for page encoding.
+  CascadeOptions cascade;
+  /// Compliance level stamped into the footer. Level 2 restricts pages
+  /// of deletable columns to maskable encodings (§2.1).
+  ComplianceLevel compliance = ComplianceLevel::kLevel2;
+  /// Use the sliding-window codec for LogicalType::kIdSequence columns.
+  bool enable_sparse_delta = true;
+  size_t min_sparse_overlap = 8;
+  /// Physical placement order of leaf columns within each row group
+  /// (empty = schema order). Must be a permutation of leaf indices.
+  std::vector<uint32_t> column_order;
+  /// Sort each row group's rows by this leaf column's value descending
+  /// before writing (quality-aware layout, §2.5). -1 disables.
+  int32_t quality_sort_column = -1;
+};
+
+/// \brief Writes a Bullion file row group by row group.
+class TableWriter {
+ public:
+  TableWriter(Schema schema, WritableFile* file, WriterOptions options);
+
+  /// Writes one row group; `columns` has one ColumnVector per schema
+  /// leaf, all with the same row count.
+  Status WriteRowGroup(const std::vector<ColumnVector>& columns);
+
+  /// Writes the footer and trailer. Must be called exactly once.
+  Status Finish();
+
+  uint64_t num_rows() const { return num_rows_; }
+
+ private:
+  Status WriteRowGroupImpl(const std::vector<ColumnVector>& columns);
+
+  Schema schema_;
+  WritableFile* file_;
+  WriterOptions options_;
+  FooterBuilder footer_;
+  uint64_t offset_ = 0;
+  uint64_t num_rows_ = 0;
+  uint32_t group_index_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace bullion

@@ -1,0 +1,33 @@
+// I/O accounting: every file wrapper in src/io reports into an IoStats
+// so benches can report hardware-independent metrics (ops, bytes,
+// distinct ranges) alongside modeled device time (simulated_device.h).
+
+#pragma once
+
+#include <cstdint>
+
+namespace bullion {
+
+/// \brief Counters describing the I/O a reader/writer performed.
+struct IoStats {
+  uint64_t read_ops = 0;
+  uint64_t bytes_read = 0;
+  uint64_t write_ops = 0;
+  uint64_t bytes_written = 0;
+  /// Number of reads/writes that were not contiguous with the previous
+  /// operation (proxy for seeks on spinning/flash media).
+  uint64_t seeks = 0;
+
+  void Reset() { *this = IoStats{}; }
+
+  IoStats& operator+=(const IoStats& o) {
+    read_ops += o.read_ops;
+    bytes_read += o.bytes_read;
+    write_ops += o.write_ops;
+    bytes_written += o.bytes_written;
+    seeks += o.seeks;
+    return *this;
+  }
+};
+
+}  // namespace bullion

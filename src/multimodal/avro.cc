@@ -1,0 +1,267 @@
+#include "multimodal/avro.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/varint.h"
+
+namespace bullion {
+namespace avro {
+
+namespace {
+
+constexpr uint32_t kAvroMagic = 0x52564142;  // "BAVR"
+
+void SerializeSchema(const AvroSchema& schema, BufferBuilder* out) {
+  varint::PutVarint64(out, schema.fields.size());
+  for (const AvroField& f : schema.fields) {
+    varint::PutVarint64(out, f.name.size());
+    out->AppendBytes(f.name.data(), f.name.size());
+    out->Append<uint8_t>(static_cast<uint8_t>(f.type));
+  }
+}
+
+Status ParseSchema(SliceReader* in, AvroSchema* schema) {
+  Slice rest = in->ReadBytes(in->remaining());
+  size_t pos = 0;
+  uint64_t n;
+  if (!varint::GetVarint64(rest, &pos, &n)) {
+    return Status::Corruption("avro schema truncated");
+  }
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t len;
+    if (!varint::GetVarint64(rest, &pos, &len) || rest.size() - pos < len) {
+      return Status::Corruption("avro field name truncated");
+    }
+    AvroField f;
+    f.name = rest.SubSlice(pos, len).ToString();
+    pos += len;
+    if (pos >= rest.size()) return Status::Corruption("avro type truncated");
+    f.type = static_cast<Type>(rest[pos++]);
+    schema->fields.push_back(std::move(f));
+  }
+  in->Seek(in->position() - rest.size() + pos);
+  return Status::OK();
+}
+
+void EncodeRecord(const AvroSchema& schema, const Record& record,
+                  BufferBuilder* out) {
+  for (size_t i = 0; i < schema.fields.size(); ++i) {
+    switch (schema.fields[i].type) {
+      case Type::kLong:
+        varint::PutVarint64(out,
+                            varint::ZigZagEncode(std::get<int64_t>(record[i])));
+        break;
+      case Type::kDouble:
+        out->Append<double>(std::get<double>(record[i]));
+        break;
+      case Type::kBytes:
+      case Type::kString: {
+        const std::string& s = std::get<std::string>(record[i]);
+        varint::PutVarint64(out, s.size());
+        out->AppendBytes(s.data(), s.size());
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+AvroWriter::AvroWriter(AvroSchema schema, WritableFile* file,
+                       AvroWriterOptions options)
+    : schema_(std::move(schema)), file_(file), options_(options) {
+  BufferBuilder header;
+  header.Append<uint32_t>(kAvroMagic);
+  SerializeSchema(schema_, &header);
+  // Deterministic sync marker derived from the schema bytes.
+  uint64_t h1 = XxHash64(header.AsSlice(), 0x5A);
+  uint64_t h2 = XxHash64(header.AsSlice(), 0xA5);
+  std::memcpy(sync_, &h1, 8);
+  std::memcpy(sync_ + 8, &h2, 8);
+  header.AppendBytes(sync_, 16);
+  Buffer bytes = header.Finish();
+  BULLION_CHECK_OK(file_->Append(bytes.AsSlice()));
+  offset_ = bytes.size();
+  block_start_ = offset_;
+}
+
+Result<RecordLocator> AvroWriter::Append(const Record& record) {
+  if (finished_) return Status::InvalidArgument("writer finished");
+  if (record.size() != schema_.fields.size()) {
+    return Status::InvalidArgument("record arity mismatch");
+  }
+  for (size_t i = 0; i < record.size(); ++i) {
+    bool ok = false;
+    switch (schema_.fields[i].type) {
+      case Type::kLong:
+        ok = std::holds_alternative<int64_t>(record[i]);
+        break;
+      case Type::kDouble:
+        ok = std::holds_alternative<double>(record[i]);
+        break;
+      case Type::kBytes:
+      case Type::kString:
+        ok = std::holds_alternative<std::string>(record[i]);
+        break;
+    }
+    if (!ok) {
+      return Status::InvalidArgument("record field " + std::to_string(i) +
+                                     " type mismatch");
+    }
+  }
+  RecordLocator loc{block_start_, pending_records_};
+  EncodeRecord(schema_, record, &pending_);
+  ++pending_records_;
+  if (pending_.size() >= options_.block_bytes) {
+    BULLION_RETURN_NOT_OK(FlushBlock());
+  }
+  return loc;
+}
+
+Status AvroWriter::FlushBlock() {
+  if (pending_records_ == 0) return Status::OK();
+  BufferBuilder frame;
+  varint::PutVarint64(&frame, pending_records_);
+  varint::PutVarint64(&frame, pending_.size());
+  frame.AppendSlice(pending_.AsSlice());
+  frame.AppendBytes(sync_, 16);
+  Buffer bytes = frame.Finish();
+  BULLION_RETURN_NOT_OK(file_->Append(bytes.AsSlice()));
+  offset_ += bytes.size();
+  pending_ = BufferBuilder();
+  pending_records_ = 0;
+  block_start_ = offset_;
+  return Status::OK();
+}
+
+Status AvroWriter::Finish() {
+  if (finished_) return Status::InvalidArgument("writer finished");
+  BULLION_RETURN_NOT_OK(FlushBlock());
+  finished_ = true;
+  return file_->Flush();
+}
+
+Result<std::unique_ptr<AvroReader>> AvroReader::Open(
+    std::unique_ptr<RandomAccessFile> file) {
+  BULLION_ASSIGN_OR_RETURN(uint64_t size, file->Size());
+  // Read the header (schema is small; 64 KiB is ample, capped by size).
+  size_t header_len = static_cast<size_t>(std::min<uint64_t>(size, 65536));
+  Buffer header;
+  BULLION_RETURN_NOT_OK(file->Read(0, header_len, &header));
+  SliceReader in(header.AsSlice());
+  if (in.remaining() < 4 || in.Read<uint32_t>() != kAvroMagic) {
+    return Status::Corruption("not an avro-like file");
+  }
+  auto reader = std::unique_ptr<AvroReader>(new AvroReader());
+  BULLION_RETURN_NOT_OK(ParseSchema(&in, &reader->schema_));
+  if (in.remaining() < 16) return Status::Corruption("avro sync truncated");
+  Slice sync = in.ReadBytes(16);
+  std::memcpy(reader->sync_, sync.data(), 16);
+  reader->data_start_ = in.position();
+  reader->data_end_ = size;
+  reader->file_ = std::move(file);
+  return reader;
+}
+
+Status AvroReader::DecodeRecord(SliceReader* in, Record* out) const {
+  out->clear();
+  Slice rest = in->ReadBytes(in->remaining());
+  size_t pos = 0;
+  for (const AvroField& f : schema_.fields) {
+    switch (f.type) {
+      case Type::kLong: {
+        uint64_t zz;
+        if (!varint::GetVarint64(rest, &pos, &zz)) {
+          return Status::Corruption("avro long truncated");
+        }
+        out->push_back(varint::ZigZagDecode(zz));
+        break;
+      }
+      case Type::kDouble: {
+        if (rest.size() - pos < 8) {
+          return Status::Corruption("avro double truncated");
+        }
+        double d;
+        std::memcpy(&d, rest.data() + pos, 8);
+        pos += 8;
+        out->push_back(d);
+        break;
+      }
+      case Type::kBytes:
+      case Type::kString: {
+        uint64_t len;
+        if (!varint::GetVarint64(rest, &pos, &len) ||
+            rest.size() - pos < len) {
+          return Status::Corruption("avro bytes truncated");
+        }
+        out->push_back(rest.SubSlice(pos, len).ToString());
+        pos += len;
+        break;
+      }
+    }
+  }
+  in->Seek(in->position() - rest.size() + pos);
+  return Status::OK();
+}
+
+Status AvroReader::ReadAll(std::vector<Record>* out) const {
+  out->clear();
+  uint64_t pos = data_start_;
+  while (pos < data_end_) {
+    // Block header: counts are small; read up to 20 bytes.
+    size_t probe = static_cast<size_t>(
+        std::min<uint64_t>(20, data_end_ - pos));
+    Buffer head;
+    BULLION_RETURN_NOT_OK(file_->Read(pos, probe, &head));
+    size_t hp = 0;
+    uint64_t n_records, byte_len;
+    if (!varint::GetVarint64(head.AsSlice(), &hp, &n_records) ||
+        !varint::GetVarint64(head.AsSlice(), &hp, &byte_len)) {
+      return Status::Corruption("avro block header truncated");
+    }
+    Buffer payload;
+    BULLION_RETURN_NOT_OK(file_->Read(pos + hp, byte_len, &payload));
+    SliceReader in(payload.AsSlice());
+    for (uint64_t i = 0; i < n_records; ++i) {
+      Record rec;
+      BULLION_RETURN_NOT_OK(DecodeRecord(&in, &rec));
+      out->push_back(std::move(rec));
+    }
+    pos += hp + byte_len + 16;  // skip sync
+  }
+  return Status::OK();
+}
+
+Result<Record> AvroReader::ReadRecord(const RecordLocator& locator) const {
+  if (locator.block_offset < data_start_ ||
+      locator.block_offset >= data_end_) {
+    return Status::InvalidArgument("locator out of range");
+  }
+  size_t probe = static_cast<size_t>(
+      std::min<uint64_t>(20, data_end_ - locator.block_offset));
+  Buffer head;
+  BULLION_RETURN_NOT_OK(file_->Read(locator.block_offset, probe, &head));
+  size_t hp = 0;
+  uint64_t n_records, byte_len;
+  if (!varint::GetVarint64(head.AsSlice(), &hp, &n_records) ||
+      !varint::GetVarint64(head.AsSlice(), &hp, &byte_len)) {
+    return Status::Corruption("avro block header truncated");
+  }
+  if (locator.index_in_block >= n_records) {
+    return Status::InvalidArgument("locator index out of range");
+  }
+  Buffer payload;
+  BULLION_RETURN_NOT_OK(
+      file_->Read(locator.block_offset + hp, byte_len, &payload));
+  SliceReader in(payload.AsSlice());
+  Record rec;
+  for (uint32_t i = 0; i <= locator.index_in_block; ++i) {
+    BULLION_RETURN_NOT_OK(DecodeRecord(&in, &rec));
+  }
+  return rec;
+}
+
+}  // namespace avro
+}  // namespace bullion

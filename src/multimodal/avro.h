@@ -1,0 +1,109 @@
+// A row-oriented, schema'd binary container in the style of Apache
+// Avro's object container files (paper §1/§2.5: media tables use Avro
+// for chunked storage of large media objects).
+//
+// Layout:
+//   [magic "BAVR"][schema blob][16-byte sync marker]
+//   blocks: [record count varint][byte length varint][records][sync]
+//
+// Records serialize fields in schema order: long = zigzag varint,
+// double = 8 bytes, bytes/string = length-prefixed. The writer reports
+// a RecordLocator per appended record so a columnar meta table can
+// point into the media table (Fig. 7's "video lookup").
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/buffer.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "io/file.h"
+
+namespace bullion {
+namespace avro {
+
+enum class Type : uint8_t { kLong = 0, kDouble = 1, kBytes = 2, kString = 3 };
+
+struct AvroField {
+  std::string name;
+  Type type;
+};
+
+struct AvroSchema {
+  std::vector<AvroField> fields;
+};
+
+using Value = std::variant<int64_t, double, std::string>;
+using Record = std::vector<Value>;
+
+/// \brief Points at one record: the containing block plus the index
+/// within it. Reading costs one block pread plus an in-block scan.
+struct RecordLocator {
+  uint64_t block_offset = 0;
+  uint32_t index_in_block = 0;
+};
+
+struct AvroWriterOptions {
+  /// Flush a block when its serialized size reaches this many bytes.
+  size_t block_bytes = 256 * 1024;
+};
+
+/// \brief Appends records into block-framed row storage.
+class AvroWriter {
+ public:
+  AvroWriter(AvroSchema schema, WritableFile* file,
+             AvroWriterOptions options = {});
+
+  /// Appends one record; returns where it will live. The locator is
+  /// valid once Finish() (or the enclosing block flush) completes.
+  Result<RecordLocator> Append(const Record& record);
+
+  Status Finish();
+
+ private:
+  Status FlushBlock();
+
+  AvroSchema schema_;
+  WritableFile* file_;
+  AvroWriterOptions options_;
+  uint8_t sync_[16];
+  BufferBuilder pending_;
+  uint32_t pending_records_ = 0;
+  uint64_t offset_ = 0;
+  uint64_t block_start_ = 0;
+  bool finished_ = false;
+};
+
+/// \brief Reads records back, sequentially or by locator.
+class AvroReader {
+ public:
+  static Result<std::unique_ptr<AvroReader>> Open(
+      std::unique_ptr<RandomAccessFile> file);
+
+  const AvroSchema& schema() const { return schema_; }
+
+  /// Sequentially reads every record.
+  Status ReadAll(std::vector<Record>* out) const;
+
+  /// Random access: pread the block, scan to the record.
+  Result<Record> ReadRecord(const RecordLocator& locator) const;
+
+ private:
+  AvroReader() = default;
+
+  Status DecodeRecord(SliceReader* in, Record* out) const;
+
+  std::unique_ptr<RandomAccessFile> file_;
+  AvroSchema schema_;
+  uint64_t data_start_ = 0;
+  uint64_t data_end_ = 0;
+  uint8_t sync_[16];
+};
+
+}  // namespace avro
+}  // namespace bullion

@@ -1,0 +1,104 @@
+// Multimodal training dataset (paper §2.5, Fig. 7): a Bullion meta
+// table holding text, quality scores, embedded low-resolution frame
+// highlights, and media locators; plus an Avro-like media table holding
+// the full-size media blobs for the rare full-resolution lookups.
+//
+// The meta table can be written quality-sorted (rows presorted by
+// quality score descending), which converts quality-filtered training
+// scans from scattered reads into a contiguous prefix read — the §2.5
+// "quality-aware data organization strategy".
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "format/reader.h"
+#include "format/schema.h"
+#include "format/writer.h"
+#include "io/file.h"
+#include "io/io_stats.h"
+#include "multimodal/avro.h"
+
+namespace bullion {
+namespace multimodal {
+
+/// \brief One training sample before storage.
+struct Sample {
+  int64_t sample_id = 0;
+  double quality = 0.0;
+  std::string caption;
+  /// Low-resolution key frames embedded directly in the meta table
+  /// (Fig. 7: "frame highlights, frame index [0, 3, 6]").
+  std::vector<std::string> frame_highlights;
+  /// Full-size media blob, stored out-of-line in the media table.
+  std::string media_blob;
+};
+
+/// Meta-table schema: sample_id, quality, caption, frame_highlights,
+/// media_offset, media_index.
+Schema MetaTableSchema();
+
+struct DatasetWriterOptions {
+  /// Presort rows by quality descending before writing (§2.5).
+  bool quality_sorted = true;
+  uint32_t rows_per_page = 1024;
+  uint32_t rows_per_group = 8192;
+  /// Avro block size of the media table: the unit one full-media
+  /// lookup must read.
+  size_t media_block_bytes = 64 * 1024;
+};
+
+/// \brief Writes the meta (Bullion) and media (Avro-like) tables.
+class DatasetWriter {
+ public:
+  DatasetWriter(WritableFile* meta_file, WritableFile* media_file,
+                DatasetWriterOptions options);
+
+  /// Writes all samples and finalizes both tables.
+  Status Write(const std::vector<Sample>& samples);
+
+ private:
+  WritableFile* meta_file_;
+  WritableFile* media_file_;
+  DatasetWriterOptions options_;
+};
+
+/// \brief Statistics of one quality-filtered training scan.
+struct TrainingScanStats {
+  uint64_t samples_selected = 0;
+  uint64_t samples_scanned = 0;
+  uint64_t frame_bytes_read = 0;
+  uint64_t full_media_lookups = 0;
+  /// I/O performed against the meta and media tables (populated when
+  /// the caller wires counting files through; see bench_multimodal).
+};
+
+/// \brief Reads quality-filtered training batches over meta + media.
+class TrainingReader {
+ public:
+  static Result<std::unique_ptr<TrainingReader>> Open(
+      std::unique_ptr<RandomAccessFile> meta_file,
+      std::unique_ptr<RandomAccessFile> media_file);
+
+  /// Scans every row group, selecting samples with quality >=
+  /// `min_quality`; for a `full_media_fraction` of selected samples
+  /// performs the full-size media lookup (the "only rare cases" arrow
+  /// in Fig. 7). Consumes captions + frame highlights for the rest.
+  Result<TrainingScanStats> Scan(double min_quality,
+                                 double full_media_fraction);
+
+  TableReader* meta() { return meta_.get(); }
+
+ private:
+  TrainingReader() = default;
+  std::unique_ptr<TableReader> meta_;
+  std::unique_ptr<avro::AvroReader> media_;
+};
+
+}  // namespace multimodal
+}  // namespace bullion

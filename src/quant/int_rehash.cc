@@ -1,0 +1,61 @@
+#include "quant/int_rehash.h"
+
+namespace bullion {
+
+IntRehasher IntRehasher::Train(std::span<const int64_t> values) {
+  IntRehasher r;
+  for (int64_t v : values) {
+    auto [it, inserted] =
+        r.encode_.emplace(v, static_cast<int64_t>(r.decode_.size()));
+    if (inserted) r.decode_.push_back(v);
+  }
+  return r;
+}
+
+PhysicalType IntRehasher::code_type() const {
+  size_t n = decode_.size();
+  if (n <= (1ull << 7)) return PhysicalType::kInt8;
+  if (n <= (1ull << 15)) return PhysicalType::kInt16;
+  if (n <= (1ull << 31)) return PhysicalType::kInt32;
+  return PhysicalType::kInt64;
+}
+
+std::vector<int64_t> IntRehasher::Encode(std::span<const int64_t> values) {
+  std::vector<int64_t> out(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    auto [it, inserted] =
+        encode_.emplace(values[i], static_cast<int64_t>(decode_.size()));
+    if (inserted) decode_.push_back(values[i]);
+    out[i] = it->second;
+  }
+  return out;
+}
+
+Result<std::vector<int64_t>> IntRehasher::Decode(
+    std::span<const int64_t> codes) const {
+  std::vector<int64_t> out(codes.size());
+  for (size_t i = 0; i < codes.size(); ++i) {
+    if (codes[i] < 0 ||
+        static_cast<uint64_t>(codes[i]) >= decode_.size()) {
+      return Status::InvalidArgument("rehash code out of range");
+    }
+    out[i] = decode_[static_cast<size_t>(codes[i])];
+  }
+  return out;
+}
+
+double IntRehasher::CompressionFactor() const {
+  return 8.0 / static_cast<double>(ByteWidth(code_type()));
+}
+
+IntRehasher IntRehasher::FromTable(std::vector<int64_t> table) {
+  IntRehasher r;
+  r.decode_ = std::move(table);
+  r.encode_.reserve(r.decode_.size());
+  for (size_t i = 0; i < r.decode_.size(); ++i) {
+    r.encode_[r.decode_[i]] = static_cast<int64_t>(i);
+  }
+  return r;
+}
+
+}  // namespace bullion

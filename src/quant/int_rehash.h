@@ -1,0 +1,52 @@
+// Lossless integer rehashing (paper §2.4): "for integer features,
+// quantization provides lossless compression by rehashing the input
+// space to a smaller range (e.g., INT8, INT16, INT32)". Sparse-feature
+// ids are arbitrary 64-bit hashes; what the model needs is identity,
+// not magnitude, so the distinct values can be renumbered densely and
+// stored at the narrowest width that fits the cardinality.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace bullion {
+
+/// \brief A lossless id-space rehash: original id <-> dense code.
+class IntRehasher {
+ public:
+  /// Builds the mapping from the distinct values of `values` (codes
+  /// assigned in first-appearance order, which keeps hot ids small
+  /// under skewed access).
+  static IntRehasher Train(std::span<const int64_t> values);
+
+  /// Narrowest integer type that holds all codes.
+  PhysicalType code_type() const;
+  size_t cardinality() const { return decode_.size(); }
+
+  /// Maps original ids to codes; ids unseen at train time get fresh
+  /// codes appended (mutates the mapping).
+  std::vector<int64_t> Encode(std::span<const int64_t> values);
+
+  /// Maps codes back to original ids; fails on out-of-range codes.
+  Result<std::vector<int64_t>> Decode(std::span<const int64_t> codes) const;
+
+  /// Storage bytes per value at the rehashed width vs the original 8.
+  double CompressionFactor() const;
+
+  /// Serializes the decode table (codes are implicit positions).
+  std::vector<int64_t> ExportTable() const { return decode_; }
+  static IntRehasher FromTable(std::vector<int64_t> table);
+
+ private:
+  std::unordered_map<int64_t, int64_t> encode_;
+  std::vector<int64_t> decode_;
+};
+
+}  // namespace bullion

@@ -1,0 +1,56 @@
+#include "quant/mixed_precision.h"
+
+namespace bullion {
+
+namespace {
+
+/// Cheapest-first trial order.
+const FloatPrecision kTrialOrder[] = {
+    FloatPrecision::kFp8E4M3, FloatPrecision::kFp8E5M2,
+    FloatPrecision::kBf16, FloatPrecision::kFp16, FloatPrecision::kFp32};
+
+bool AtLeast(FloatPrecision p, FloatPrecision floor) {
+  // "At least as precise as": order by bytes then by mantissa width.
+  auto rank = [](FloatPrecision x) {
+    switch (x) {
+      case FloatPrecision::kFp8E4M3:
+        return 0;
+      case FloatPrecision::kFp8E5M2:
+        return 1;
+      case FloatPrecision::kBf16:
+        return 2;
+      case FloatPrecision::kFp16:
+        return 3;
+      case FloatPrecision::kFp32:
+        return 4;
+    }
+    return 4;
+  };
+  return rank(p) >= rank(floor);
+}
+
+}  // namespace
+
+PrecisionAssignment MixedPrecisionPolicy::Assign(
+    std::span<const float> sample, const PrecisionConstraint& constraint) {
+  for (FloatPrecision p : kTrialOrder) {
+    if (!AtLeast(p, constraint.floor)) continue;
+    QuantizationError err = MeasureQuantizationError(sample, p);
+    if (err.relative_l2 <= constraint.max_relative_l2 ||
+        p == FloatPrecision::kFp32) {
+      return PrecisionAssignment{p, err,
+                                 static_cast<double>(PrecisionBytes(p))};
+    }
+  }
+  QuantizationError none;
+  return PrecisionAssignment{FloatPrecision::kFp32, none, 4.0};
+}
+
+double MixedPrecisionPolicy::AverageBytesPerValue() const {
+  if (assignments_.empty()) return 4.0;
+  double total = 0.0;
+  for (const auto& [name, a] : assignments_) total += a.bytes_per_value;
+  return total / static_cast<double>(assignments_.size());
+}
+
+}  // namespace bullion

@@ -1,0 +1,63 @@
+// Per-feature mixed-precision policy (paper §2.4): "different features
+// and embeddings exhibit varying degrees of precision sensitivity,
+// which implies that a mixed-precision quantization strategy should be
+// used that can be dynamically tuned at the granularity of individual
+// features."
+//
+// The policy assigns each float feature the cheapest precision whose
+// measured round-trip error stays under the feature's tolerance.
+
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "quant/quantize.h"
+
+namespace bullion {
+
+/// \brief Error tolerance for one feature.
+struct PrecisionConstraint {
+  /// Maximum acceptable relative L2 error.
+  double max_relative_l2 = 1e-3;
+  /// Floor precision (business-critical features can pin FP32/FP16).
+  FloatPrecision floor = FloatPrecision::kFp8E4M3;
+};
+
+/// \brief Chosen plan for one feature.
+struct PrecisionAssignment {
+  FloatPrecision precision;
+  QuantizationError error;
+  double bytes_per_value;
+};
+
+/// \brief Assigns per-feature precisions from sampled data.
+class MixedPrecisionPolicy {
+ public:
+  /// Tries precisions from cheapest (FP8) to FP32 and picks the first
+  /// meeting the constraint. `sample` should be representative.
+  static PrecisionAssignment Assign(std::span<const float> sample,
+                                    const PrecisionConstraint& constraint);
+
+  void SetAssignment(const std::string& feature, PrecisionAssignment a) {
+    assignments_[feature] = a;
+  }
+  const PrecisionAssignment* Find(const std::string& feature) const {
+    auto it = assignments_.find(feature);
+    return it == assignments_.end() ? nullptr : &it->second;
+  }
+  const std::map<std::string, PrecisionAssignment>& assignments() const {
+    return assignments_;
+  }
+
+  /// Aggregate bytes/value across features weighted equally; the §2.4
+  /// "storage savings reinvested" headline number.
+  double AverageBytesPerValue() const;
+
+ private:
+  std::map<std::string, PrecisionAssignment> assignments_;
+};
+
+}  // namespace bullion

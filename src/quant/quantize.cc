@@ -1,0 +1,180 @@
+#include "quant/quantize.h"
+
+#include <cmath>
+
+namespace bullion {
+
+int PrecisionBytes(FloatPrecision p) {
+  switch (p) {
+    case FloatPrecision::kFp32:
+      return 4;
+    case FloatPrecision::kFp16:
+    case FloatPrecision::kBf16:
+      return 2;
+    case FloatPrecision::kFp8E4M3:
+    case FloatPrecision::kFp8E5M2:
+      return 1;
+  }
+  return 4;
+}
+
+std::string_view PrecisionName(FloatPrecision p) {
+  switch (p) {
+    case FloatPrecision::kFp32:
+      return "FP32";
+    case FloatPrecision::kFp16:
+      return "FP16";
+    case FloatPrecision::kBf16:
+      return "BF16";
+    case FloatPrecision::kFp8E4M3:
+      return "FP8-E4M3";
+    case FloatPrecision::kFp8E5M2:
+      return "FP8-E5M2";
+  }
+  return "?";
+}
+
+PhysicalType PrecisionPhysicalType(FloatPrecision p) {
+  switch (p) {
+    case FloatPrecision::kFp32:
+      return PhysicalType::kFloat32;
+    case FloatPrecision::kFp16:
+      return PhysicalType::kFloat16;
+    case FloatPrecision::kBf16:
+      return PhysicalType::kBFloat16;
+    case FloatPrecision::kFp8E4M3:
+      return PhysicalType::kFloat8E4M3;
+    case FloatPrecision::kFp8E5M2:
+      return PhysicalType::kFloat8E5M2;
+  }
+  return PhysicalType::kFloat32;
+}
+
+std::vector<int64_t> QuantizeFloats(std::span<const float> values,
+                                    FloatPrecision precision) {
+  std::vector<int64_t> out(values.size());
+  switch (precision) {
+    case FloatPrecision::kFp32:
+      for (size_t i = 0; i < values.size(); ++i) {
+        uint32_t bits;
+        std::memcpy(&bits, &values[i], 4);
+        out[i] = static_cast<int64_t>(bits);
+      }
+      break;
+    case FloatPrecision::kFp16:
+      for (size_t i = 0; i < values.size(); ++i) {
+        out[i] = Float16::FromFloat(values[i]).bits();
+      }
+      break;
+    case FloatPrecision::kBf16:
+      for (size_t i = 0; i < values.size(); ++i) {
+        out[i] = BFloat16::FromFloat(values[i]).bits();
+      }
+      break;
+    case FloatPrecision::kFp8E4M3:
+      for (size_t i = 0; i < values.size(); ++i) {
+        out[i] = Float8E4M3::FromFloat(values[i]).bits();
+      }
+      break;
+    case FloatPrecision::kFp8E5M2:
+      for (size_t i = 0; i < values.size(); ++i) {
+        out[i] = Float8E5M2::FromFloat(values[i]).bits();
+      }
+      break;
+  }
+  return out;
+}
+
+std::vector<float> DequantizeFloats(std::span<const int64_t> bits,
+                                    FloatPrecision precision) {
+  std::vector<float> out(bits.size());
+  switch (precision) {
+    case FloatPrecision::kFp32:
+      for (size_t i = 0; i < bits.size(); ++i) {
+        uint32_t b = static_cast<uint32_t>(bits[i]);
+        std::memcpy(&out[i], &b, 4);
+      }
+      break;
+    case FloatPrecision::kFp16:
+      for (size_t i = 0; i < bits.size(); ++i) {
+        out[i] =
+            Float16::FromBits(static_cast<uint16_t>(bits[i])).ToFloat();
+      }
+      break;
+    case FloatPrecision::kBf16:
+      for (size_t i = 0; i < bits.size(); ++i) {
+        out[i] =
+            BFloat16::FromBits(static_cast<uint16_t>(bits[i])).ToFloat();
+      }
+      break;
+    case FloatPrecision::kFp8E4M3:
+      for (size_t i = 0; i < bits.size(); ++i) {
+        out[i] =
+            Float8E4M3::FromBits(static_cast<uint8_t>(bits[i])).ToFloat();
+      }
+      break;
+    case FloatPrecision::kFp8E5M2:
+      for (size_t i = 0; i < bits.size(); ++i) {
+        out[i] =
+            Float8E5M2::FromBits(static_cast<uint8_t>(bits[i])).ToFloat();
+      }
+      break;
+  }
+  return out;
+}
+
+QuantizationError MeasureQuantizationError(std::span<const float> values,
+                                           FloatPrecision precision) {
+  std::vector<int64_t> q = QuantizeFloats(values, precision);
+  std::vector<float> back = DequantizeFloats(q, precision);
+  QuantizationError err;
+  double sum_abs = 0.0, sum_sq = 0.0, norm_sq = 0.0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    double d = static_cast<double>(back[i]) - static_cast<double>(values[i]);
+    double a = std::abs(d);
+    err.max_abs_error = std::max(err.max_abs_error, a);
+    sum_abs += a;
+    sum_sq += d * d;
+    norm_sq += static_cast<double>(values[i]) * values[i];
+  }
+  if (!values.empty()) {
+    err.mean_abs_error = sum_abs / static_cast<double>(values.size());
+    err.mse = sum_sq / static_cast<double>(values.size());
+    err.relative_l2 =
+        norm_sq > 0 ? std::sqrt(sum_sq) / std::sqrt(norm_sq) : 0.0;
+  }
+  return err;
+}
+
+DualColumn SplitDualColumn(std::span<const float> values) {
+  DualColumn dual;
+  dual.hi.resize(values.size());
+  dual.lo.resize(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    Float16 hi = Float16::FromFloat(values[i]);
+    float residual = values[i] - hi.ToFloat();
+    Float16 lo = Float16::FromFloat(residual);
+    dual.hi[i] = hi.bits();
+    dual.lo[i] = lo.bits();
+  }
+  return dual;
+}
+
+std::vector<float> ReconstructDual(const DualColumn& dual) {
+  std::vector<float> out(dual.hi.size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = Float16::FromBits(static_cast<uint16_t>(dual.hi[i])).ToFloat() +
+             Float16::FromBits(static_cast<uint16_t>(dual.lo[i])).ToFloat();
+  }
+  return out;
+}
+
+std::vector<float> ReconstructHiOnly(const DualColumn& dual) {
+  std::vector<float> out(dual.hi.size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = Float16::FromBits(static_cast<uint16_t>(dual.hi[i])).ToFloat();
+  }
+  return out;
+}
+
+}  // namespace bullion

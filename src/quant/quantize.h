@@ -1,0 +1,72 @@
+// Storage quantization (paper §2.4, Fig. 6): adapting model
+// quantization to features and embeddings at rest. FP32 values are
+// stored as FP16 / BF16 / FP8-E4M3 / FP8-E5M2 bit patterns (which then
+// ride the integer encoding domain); integer features are losslessly
+// rehashed to the narrowest width their cardinality needs.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/float16.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace bullion {
+
+/// Target storage precision for a float feature.
+enum class FloatPrecision : uint8_t {
+  kFp32 = 0,
+  kFp16 = 1,
+  kBf16 = 2,
+  kFp8E4M3 = 3,
+  kFp8E5M2 = 4,
+};
+
+int PrecisionBytes(FloatPrecision p);
+std::string_view PrecisionName(FloatPrecision p);
+PhysicalType PrecisionPhysicalType(FloatPrecision p);
+
+/// Quantizes floats to the target precision's bit patterns (stored as
+/// int64 for the integer encoding domain).
+std::vector<int64_t> QuantizeFloats(std::span<const float> values,
+                                    FloatPrecision precision);
+
+/// Dequantizes bit patterns back to float.
+std::vector<float> DequantizeFloats(std::span<const int64_t> bits,
+                                    FloatPrecision precision);
+
+/// \brief Error statistics of a quantization pass.
+struct QuantizationError {
+  double max_abs_error = 0.0;
+  double mean_abs_error = 0.0;
+  double mse = 0.0;
+  /// Relative L2 error: ||q - x|| / ||x||.
+  double relative_l2 = 0.0;
+};
+
+/// Measures round-trip error of quantizing `values` at `precision`.
+QuantizationError MeasureQuantizationError(std::span<const float> values,
+                                           FloatPrecision precision);
+
+/// \brief Dual-column decomposition (§2.4 opportunity 3): an FP32 value
+/// is split into a high FP16 column and a residual FP16 column such
+/// that business-critical readers can reconstruct (near-)FP32 precision
+/// with a 1:1 join, while other models read only the high column.
+struct DualColumn {
+  std::vector<int64_t> hi;  // FP16 bit patterns of the value
+  std::vector<int64_t> lo;  // FP16 bit patterns of the residual
+};
+
+DualColumn SplitDualColumn(std::span<const float> values);
+
+/// Reconstructs from both columns: hi + lo (high precision path).
+std::vector<float> ReconstructDual(const DualColumn& dual);
+
+/// Reads only the high column (low precision path).
+std::vector<float> ReconstructHiOnly(const DualColumn& dual);
+
+}  // namespace bullion

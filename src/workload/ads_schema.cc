@@ -1,0 +1,211 @@
+#include "workload/ads_schema.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "workload/zipf.h"
+
+namespace bullion {
+namespace workload {
+
+const std::vector<Table1Entry>& Table1Breakdown() {
+  static const std::vector<Table1Entry> kTable1 = {
+      {"list<int64>", 16256},
+      {"list<float>", 812},
+      {"list<list<int64>>", 277},
+      {"struct<list<int64>,list<float>>", 143},
+      {"struct<list<int64>>", 120},
+      {"struct<list<binary>>", 46},
+      {"struct<list<float>>", 29},
+      {"struct<list<binary>,list<binary>>", 18},
+      {"struct<list<double>>", 10},
+      {"list<binary>", 8},
+      {"struct<list<list<int64>>>", 5},
+      {"struct<list<binary>,list<float>>", 5},
+      {"string", 3},
+      {"int64", 1},
+  };
+  return kTable1;
+}
+
+const std::vector<std::pair<std::string, double>>& Figure1TableSizesPb() {
+  // Approximate bar heights of Figure 1 (top-10 ad tables, CN region).
+  static const std::vector<std::pair<std::string, double>> kFig1 = {
+      {"A", 100.0}, {"B", 88.0}, {"C", 78.0}, {"D", 70.0}, {"E", 62.0},
+      {"F", 54.0},  {"G", 47.0}, {"H", 40.0}, {"I", 33.0}, {"J", 27.0},
+  };
+  return kFig1;
+}
+
+uint32_t Table1TotalColumns() {
+  uint32_t total = 0;
+  for (const Table1Entry& e : Table1Breakdown()) total += e.column_count;
+  return total;
+}
+
+namespace {
+
+DataType TypeFromName(const std::string& name) {
+  auto p = [](PhysicalType t) { return DataType::Primitive(t); };
+  if (name == "list<int64>") return DataType::List(p(PhysicalType::kInt64));
+  if (name == "list<float>") return DataType::List(p(PhysicalType::kFloat32));
+  if (name == "list<list<int64>>") {
+    return DataType::List(DataType::List(p(PhysicalType::kInt64)));
+  }
+  if (name == "struct<list<int64>,list<float>>") {
+    return DataType::Struct({DataType::List(p(PhysicalType::kInt64)),
+                             DataType::List(p(PhysicalType::kFloat32))});
+  }
+  if (name == "struct<list<int64>>") {
+    return DataType::Struct({DataType::List(p(PhysicalType::kInt64))});
+  }
+  if (name == "struct<list<binary>>") {
+    return DataType::Struct({DataType::List(p(PhysicalType::kBinary))});
+  }
+  if (name == "struct<list<float>>") {
+    return DataType::Struct({DataType::List(p(PhysicalType::kFloat32))});
+  }
+  if (name == "struct<list<binary>,list<binary>>") {
+    return DataType::Struct({DataType::List(p(PhysicalType::kBinary)),
+                             DataType::List(p(PhysicalType::kBinary))});
+  }
+  if (name == "struct<list<double>>") {
+    return DataType::Struct({DataType::List(p(PhysicalType::kFloat64))});
+  }
+  if (name == "list<binary>") return DataType::List(p(PhysicalType::kBinary));
+  if (name == "struct<list<list<int64>>>") {
+    return DataType::Struct(
+        {DataType::List(DataType::List(p(PhysicalType::kInt64)))});
+  }
+  if (name == "struct<list<binary>,list<float>>") {
+    return DataType::Struct({DataType::List(p(PhysicalType::kBinary)),
+                             DataType::List(p(PhysicalType::kFloat32))});
+  }
+  if (name == "string") return p(PhysicalType::kBinary);
+  return p(PhysicalType::kInt64);  // "int64"
+}
+
+std::string SanitizeTypeName(std::string name) {
+  for (char& c : name) {
+    if (c == '<' || c == '>' || c == ',') c = '_';
+  }
+  return name;
+}
+
+}  // namespace
+
+Schema BuildAdsSchema(double scale) {
+  std::vector<Field> fields;
+  for (const Table1Entry& e : Table1Breakdown()) {
+    uint32_t count = std::max<uint32_t>(
+        1, static_cast<uint32_t>(std::llround(e.column_count * scale)));
+    for (uint32_t i = 0; i < count; ++i) {
+      Field f;
+      f.name = SanitizeTypeName(e.type_name) + "_" + std::to_string(i);
+      f.type = TypeFromName(e.type_name);
+      // list<int64> sparse features get the sliding-window treatment.
+      f.logical = (e.type_name == "list<int64>") ? LogicalType::kIdSequence
+                                                 : LogicalType::kPlain;
+      fields.push_back(std::move(f));
+    }
+  }
+  return Schema(std::move(fields));
+}
+
+std::vector<ColumnVector> GenerateAdsData(const Schema& schema, size_t rows,
+                                          uint64_t seed,
+                                          const AdsDataOptions& options) {
+  std::vector<ColumnVector> cols;
+  cols.reserve(schema.num_leaves());
+  uint64_t col_seed = seed;
+  for (const LeafColumn& leaf : schema.leaves()) {
+    ++col_seed;
+    Random rng(col_seed * 0x9E3779B97F4A7C15ull + seed);
+    ZipfGenerator zipf(options.id_universe, options.zipf_s, col_seed);
+    ColumnVector col = ColumnVector::ForLeaf(leaf);
+    if (leaf.list_depth == 1 && DomainOf(leaf.physical) == ValueDomain::kInt &&
+        leaf.logical == LogicalType::kIdSequence) {
+      // Sliding-window id sequence (clk_seq_cids pattern, Fig. 3).
+      std::vector<int64_t> window(options.seq_length);
+      for (auto& x : window) x = static_cast<int64_t>(zipf.Next());
+      for (size_t r = 0; r < rows; ++r) {
+        if (r > 0 && rng.Bernoulli(options.window_shift_prob)) {
+          window.insert(window.begin(), static_cast<int64_t>(zipf.Next()));
+          window.pop_back();
+        }
+        col.AppendIntList(window);
+      }
+    } else if (leaf.list_depth == 0 &&
+               DomainOf(leaf.physical) == ValueDomain::kInt) {
+      for (size_t r = 0; r < rows; ++r) {
+        col.AppendInt(static_cast<int64_t>(zipf.Next()));
+      }
+    } else if (leaf.list_depth == 0 &&
+               DomainOf(leaf.physical) == ValueDomain::kBinary) {
+      for (size_t r = 0; r < rows; ++r) {
+        col.AppendBinary("v" + std::to_string(zipf.Next()));
+      }
+    } else if (leaf.list_depth == 1 &&
+               DomainOf(leaf.physical) == ValueDomain::kInt) {
+      // Non-sequence int lists: short skewed id lists.
+      for (size_t r = 0; r < rows; ++r) {
+        std::vector<int64_t> v(1 + rng.Uniform(8));
+        for (auto& x : v) x = static_cast<int64_t>(zipf.Next());
+        col.AppendIntList(v);
+      }
+    } else if (leaf.list_depth == 1 &&
+               DomainOf(leaf.physical) == ValueDomain::kReal) {
+      // Embeddings normalized to (-1, 1) (§2.4).
+      size_t dim = 8;
+      for (size_t r = 0; r < rows; ++r) {
+        std::vector<double> v(dim);
+        for (auto& x : v) x = std::tanh(rng.NextGaussian() * 0.5);
+        col.AppendRealList(v);
+      }
+    } else if (leaf.list_depth == 1 &&
+               DomainOf(leaf.physical) == ValueDomain::kBinary) {
+      for (size_t r = 0; r < rows; ++r) {
+        std::vector<std::string> v(1 + rng.Uniform(3));
+        for (auto& s : v) s = "kw" + std::to_string(zipf.Next());
+        col.AppendBinaryList(v);
+      }
+    } else if (leaf.list_depth == 2) {
+      for (size_t r = 0; r < rows; ++r) {
+        std::vector<std::vector<int64_t>> row(rng.Uniform(3));
+        for (auto& inner : row) {
+          inner.resize(1 + rng.Uniform(4));
+          for (auto& x : inner) x = static_cast<int64_t>(zipf.Next());
+        }
+        col.AppendIntListList(row);
+      }
+    } else {
+      for (size_t r = 0; r < rows; ++r) col.AppendReal(rng.NextDouble());
+    }
+    cols.push_back(std::move(col));
+  }
+  return cols;
+}
+
+double EstimateBytesPerRow(const AdsDataOptions& options) {
+  double bytes = 0;
+  for (const Table1Entry& e : Table1Breakdown()) {
+    double per_col;
+    if (e.type_name == "list<int64>") {
+      per_col = options.seq_length * 8.0;
+    } else if (e.type_name.find("float") != std::string::npos) {
+      per_col = 8 * 4.0;
+    } else if (e.type_name.find("binary") != std::string::npos ||
+               e.type_name == "string") {
+      per_col = 24.0;
+    } else if (e.type_name.find("list<list") != std::string::npos) {
+      per_col = 6 * 8.0;
+    } else {
+      per_col = 8.0;
+    }
+    bytes += per_col * e.column_count;
+  }
+  return bytes;
+}
+
+}  // namespace workload
+}  // namespace bullion

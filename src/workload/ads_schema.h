@@ -1,0 +1,67 @@
+// Synthetic ads-table workload reproducing the paper's Table 1 column
+// type breakdown and Figure 1 table sizes (DESIGN.md substitution: the
+// real ByteDance ads tables are proprietary; the generator reproduces
+// the schema *shape* — type mix, widths, list lengths — which is what
+// the storage experiments depend on).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "format/column_vector.h"
+#include "format/schema.h"
+
+namespace bullion {
+namespace workload {
+
+/// One row of the paper's Table 1.
+struct Table1Entry {
+  std::string type_name;
+  uint32_t column_count;
+};
+
+/// The exact Table 1 histogram (16,256 list<int64>, 812 list<float>,
+/// ...).
+const std::vector<Table1Entry>& Table1Breakdown();
+
+/// Figure 1: top-10 ad table sizes in PB (approximate series read off
+/// the figure, A..J descending).
+const std::vector<std::pair<std::string, double>>& Figure1TableSizesPb();
+
+/// Builds an ads schema whose type mix matches Table 1 scaled by
+/// `scale` (scale = 1.0 reproduces all ~17.7k columns; benches use
+/// smaller scales). Column counts are rounded up so every type keeps
+/// at least one column.
+Schema BuildAdsSchema(double scale);
+
+/// Total column count of Table 1 at scale 1.0.
+uint32_t Table1TotalColumns();
+
+struct AdsDataOptions {
+  /// Sequence length for list<int64> sparse features (clk_seq_cids is
+  /// 256 in the paper; benches often use smaller).
+  uint32_t seq_length = 32;
+  /// Probability the sliding window shifts between consecutive rows.
+  double window_shift_prob = 0.25;
+  /// Id universe for sparse features.
+  uint64_t id_universe = 1u << 20;
+  /// Zipf skew of ids.
+  double zipf_s = 1.1;
+};
+
+/// Generates `rows` rows of data for every leaf of `schema`, shaped by
+/// each column's logical/physical kind: sliding-window id sequences for
+/// list<int64>, embeddings in (-1,1) for float lists, etc.
+std::vector<ColumnVector> GenerateAdsData(const Schema& schema, size_t rows,
+                                          uint64_t seed,
+                                          const AdsDataOptions& options = {});
+
+/// Estimated bytes per row of the full-scale ads schema (for the Fig. 1
+/// PB-scale extrapolation printout).
+double EstimateBytesPerRow(const AdsDataOptions& options);
+
+}  // namespace workload
+}  // namespace bullion

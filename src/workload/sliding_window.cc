@@ -1,0 +1,31 @@
+#include "workload/sliding_window.h"
+
+namespace bullion {
+namespace workload {
+
+void MakeSlidingWindowColumn(const SlidingWindowOptions& options,
+                             std::vector<int64_t>* offsets,
+                             std::vector<int64_t>* values) {
+  Random rng(options.seed);
+  offsets->clear();
+  values->clear();
+  offsets->push_back(0);
+  for (size_t u = 0; u < options.users; ++u) {
+    std::vector<int64_t> window(options.window);
+    for (auto& x : window) {
+      x = static_cast<int64_t>(rng.Uniform(options.id_universe));
+    }
+    for (size_t e = 0; e < options.events_per_user; ++e) {
+      if (e > 0 && rng.Bernoulli(options.shift_prob)) {
+        window.insert(window.begin(),
+                      static_cast<int64_t>(rng.Uniform(options.id_universe)));
+        window.pop_back();
+      }
+      values->insert(values->end(), window.begin(), window.end());
+      offsets->push_back(static_cast<int64_t>(values->size()));
+    }
+  }
+}
+
+}  // namespace workload
+}  // namespace bullion

@@ -1,0 +1,33 @@
+// Sliding-window sequence generator shared by tests and benches
+// (clk_seq_cids pattern, paper §2.2 / Fig. 3).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace bullion {
+namespace workload {
+
+struct SlidingWindowOptions {
+  size_t users = 50;
+  size_t events_per_user = 40;
+  size_t window = 256;
+  /// Probability the window shifts (head insert + tail drop) between
+  /// consecutive events of the same user. 0 = identical vectors,
+  /// 1 = shift every event, lower = higher overlap.
+  double shift_prob = 0.25;
+  uint64_t id_universe = 1u << 20;
+  uint64_t seed = 42;
+};
+
+/// Emits offsets (rows+1) and flattened values of a list<int64> column
+/// sorted by (user, time), the layout §2.2 assumes.
+void MakeSlidingWindowColumn(const SlidingWindowOptions& options,
+                             std::vector<int64_t>* offsets,
+                             std::vector<int64_t>* values);
+
+}  // namespace workload
+}  // namespace bullion

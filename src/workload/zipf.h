@@ -1,0 +1,55 @@
+// Zipf-distributed id generator (rejection-inversion method of
+// Hörmann & Derflinger), used for skewed sparse-feature ids.
+
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/random.h"
+
+namespace bullion {
+
+/// \brief Samples ids in [0, n) with P(k) proportional to 1/(k+1)^s.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double s, uint64_t seed)
+      : n_(n), s_(s), rng_(seed) {
+    // Normalization via the generalized harmonic number (computed once;
+    // sampling uses inverse-CDF on a precomputed approximation).
+    h_x1_ = H(1.5) - 1.0;
+    h_n_ = H(static_cast<double>(n_) + 0.5);
+  }
+
+  uint64_t Next() {
+    // Rejection-inversion sampling.
+    while (true) {
+      double u = h_x1_ + rng_.NextDouble() * (h_n_ - h_x1_);
+      double x = HInverse(u);
+      uint64_t k = static_cast<uint64_t>(x + 0.5);
+      if (k < 1) k = 1;
+      if (k > n_) k = n_;
+      double ratio = std::pow(static_cast<double>(k), -s_);
+      double accept = ratio / std::pow(x, -s_);
+      if (rng_.NextDouble() < accept) return k - 1;
+    }
+  }
+
+ private:
+  double H(double x) const {
+    if (s_ == 1.0) return std::log(x);
+    return (std::pow(x, 1.0 - s_) - 1.0) / (1.0 - s_);
+  }
+  double HInverse(double u) const {
+    if (s_ == 1.0) return std::exp(u);
+    return std::pow(1.0 + u * (1.0 - s_), 1.0 / (1.0 - s_));
+  }
+
+  uint64_t n_;
+  double s_;
+  Random rng_;
+  double h_x1_;
+  double h_n_;
+};
+
+}  // namespace bullion

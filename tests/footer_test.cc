@@ -1,0 +1,133 @@
+// Footer validation tests: the zero-copy FooterView must reject
+// corrupted headers/sections at Parse time rather than reading out of
+// bounds later.
+
+#include <gtest/gtest.h>
+
+#include "format/footer.h"
+#include "format/merkle.h"
+#include "format/schema.h"
+
+namespace bullion {
+namespace {
+
+Buffer BuildValidFooter(uint32_t cols, uint32_t groups, uint32_t pages_per) {
+  std::vector<Field> fields;
+  for (uint32_t c = 0; c < cols; ++c) {
+    fields.push_back({"c" + std::to_string(c),
+                      DataType::Primitive(PhysicalType::kInt64),
+                      LogicalType::kPlain, false});
+  }
+  Schema schema(fields);
+  FooterBuilder fb(schema, /*rows_per_page=*/100, ComplianceLevel::kLevel1);
+  uint64_t offset = 0;
+  for (uint32_t g = 0; g < groups; ++g) {
+    fb.BeginRowGroup(100 * pages_per);
+    for (uint32_t c = 0; c < cols; ++c) {
+      uint32_t first = 0;
+      for (uint32_t p = 0; p < pages_per; ++p) {
+        uint32_t idx = fb.AddPage(offset, 100, 0, 0xAB + p);
+        if (p == 0) first = idx;
+        offset += 1000;
+      }
+      fb.SetChunk(g, c, offset - 1000ull * pages_per, first);
+    }
+  }
+  return *fb.Finish(offset, 100ull * pages_per * groups);
+}
+
+TEST(FooterParse, ValidFooterAccepted) {
+  Buffer footer = BuildValidFooter(5, 3, 2);
+  auto view = FooterView::Parse(footer.AsSlice(), 0);
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  EXPECT_EQ(view->num_columns(), 5u);
+  EXPECT_EQ(view->num_row_groups(), 3u);
+  EXPECT_EQ(view->total_pages(), 30u);
+  EXPECT_EQ(view->group_row_count(1), 200u);
+  auto [b, e] = view->chunk_pages(2, 4);
+  EXPECT_EQ(e - b, 2u);
+  EXPECT_EQ(view->page_slot_size(0), 1000u);
+}
+
+TEST(FooterParse, TooSmallRejected) {
+  std::vector<uint8_t> tiny(16, 0);
+  EXPECT_FALSE(FooterView::Parse(Slice(tiny.data(), tiny.size()), 0).ok());
+}
+
+TEST(FooterParse, ImplausibleCountsRejected) {
+  Buffer footer = BuildValidFooter(3, 1, 1);
+  // num_columns lives at byte offset 4 in the header.
+  std::vector<uint8_t> evil(footer.data(), footer.data() + footer.size());
+  uint32_t huge = 0x7FFFFFFF;
+  std::memcpy(evil.data() + 4, &huge, 4);
+  EXPECT_FALSE(FooterView::Parse(Slice(evil.data(), evil.size()), 0).ok());
+}
+
+TEST(FooterParse, TruncatedSectionsRejected) {
+  Buffer footer = BuildValidFooter(4, 2, 2);
+  for (size_t keep = 40; keep < footer.size(); keep += 16) {
+    auto view = FooterView::Parse(footer.AsSlice().SubSlice(0, keep), 0);
+    EXPECT_FALSE(view.ok()) << "accepted a footer truncated to " << keep;
+  }
+}
+
+TEST(FooterParse, WrongVersionRejected) {
+  Buffer footer = BuildValidFooter(2, 1, 1);
+  std::vector<uint8_t> evil(footer.data(), footer.data() + footer.size());
+  evil[0] = 99;
+  EXPECT_FALSE(FooterView::Parse(Slice(evil.data(), evil.size()), 0).ok());
+}
+
+TEST(Trailer, RoundTripAndRejects) {
+  BufferBuilder b;
+  b.Append<uint32_t>(1234);        // footer size
+  b.Append<uint32_t>(kFooterMagic);
+  Buffer t = b.Finish();
+  auto loc = ReadTrailer(t.AsSlice(), /*file_size=*/10000);
+  ASSERT_TRUE(loc.ok());
+  EXPECT_EQ(loc->first, 10000u - 8 - 1234);
+  EXPECT_EQ(loc->second, 1234u);
+
+  // Bad magic.
+  BufferBuilder bad;
+  bad.Append<uint32_t>(1234);
+  bad.Append<uint32_t>(0xDEADBEEF);
+  Buffer tb = bad.Finish();
+  EXPECT_FALSE(ReadTrailer(tb.AsSlice(), 10000).ok());
+
+  // Footer larger than file.
+  EXPECT_FALSE(ReadTrailer(t.AsSlice(), 100).ok());
+}
+
+TEST(FooterParse, DeletionVectorSlotsZeroed) {
+  Buffer footer = BuildValidFooter(2, 2, 1);
+  auto view = *FooterView::Parse(footer.AsSlice(), 0);
+  for (uint32_t g = 0; g < 2; ++g) {
+    EXPECT_EQ(view.DeletedCount(g), 0u);
+    Slice dv = view.deletion_vector(g);
+    EXPECT_EQ(dv.size(), (view.group_row_count(g) + 7) / 8);
+  }
+}
+
+TEST(FooterParse, MerkleSectionsConsistent) {
+  Buffer footer = BuildValidFooter(3, 2, 2);
+  auto view = *FooterView::Parse(footer.AsSlice(), 0);
+  // Rebuild the tree from leaves; interior nodes must match.
+  std::vector<uint64_t> hashes(view.total_pages());
+  for (uint32_t p = 0; p < view.total_pages(); ++p) {
+    hashes[p] = view.page_hash(p);
+  }
+  std::vector<uint32_t> ppg(view.num_row_groups());
+  for (uint32_t g = 0; g < view.num_row_groups(); ++g) {
+    auto [b, e] = view.group_page_range(g);
+    ppg[g] = e - b;
+  }
+  MerkleTree tree(hashes, ppg);
+  for (uint32_t g = 0; g < view.num_row_groups(); ++g) {
+    EXPECT_EQ(tree.group_hash(g), view.group_hash(g));
+  }
+  EXPECT_EQ(tree.root(), view.root_hash());
+}
+
+}  // namespace
+}  // namespace bullion

@@ -1,0 +1,401 @@
+// Writer/reader/footer/page round-trip tests for the Bullion format.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "format/column_vector.h"
+#include "format/footer.h"
+#include "format/reader.h"
+#include "format/schema.h"
+#include "format/writer.h"
+#include "io/file.h"
+
+namespace bullion {
+namespace {
+
+Schema MakeMixedSchema() {
+  std::vector<Field> fields;
+  fields.push_back({"uid", DataType::Primitive(PhysicalType::kInt64),
+                    LogicalType::kPlain, true});
+  fields.push_back({"ts", DataType::Primitive(PhysicalType::kInt64),
+                    LogicalType::kTimestamp, false});
+  fields.push_back({"score", DataType::Primitive(PhysicalType::kFloat64),
+                    LogicalType::kQualityScore, false});
+  fields.push_back({"tag", DataType::Primitive(PhysicalType::kBinary),
+                    LogicalType::kPlain, false});
+  fields.push_back({"clk_seq_cids",
+                    DataType::List(DataType::Primitive(PhysicalType::kInt64)),
+                    LogicalType::kIdSequence, false});
+  fields.push_back({"emb",
+                    DataType::List(DataType::Primitive(PhysicalType::kFloat32)),
+                    LogicalType::kEmbedding, false});
+  return Schema(std::move(fields));
+}
+
+std::vector<ColumnVector> MakeMixedData(const Schema& schema, size_t rows,
+                                        uint64_t seed) {
+  Random rng(seed);
+  std::vector<ColumnVector> cols;
+  for (const LeafColumn& leaf : schema.leaves()) {
+    cols.push_back(ColumnVector::ForLeaf(leaf));
+  }
+  std::vector<int64_t> window;
+  for (size_t r = 0; r < rows; ++r) {
+    cols[0].AppendInt(static_cast<int64_t>(r / 4));         // uid
+    cols[1].AppendInt(1700000000 + static_cast<int64_t>(r)); // ts
+    cols[2].AppendReal(rng.NextDouble());                    // score
+    cols[3].AppendBinary("tag" + std::to_string(r % 5));     // tag
+    // clk_seq_cids: sliding window of 16 ids.
+    if (window.empty() || rng.Bernoulli(0.25)) {
+      window.insert(window.begin(), rng.UniformRange(0, 99));
+      if (window.size() > 16) window.pop_back();
+    }
+    cols[4].AppendIntList(window);
+    // emb: 8-dim embedding in (-1, 1).
+    std::vector<double> emb(8);
+    for (double& x : emb) x = std::tanh(rng.NextGaussian());
+    cols[5].AppendRealList(emb);
+  }
+  return cols;
+}
+
+struct WriteResult {
+  InMemoryFileSystem fs;
+  std::string name = "t.bullion";
+};
+
+Status WriteTable(InMemoryFileSystem* fs, const std::string& name,
+                  const Schema& schema,
+                  const std::vector<std::vector<ColumnVector>>& groups,
+                  WriterOptions options = {}) {
+  auto file_res = fs->NewWritableFile(name);
+  if (!file_res.ok()) return file_res.status();
+  TableWriter writer(schema, file_res->get(), options);
+  for (const auto& g : groups) {
+    BULLION_RETURN_NOT_OK(writer.WriteRowGroup(g));
+  }
+  return writer.Finish();
+}
+
+Result<std::unique_ptr<TableReader>> OpenTable(InMemoryFileSystem* fs,
+                                               const std::string& name) {
+  auto file_res = fs->NewReadableFile(name);
+  if (!file_res.ok()) return file_res.status();
+  return TableReader::Open(std::move(*file_res));
+}
+
+TEST(WriterReader, RoundTripMixedSchema) {
+  Schema schema = MakeMixedSchema();
+  std::vector<ColumnVector> data = MakeMixedData(schema, 1000, 42);
+  InMemoryFileSystem fs;
+  WriterOptions wopts;
+  wopts.rows_per_page = 128;
+  ASSERT_TRUE(WriteTable(&fs, "t", schema, {data}, wopts).ok());
+
+  auto reader_res = OpenTable(&fs, "t");
+  ASSERT_TRUE(reader_res.ok()) << reader_res.status().ToString();
+  auto& reader = *reader_res;
+  EXPECT_EQ(reader->num_rows(), 1000u);
+  EXPECT_EQ(reader->num_row_groups(), 1u);
+  EXPECT_EQ(reader->num_columns(), schema.num_leaves());
+
+  ReadOptions ropts;
+  for (uint32_t c = 0; c < reader->num_columns(); ++c) {
+    ColumnVector col;
+    ASSERT_TRUE(reader->ReadColumnChunk(0, c, ropts, &col).ok())
+        << "column " << c;
+    EXPECT_EQ(col, data[c]) << "column " << schema.leaves()[c].name;
+  }
+}
+
+TEST(WriterReader, MultipleRowGroups) {
+  Schema schema = MakeMixedSchema();
+  std::vector<std::vector<ColumnVector>> groups;
+  for (int g = 0; g < 3; ++g) {
+    groups.push_back(MakeMixedData(schema, 500, 100 + g));
+  }
+  InMemoryFileSystem fs;
+  WriterOptions wopts;
+  wopts.rows_per_page = 200;
+  ASSERT_TRUE(WriteTable(&fs, "t", schema, groups, wopts).ok());
+
+  auto reader = *OpenTable(&fs, "t");
+  EXPECT_EQ(reader->num_rows(), 1500u);
+  EXPECT_EQ(reader->num_row_groups(), 3u);
+  ReadOptions ropts;
+  for (uint32_t g = 0; g < 3; ++g) {
+    for (uint32_t c = 0; c < reader->num_columns(); ++c) {
+      ColumnVector col;
+      ASSERT_TRUE(reader->ReadColumnChunk(g, c, ropts, &col).ok());
+      EXPECT_EQ(col, groups[g][c]) << "g=" << g << " c=" << c;
+    }
+  }
+}
+
+TEST(WriterReader, ProjectionWithCoalescing) {
+  Schema schema = MakeMixedSchema();
+  std::vector<ColumnVector> data = MakeMixedData(schema, 800, 7);
+  InMemoryFileSystem fs;
+  ASSERT_TRUE(WriteTable(&fs, "t", schema, {data}).ok());
+
+  auto reader = *OpenTable(&fs, "t");
+  auto cols_res = reader->ResolveColumns({"emb", "uid"});
+  ASSERT_TRUE(cols_res.ok());
+  ReadOptions ropts;
+  std::vector<ColumnVector> out;
+  ASSERT_TRUE(reader->ReadProjection(0, *cols_res, ropts, &out).ok());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], data[5]);  // emb
+  EXPECT_EQ(out[1], data[0]);  // uid
+}
+
+TEST(WriterReader, ProjectionCoalescesIo) {
+  Schema schema = MakeMixedSchema();
+  std::vector<ColumnVector> data = MakeMixedData(schema, 500, 8);
+  InMemoryFileSystem fs;
+  ASSERT_TRUE(WriteTable(&fs, "t", schema, {data}).ok());
+  auto reader = *OpenTable(&fs, "t");
+
+  // Adjacent columns with a generous gap: one coalesced read.
+  fs.ResetStats();
+  ReadOptions coalesce;
+  coalesce.coalesce_gap_bytes = 1 << 20;
+  coalesce.max_coalesced_bytes = 64ull << 20;
+  std::vector<ColumnVector> out;
+  ASSERT_TRUE(
+      reader->ReadProjection(0, {0, 1, 2}, coalesce, &out).ok());
+  uint64_t coalesced_ops = fs.stats().read_ops;
+
+  fs.ResetStats();
+  ReadOptions nogap;
+  nogap.coalesce_gap_bytes = 0;
+  // Force per-chunk reads by disallowing any merge.
+  nogap.max_coalesced_bytes = 1;
+  ASSERT_TRUE(reader->ReadProjection(0, {0, 1, 2}, nogap, &out).ok());
+  uint64_t separate_ops = fs.stats().read_ops;
+
+  EXPECT_LT(coalesced_ops, separate_ops);
+  EXPECT_EQ(coalesced_ops, 1u);
+}
+
+TEST(WriterReader, ColumnReorderingKeepsData) {
+  Schema schema = MakeMixedSchema();
+  std::vector<ColumnVector> data = MakeMixedData(schema, 300, 9);
+  InMemoryFileSystem fs;
+  WriterOptions wopts;
+  wopts.column_order = {5, 3, 1, 0, 2, 4};  // arbitrary placement
+  ASSERT_TRUE(WriteTable(&fs, "t", schema, {data}, wopts).ok());
+  auto reader = *OpenTable(&fs, "t");
+  ReadOptions ropts;
+  for (uint32_t c = 0; c < reader->num_columns(); ++c) {
+    ColumnVector col;
+    ASSERT_TRUE(reader->ReadColumnChunk(0, c, ropts, &col).ok());
+    EXPECT_EQ(col, data[c]) << "c=" << c;
+  }
+}
+
+TEST(WriterReader, QualitySortReordersRows) {
+  Schema schema = MakeMixedSchema();
+  std::vector<ColumnVector> data = MakeMixedData(schema, 200, 10);
+  InMemoryFileSystem fs;
+  WriterOptions wopts;
+  wopts.quality_sort_column = 2;  // "score"
+  ASSERT_TRUE(WriteTable(&fs, "t", schema, {data}, wopts).ok());
+  auto reader = *OpenTable(&fs, "t");
+  ReadOptions ropts;
+  ColumnVector scores;
+  ASSERT_TRUE(reader->ReadColumnChunk(0, 2, ropts, &scores).ok());
+  for (size_t i = 1; i < scores.real_values().size(); ++i) {
+    EXPECT_GE(scores.real_values()[i - 1], scores.real_values()[i]);
+  }
+  // Row alignment preserved: uid[i] should carry the score's original
+  // row, checked via joint permutation.
+  ColumnVector uid;
+  ASSERT_TRUE(reader->ReadColumnChunk(0, 0, ropts, &uid).ok());
+  std::vector<uint32_t> perm = SortPermutationDescending(
+      data[2].real_values());
+  for (size_t i = 0; i < perm.size(); ++i) {
+    EXPECT_EQ(uid.int_values()[i], data[0].int_values()[perm[i]]);
+  }
+}
+
+TEST(WriterReader, VerifyChecksumsClean) {
+  Schema schema = MakeMixedSchema();
+  std::vector<ColumnVector> data = MakeMixedData(schema, 400, 11);
+  InMemoryFileSystem fs;
+  ASSERT_TRUE(WriteTable(&fs, "t", schema, {data}).ok());
+  auto reader = *OpenTable(&fs, "t");
+  EXPECT_TRUE(reader->VerifyChecksums().ok());
+}
+
+TEST(WriterReader, DetectsCorruption) {
+  Schema schema = MakeMixedSchema();
+  std::vector<ColumnVector> data = MakeMixedData(schema, 400, 12);
+  InMemoryFileSystem fs;
+  ASSERT_TRUE(WriteTable(&fs, "t", schema, {data}).ok());
+  // Flip a byte in the middle of the data region.
+  {
+    auto f = fs.OpenForUpdate("t");
+    ASSERT_TRUE(f.ok());
+    uint8_t evil = 0xA5;
+    ASSERT_TRUE((*f)->WriteAt(100, Slice(&evil, 1)).ok());
+  }
+  auto reader = *OpenTable(&fs, "t");
+  EXPECT_FALSE(reader->VerifyChecksums().ok());
+}
+
+TEST(WriterReader, OpenRejectsGarbage) {
+  InMemoryFileSystem fs;
+  {
+    auto f = fs.NewWritableFile("junk");
+    std::vector<uint8_t> junk(256, 0x3C);
+    ASSERT_TRUE((*f)->Append(Slice(junk.data(), junk.size())).ok());
+  }
+  auto res = OpenTable(&fs, "junk");
+  EXPECT_FALSE(res.ok());
+}
+
+TEST(WriterReader, EmptyRowGroupRejected) {
+  Schema schema = MakeMixedSchema();
+  std::vector<ColumnVector> empty;
+  for (const LeafColumn& leaf : schema.leaves()) {
+    empty.push_back(ColumnVector::ForLeaf(leaf));
+  }
+  InMemoryFileSystem fs;
+  auto f = fs.NewWritableFile("t");
+  TableWriter writer(schema, f->get(), {});
+  EXPECT_FALSE(writer.WriteRowGroup(empty).ok());
+}
+
+TEST(WriterReader, FindColumnBinarySearch) {
+  Schema schema = MakeMixedSchema();
+  std::vector<ColumnVector> data = MakeMixedData(schema, 100, 13);
+  InMemoryFileSystem fs;
+  ASSERT_TRUE(WriteTable(&fs, "t", schema, {data}).ok());
+  auto reader = *OpenTable(&fs, "t");
+  for (uint32_t c = 0; c < schema.num_leaves(); ++c) {
+    auto idx = reader->footer().FindColumn(schema.leaves()[c].name);
+    ASSERT_TRUE(idx.ok());
+    EXPECT_EQ(*idx, c);
+  }
+  EXPECT_FALSE(reader->footer().FindColumn("no_such_column").ok());
+}
+
+TEST(WriterReader, WideSchemaManyColumns) {
+  // A narrow slice of the Table 1 world: hundreds of columns.
+  std::vector<Field> fields;
+  for (int i = 0; i < 300; ++i) {
+    fields.push_back({"feat_" + std::to_string(i),
+                      DataType::Primitive(PhysicalType::kInt64),
+                      LogicalType::kPlain, false});
+  }
+  Schema schema(std::move(fields));
+  Random rng(77);
+  std::vector<ColumnVector> data;
+  for (const LeafColumn& leaf : schema.leaves()) {
+    ColumnVector col = ColumnVector::ForLeaf(leaf);
+    for (int r = 0; r < 50; ++r) col.AppendInt(rng.UniformRange(0, 1000));
+    data.push_back(std::move(col));
+  }
+  InMemoryFileSystem fs;
+  ASSERT_TRUE(WriteTable(&fs, "wide", schema, {data}).ok());
+  auto reader = *OpenTable(&fs, "wide");
+  EXPECT_EQ(reader->num_columns(), 300u);
+  ReadOptions ropts;
+  ColumnVector col;
+  ASSERT_TRUE(reader->ReadColumnChunk(0, 123, ropts, &col).ok());
+  EXPECT_EQ(col, data[123]);
+}
+
+TEST(WriterReader, StructFlattening) {
+  std::vector<Field> fields;
+  fields.push_back(
+      {"pair",
+       DataType::Struct({DataType::List(DataType::Primitive(PhysicalType::kInt64)),
+                         DataType::List(DataType::Primitive(PhysicalType::kFloat32))}),
+       LogicalType::kPlain, false});
+  Schema schema(std::move(fields));
+  ASSERT_EQ(schema.num_leaves(), 2u);
+  EXPECT_EQ(schema.leaves()[0].name, "pair.f0");
+  EXPECT_EQ(schema.leaves()[1].name, "pair.f1");
+  EXPECT_EQ(schema.leaves()[0].list_depth, 1);
+
+  std::vector<ColumnVector> data;
+  data.push_back(ColumnVector::ForLeaf(schema.leaves()[0]));
+  data.push_back(ColumnVector::ForLeaf(schema.leaves()[1]));
+  for (int r = 0; r < 100; ++r) {
+    data[0].AppendIntList({r, r + 1, r + 2});
+    data[1].AppendRealList({r * 0.5, r * 0.25});
+  }
+  InMemoryFileSystem fs;
+  ASSERT_TRUE(WriteTable(&fs, "t", schema, {data}).ok());
+  auto reader = *OpenTable(&fs, "t");
+  auto leaves = schema.LeavesOfField("pair");
+  ASSERT_TRUE(leaves.ok());
+  EXPECT_EQ(leaves->size(), 2u);
+  ReadOptions ropts;
+  ColumnVector col;
+  ASSERT_TRUE(reader->ReadColumnChunk(0, 0, ropts, &col).ok());
+  EXPECT_EQ(col, data[0]);
+}
+
+TEST(WriterReader, ListOfListColumns) {
+  std::vector<Field> fields;
+  fields.push_back({"nested",
+                    DataType::List(DataType::List(
+                        DataType::Primitive(PhysicalType::kInt64))),
+                    LogicalType::kPlain, false});
+  Schema schema(std::move(fields));
+  ASSERT_EQ(schema.leaves()[0].list_depth, 2);
+
+  std::vector<ColumnVector> data;
+  data.push_back(ColumnVector::ForLeaf(schema.leaves()[0]));
+  Random rng(3);
+  for (int r = 0; r < 200; ++r) {
+    std::vector<std::vector<int64_t>> row;
+    size_t inner = rng.Uniform(4);
+    for (size_t i = 0; i < inner; ++i) {
+      std::vector<int64_t> v(rng.Uniform(6));
+      for (auto& x : v) x = rng.UniformRange(-50, 50);
+      row.push_back(v);
+    }
+    data[0].AppendIntListList(row);
+  }
+  InMemoryFileSystem fs;
+  ASSERT_TRUE(WriteTable(&fs, "t", schema, {data}).ok());
+  auto reader = *OpenTable(&fs, "t");
+  ReadOptions ropts;
+  ColumnVector col;
+  ASSERT_TRUE(reader->ReadColumnChunk(0, 0, ropts, &col).ok());
+  EXPECT_EQ(col, data[0]);
+}
+
+TEST(Footer, ReconstructSchemaLeafLevel) {
+  Schema schema = MakeMixedSchema();
+  std::vector<ColumnVector> data = MakeMixedData(schema, 50, 15);
+  InMemoryFileSystem fs;
+  ASSERT_TRUE(WriteTable(&fs, "t", schema, {data}).ok());
+  auto reader = *OpenTable(&fs, "t");
+  Schema rec = reader->footer().ReconstructSchema();
+  ASSERT_EQ(rec.num_leaves(), schema.num_leaves());
+  for (uint32_t c = 0; c < schema.num_leaves(); ++c) {
+    EXPECT_EQ(rec.leaves()[c].name, schema.leaves()[c].name);
+    EXPECT_EQ(rec.leaves()[c].physical, schema.leaves()[c].physical);
+    EXPECT_EQ(rec.leaves()[c].list_depth, schema.leaves()[c].list_depth);
+  }
+}
+
+TEST(Footer, OpenIsTwoReads) {
+  Schema schema = MakeMixedSchema();
+  std::vector<ColumnVector> data = MakeMixedData(schema, 100, 16);
+  InMemoryFileSystem fs;
+  ASSERT_TRUE(WriteTable(&fs, "t", schema, {data}).ok());
+  fs.ResetStats();
+  auto reader = *OpenTable(&fs, "t");
+  EXPECT_EQ(fs.stats().read_ops, 2u) << "open must be trailer + footer";
+}
+
+}  // namespace
+}  // namespace bullion

@@ -1,0 +1,89 @@
+// Merkle checksum tree tests (§2.1, Fig. 2).
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "format/merkle.h"
+
+namespace bullion {
+namespace {
+
+MerkleTree MakeTree(size_t groups, size_t pages_per_group, uint64_t seed) {
+  Random rng(seed);
+  std::vector<uint64_t> hashes(groups * pages_per_group);
+  for (auto& h : hashes) h = rng.Next();
+  std::vector<uint32_t> ppg(groups,
+                            static_cast<uint32_t>(pages_per_group));
+  return MerkleTree(std::move(hashes), std::move(ppg));
+}
+
+TEST(Merkle, BuildAndVerify) {
+  MerkleTree tree = MakeTree(8, 16, 1);
+  EXPECT_TRUE(tree.Verify());
+  EXPECT_NE(tree.root(), 0u);
+}
+
+TEST(Merkle, UpdateChangesRoot) {
+  MerkleTree tree = MakeTree(8, 16, 2);
+  uint64_t old_root = tree.root();
+  tree.UpdatePage(37, 0xDEADBEEF);
+  EXPECT_NE(tree.root(), old_root);
+  EXPECT_TRUE(tree.Verify());
+}
+
+TEST(Merkle, UpdateMatchesRebuild) {
+  MerkleTree a = MakeTree(4, 8, 3);
+  MerkleTree b = MakeTree(4, 8, 3);
+  a.UpdatePage(13, 0x1234);
+  b.UpdatePage(13, 0x1234);
+  b.RebuildAll();
+  EXPECT_EQ(a.root(), b.root());
+  for (uint32_t g = 0; g < 4; ++g) {
+    EXPECT_EQ(a.group_hash(g), b.group_hash(g));
+  }
+}
+
+TEST(Merkle, IncrementalCostIsLocal) {
+  // Incremental folds = pages in one group + number of groups; full
+  // rebuild = all pages + number of groups.
+  MerkleTree tree = MakeTree(64, 64, 4);
+  size_t inc = tree.UpdatePage(100, 7);
+  size_t full = tree.RebuildAll();
+  EXPECT_EQ(inc, 64u + 64u);
+  EXPECT_EQ(full, 64u * 64u + 64u);
+  EXPECT_GT(full, inc * 10);
+}
+
+TEST(Merkle, OrderSensitivity) {
+  // Swapping two page hashes must change the root (order-dependent
+  // fold), otherwise tampering by reordering would go undetected.
+  std::vector<uint64_t> h1 = {1, 2, 3, 4};
+  std::vector<uint64_t> h2 = {2, 1, 3, 4};
+  MerkleTree a(h1, {4});
+  MerkleTree b(h2, {4});
+  EXPECT_NE(a.root(), b.root());
+}
+
+TEST(Merkle, RaggedGroups) {
+  std::vector<uint64_t> hashes = {10, 20, 30, 40, 50};
+  MerkleTree tree(hashes, {2, 3});
+  EXPECT_TRUE(tree.Verify());
+  size_t folds = tree.UpdatePage(4, 99);
+  EXPECT_EQ(folds, 3u + 2u);  // group of 3 pages + 2 group folds
+  EXPECT_TRUE(tree.Verify());
+}
+
+TEST(Merkle, HashPageDeterminism) {
+  std::vector<uint8_t> data(1024);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<uint8_t>(i * 31);
+  }
+  uint64_t h1 = HashPage(Slice(data.data(), data.size()));
+  uint64_t h2 = HashPage(Slice(data.data(), data.size()));
+  EXPECT_EQ(h1, h2);
+  data[512] ^= 1;
+  EXPECT_NE(HashPage(Slice(data.data(), data.size())), h1);
+}
+
+}  // namespace
+}  // namespace bullion

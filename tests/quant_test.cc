@@ -1,0 +1,298 @@
+// Storage quantization tests (§2.4): soft-float correctness, error
+// bounds, lossless int rehash, mixed precision, dual-column split.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/float16.h"
+#include "common/random.h"
+#include "quant/int_rehash.h"
+#include "quant/mixed_precision.h"
+#include "quant/quantize.h"
+
+namespace bullion {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Soft floats.
+// ---------------------------------------------------------------------------
+
+TEST(Float16, ExactValuesRoundTrip) {
+  // Values exactly representable in FP16 must survive unchanged.
+  const float exact[] = {0.0f,  1.0f,   -1.0f,  0.5f,  2.0f,
+                         1.5f,  -0.25f, 1024.f, 65504.f /*max*/, 6.1035156e-5f
+                         /*min normal*/};
+  for (float f : exact) {
+    EXPECT_EQ(Float16::FromFloat(f).ToFloat(), f) << f;
+  }
+}
+
+TEST(Float16, SubnormalsRoundTrip) {
+  float min_subnormal = 5.9604645e-8f;  // 2^-24
+  EXPECT_EQ(Float16::FromFloat(min_subnormal).ToFloat(), min_subnormal);
+  // Below half the min subnormal underflows to zero.
+  EXPECT_EQ(Float16::FromFloat(1e-9f).ToFloat(), 0.0f);
+}
+
+TEST(Float16, OverflowToInfinity) {
+  EXPECT_TRUE(std::isinf(Float16::FromFloat(1e6f).ToFloat()));
+  EXPECT_TRUE(std::isinf(Float16::FromFloat(-1e6f).ToFloat()));
+  EXPECT_LT(Float16::FromFloat(-1e6f).ToFloat(), 0.0f);
+}
+
+TEST(Float16, NanPreserved) {
+  float nan = std::nanf("");
+  EXPECT_TRUE(std::isnan(Float16::FromFloat(nan).ToFloat()));
+}
+
+TEST(Float16, RelativeErrorBound) {
+  // FP16 has 11 significand bits: rel error <= 2^-11 for normals.
+  Random rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    float f = static_cast<float>(rng.NextGaussian());
+    if (std::abs(f) < 1e-4f) continue;
+    float back = Float16::FromFloat(f).ToFloat();
+    EXPECT_LE(std::abs(back - f) / std::abs(f), 1.0f / 2048.0f) << f;
+  }
+}
+
+TEST(BFloat16, ExactAndRange) {
+  const float exact[] = {0.0f, 1.0f, -2.0f, 0.5f, 3.0f};
+  for (float f : exact) {
+    EXPECT_EQ(BFloat16::FromFloat(f).ToFloat(), f) << f;
+  }
+  // BF16 keeps the FP32 exponent range: 1e38 must NOT overflow.
+  EXPECT_FALSE(std::isinf(BFloat16::FromFloat(1e38f).ToFloat()));
+  EXPECT_TRUE(std::isnan(BFloat16::FromFloat(std::nanf("")).ToFloat()));
+}
+
+TEST(BFloat16, RelativeErrorBound) {
+  // 8 significand bits: rel error <= 2^-8.
+  Random rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    float f = static_cast<float>(rng.NextGaussian() * 100.0);
+    if (std::abs(f) < 1e-4f) continue;
+    float back = BFloat16::FromFloat(f).ToFloat();
+    EXPECT_LE(std::abs(back - f) / std::abs(f), 1.0f / 256.0f) << f;
+  }
+}
+
+TEST(Float8, E4M3SaturatesNoInf) {
+  // E4M3 max finite is 448; beyond saturates (NVIDIA semantics).
+  float big = Float8E4M3::FromFloat(1e9f).ToFloat();
+  EXPECT_FALSE(std::isinf(big));
+  EXPECT_FLOAT_EQ(big, 448.0f);
+  EXPECT_FLOAT_EQ(Float8E4M3::FromFloat(-1e9f).ToFloat(), -448.0f);
+}
+
+TEST(Float8, E5M2HasInfinity) {
+  EXPECT_TRUE(std::isinf(Float8E5M2::FromFloat(1e9f).ToFloat()));
+  // Max finite 57344.
+  EXPECT_FLOAT_EQ(Float8E5M2::FromFloat(57344.0f).ToFloat(), 57344.0f);
+}
+
+TEST(Float8, SmallValuesRepresentable) {
+  const float vals[] = {0.5f, -0.5f, 0.25f, 1.0f, -2.0f, 0.125f};
+  for (float f : vals) {
+    EXPECT_EQ(Float8E4M3::FromFloat(f).ToFloat(), f) << f;
+    EXPECT_EQ(Float8E5M2::FromFloat(f).ToFloat(), f) << f;
+  }
+}
+
+TEST(Float8, ExhaustiveE4M3RoundTripThroughFloat) {
+  // Every finite FP8 bit pattern must decode and re-encode to itself
+  // (codec idempotence over its own representable set).
+  for (int b = 0; b < 256; ++b) {
+    float f = Float8E4M3::FromBits(static_cast<uint8_t>(b)).ToFloat();
+    if (std::isnan(f)) continue;
+    uint8_t back = Float8E4M3::FromFloat(f).bits();
+    EXPECT_EQ(back, b) << "bit pattern " << b << " value " << f;
+  }
+}
+
+TEST(Float8, ExhaustiveE5M2RoundTripThroughFloat) {
+  for (int b = 0; b < 256; ++b) {
+    float f = Float8E5M2::FromBits(static_cast<uint8_t>(b)).ToFloat();
+    if (std::isnan(f)) continue;
+    uint8_t back = Float8E5M2::FromFloat(f).bits();
+    EXPECT_EQ(back, b) << "bit pattern " << b << " value " << f;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Quantize / dequantize pipelines.
+// ---------------------------------------------------------------------------
+
+std::vector<float> MakeEmbeddings(size_t n, uint64_t seed) {
+  Random rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) {
+    x = static_cast<float>(std::tanh(rng.NextGaussian() * 0.5));
+  }
+  return v;
+}
+
+TEST(Quantize, ErrorOrderingAcrossPrecisions) {
+  std::vector<float> emb = MakeEmbeddings(20000, 3);
+  QuantizationError fp16 =
+      MeasureQuantizationError(emb, FloatPrecision::kFp16);
+  QuantizationError bf16 =
+      MeasureQuantizationError(emb, FloatPrecision::kBf16);
+  QuantizationError fp8 =
+      MeasureQuantizationError(emb, FloatPrecision::kFp8E4M3);
+  EXPECT_LT(fp16.relative_l2, bf16.relative_l2);
+  EXPECT_LT(bf16.relative_l2, fp8.relative_l2);
+  EXPECT_LT(fp16.relative_l2, 1e-3);
+  EXPECT_LT(fp8.relative_l2, 0.1);
+}
+
+TEST(Quantize, Fp32PathIsLossless) {
+  std::vector<float> emb = MakeEmbeddings(1000, 4);
+  auto bits = QuantizeFloats(emb, FloatPrecision::kFp32);
+  auto back = DequantizeFloats(bits, FloatPrecision::kFp32);
+  for (size_t i = 0; i < emb.size(); ++i) {
+    EXPECT_EQ(back[i], emb[i]);
+  }
+}
+
+TEST(Quantize, BitPatternsFitDeclaredWidth) {
+  std::vector<float> emb = MakeEmbeddings(1000, 5);
+  auto fp16 = QuantizeFloats(emb, FloatPrecision::kFp16);
+  for (int64_t b : fp16) {
+    EXPECT_GE(b, 0);
+    EXPECT_LT(b, 1 << 16);
+  }
+  auto fp8 = QuantizeFloats(emb, FloatPrecision::kFp8E4M3);
+  for (int64_t b : fp8) {
+    EXPECT_GE(b, 0);
+    EXPECT_LT(b, 1 << 8);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Integer rehash.
+// ---------------------------------------------------------------------------
+
+TEST(IntRehash, LosslessRoundTrip) {
+  Random rng(6);
+  std::vector<int64_t> ids(5000);
+  for (auto& x : ids) {
+    x = static_cast<int64_t>(rng.Next());  // arbitrary 64-bit hashes
+  }
+  IntRehasher rehash = IntRehasher::Train(ids);
+  auto codes = rehash.Encode(ids);
+  auto back = rehash.Decode(codes);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, ids);
+}
+
+TEST(IntRehash, NarrowestWidthChosen) {
+  std::vector<int64_t> small = {100, 200, 300};
+  EXPECT_EQ(IntRehasher::Train(small).code_type(), PhysicalType::kInt8);
+
+  std::vector<int64_t> medium(5000);
+  for (size_t i = 0; i < medium.size(); ++i) {
+    medium[i] = static_cast<int64_t>(i * 7919);
+  }
+  EXPECT_EQ(IntRehasher::Train(medium).code_type(), PhysicalType::kInt16);
+  EXPECT_DOUBLE_EQ(IntRehasher::Train(medium).CompressionFactor(), 4.0);
+}
+
+TEST(IntRehash, UnseenIdsGetFreshCodes) {
+  std::vector<int64_t> train = {10, 20, 30};
+  IntRehasher rehash = IntRehasher::Train(train);
+  std::vector<int64_t> more = {10, 40, 20, 50};
+  auto codes = rehash.Encode(more);
+  EXPECT_EQ(rehash.cardinality(), 5u);
+  auto back = rehash.Decode(codes);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, more);
+}
+
+TEST(IntRehash, ExportImportTable) {
+  std::vector<int64_t> ids = {7, 11, 13, 7, 11};
+  IntRehasher a = IntRehasher::Train(ids);
+  IntRehasher b = IntRehasher::FromTable(a.ExportTable());
+  auto ca = a.Encode(ids);
+  auto cb = b.Encode(ids);
+  EXPECT_EQ(ca, cb);
+}
+
+TEST(IntRehash, RejectsBadCodes) {
+  IntRehasher rehash = IntRehasher::Train(std::vector<int64_t>{1, 2});
+  std::vector<int64_t> bad = {5};
+  EXPECT_FALSE(rehash.Decode(bad).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Mixed precision policy.
+// ---------------------------------------------------------------------------
+
+TEST(MixedPrecision, TightToleranceForcesWiderType) {
+  std::vector<float> emb = MakeEmbeddings(5000, 7);
+  PrecisionConstraint loose;
+  loose.max_relative_l2 = 0.05;
+  PrecisionConstraint tight;
+  tight.max_relative_l2 = 1e-4;
+  auto a = MixedPrecisionPolicy::Assign(emb, loose);
+  auto b = MixedPrecisionPolicy::Assign(emb, tight);
+  EXPECT_LT(PrecisionBytes(a.precision), PrecisionBytes(b.precision));
+  EXPECT_LE(a.error.relative_l2, 0.05);
+  EXPECT_LE(b.error.relative_l2, 1e-4);
+}
+
+TEST(MixedPrecision, FloorPinsPrecision) {
+  std::vector<float> emb = MakeEmbeddings(1000, 8);
+  PrecisionConstraint c;
+  c.max_relative_l2 = 1.0;  // anything passes
+  c.floor = FloatPrecision::kFp16;
+  auto a = MixedPrecisionPolicy::Assign(emb, c);
+  EXPECT_TRUE(a.precision == FloatPrecision::kFp16 ||
+              a.precision == FloatPrecision::kFp32);
+}
+
+TEST(MixedPrecision, PolicyAggregates) {
+  MixedPrecisionPolicy policy;
+  std::vector<float> emb = MakeEmbeddings(2000, 9);
+  PrecisionConstraint loose;
+  loose.max_relative_l2 = 0.05;
+  policy.SetAssignment("a", MixedPrecisionPolicy::Assign(emb, loose));
+  PrecisionConstraint tight;
+  tight.max_relative_l2 = 1e-6;
+  policy.SetAssignment("b", MixedPrecisionPolicy::Assign(emb, tight));
+  EXPECT_GT(policy.AverageBytesPerValue(), 1.0);
+  EXPECT_LT(policy.AverageBytesPerValue(), 4.0);
+  EXPECT_NE(policy.Find("a"), nullptr);
+  EXPECT_EQ(policy.Find("missing"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Dual-column decomposition.
+// ---------------------------------------------------------------------------
+
+TEST(DualColumn, ReconstructionBeatsHiOnly) {
+  std::vector<float> emb = MakeEmbeddings(20000, 10);
+  DualColumn dual = SplitDualColumn(emb);
+  std::vector<float> full = ReconstructDual(dual);
+  std::vector<float> hi = ReconstructHiOnly(dual);
+  double err_full = 0, err_hi = 0;
+  for (size_t i = 0; i < emb.size(); ++i) {
+    err_full += std::abs(full[i] - emb[i]);
+    err_hi += std::abs(hi[i] - emb[i]);
+  }
+  EXPECT_LT(err_full, err_hi / 100.0)
+      << "dual reconstruction must be far more accurate than hi-only";
+}
+
+TEST(DualColumn, HiOnlyEqualsPlainFp16) {
+  std::vector<float> emb = MakeEmbeddings(1000, 11);
+  DualColumn dual = SplitDualColumn(emb);
+  std::vector<float> hi = ReconstructHiOnly(dual);
+  for (size_t i = 0; i < emb.size(); ++i) {
+    EXPECT_EQ(hi[i], Float16::FromFloat(emb[i]).ToFloat());
+  }
+}
+
+}  // namespace
+}  // namespace bullion

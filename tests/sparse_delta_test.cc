@@ -1,0 +1,166 @@
+// Sliding-window delta encoding tests (§2.2, Figs. 3-4).
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "encoding/cascade.h"
+#include "format/sparse_delta.h"
+
+namespace bullion {
+namespace {
+
+// Builds a clk_seq_cids-style column: per user, a window of `window`
+// ids shifting over time (new id prepended with prob `shift_prob`).
+void MakeSlidingWindowData(size_t users, size_t events_per_user,
+                           size_t window, double shift_prob, uint64_t seed,
+                           std::vector<int64_t>* offsets,
+                           std::vector<int64_t>* values) {
+  Random rng(seed);
+  offsets->clear();
+  values->clear();
+  offsets->push_back(0);
+  for (size_t u = 0; u < users; ++u) {
+    std::vector<int64_t> win;
+    for (size_t i = 0; i < window; ++i) {
+      win.push_back(rng.UniformRange(0, 1000000));
+    }
+    for (size_t e = 0; e < events_per_user; ++e) {
+      if (e > 0 && rng.Bernoulli(shift_prob)) {
+        win.insert(win.begin(), rng.UniformRange(0, 1000000));
+        win.pop_back();
+      }
+      values->insert(values->end(), win.begin(), win.end());
+      offsets->push_back(static_cast<int64_t>(values->size()));
+    }
+  }
+}
+
+TEST(FindBestWindow, ExactShiftPattern) {
+  std::vector<int64_t> prev = {92, 82, 66, 18, 67, 13, 96, 63};
+  std::vector<int64_t> cur = {76, 92, 82, 66, 18, 67, 13, 96};  // head insert
+  WindowMatch m = FindBestWindow(prev, cur, 4);
+  EXPECT_TRUE(m.is_delta);
+  EXPECT_EQ(m.head_len, 1u);
+  EXPECT_EQ(m.tail_len, 0u);
+  EXPECT_EQ(m.range_start, 0u);
+  EXPECT_EQ(m.range_end, 7u);
+}
+
+TEST(FindBestWindow, IdenticalVectors) {
+  std::vector<int64_t> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  WindowMatch m = FindBestWindow(v, v, 4);
+  EXPECT_TRUE(m.is_delta);
+  EXPECT_EQ(m.head_len, 0u);
+  EXPECT_EQ(m.tail_len, 0u);
+  EXPECT_EQ(m.range_start, 0u);
+  EXPECT_EQ(m.range_end, 8u);
+}
+
+TEST(FindBestWindow, NoOverlapFallsBackToBase) {
+  std::vector<int64_t> prev = {1, 2, 3, 4};
+  std::vector<int64_t> cur = {10, 20, 30, 40};
+  WindowMatch m = FindBestWindow(prev, cur, 2);
+  EXPECT_FALSE(m.is_delta);
+  EXPECT_EQ(m.tail_len, 4u);
+}
+
+TEST(FindBestWindow, TailAppendPattern) {
+  std::vector<int64_t> prev = {1, 2, 3, 4, 5, 6};
+  std::vector<int64_t> cur = {3, 4, 5, 6, 77, 88};  // drop head, append tail
+  WindowMatch m = FindBestWindow(prev, cur, 3);
+  EXPECT_TRUE(m.is_delta);
+  EXPECT_EQ(m.head_len, 0u);
+  EXPECT_EQ(m.tail_len, 2u);
+  EXPECT_EQ(m.range_start, 2u);
+  EXPECT_EQ(m.range_end, 6u);
+}
+
+struct SweepCase {
+  double shift_prob;
+  size_t window;
+};
+
+class SparseDeltaSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(SparseDeltaSweep, RoundTrip) {
+  std::vector<int64_t> offsets, values;
+  MakeSlidingWindowData(20, 30, GetParam().window, GetParam().shift_prob, 3,
+                        &offsets, &values);
+  auto block = EncodeSparseDeltaColumn(offsets, values);
+  ASSERT_TRUE(block.ok()) << block.status().ToString();
+  std::vector<int64_t> out_offsets, out_values;
+  ASSERT_TRUE(
+      DecodeSparseDeltaColumn(block->AsSlice(), &out_offsets, &out_values)
+          .ok());
+  EXPECT_EQ(out_offsets, offsets);
+  EXPECT_EQ(out_values, values);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SparseDeltaSweep,
+    ::testing::Values(SweepCase{0.0, 16}, SweepCase{0.1, 16},
+                      SweepCase{0.25, 16}, SweepCase{0.5, 64},
+                      SweepCase{1.0, 64}, SweepCase{0.25, 256},
+                      SweepCase{0.1, 1}),
+    [](const ::testing::TestParamInfo<SweepCase>& info) {
+      return "shift" +
+             std::to_string(static_cast<int>(info.param.shift_prob * 100)) +
+             "_w" + std::to_string(info.param.window);
+    });
+
+TEST(SparseDelta, BeatsGenericEncodingOnSlidingWindows) {
+  std::vector<int64_t> offsets, values;
+  // 50 users x 40 events, window 256, slow drift: heavy overlap.
+  MakeSlidingWindowData(50, 40, 256, 0.3, 7, &offsets, &values);
+
+  auto sparse = EncodeSparseDeltaColumn(offsets, values);
+  ASSERT_TRUE(sparse.ok());
+
+  // Generic alternative: cascade over the flattened values.
+  auto generic = EncodeInt64Column(values);
+  ASSERT_TRUE(generic.ok());
+
+  EXPECT_LT(sparse->size(), generic->size() / 2)
+      << "sliding-window delta should save >2x vs generic cascade";
+  double ratio = static_cast<double>(values.size() * 8) /
+                 static_cast<double>(sparse->size());
+  EXPECT_GT(ratio, 8.0) << "expected strong compression on 87% overlap data";
+}
+
+TEST(SparseDelta, HandlesEmptyLists) {
+  std::vector<int64_t> offsets = {0, 0, 3, 3, 5};
+  std::vector<int64_t> values = {1, 2, 3, 4, 5};
+  auto block = EncodeSparseDeltaColumn(offsets, values);
+  ASSERT_TRUE(block.ok());
+  std::vector<int64_t> oo, vv;
+  ASSERT_TRUE(DecodeSparseDeltaColumn(block->AsSlice(), &oo, &vv).ok());
+  EXPECT_EQ(oo, offsets);
+  EXPECT_EQ(vv, values);
+}
+
+TEST(SparseDelta, SingleRow) {
+  std::vector<int64_t> offsets = {0, 4};
+  std::vector<int64_t> values = {9, 8, 7, 6};
+  auto block = EncodeSparseDeltaColumn(offsets, values);
+  ASSERT_TRUE(block.ok());
+  std::vector<int64_t> oo, vv;
+  ASSERT_TRUE(DecodeSparseDeltaColumn(block->AsSlice(), &oo, &vv).ok());
+  EXPECT_EQ(oo, offsets);
+  EXPECT_EQ(vv, values);
+}
+
+TEST(SparseDelta, RejectsCorruptBlock) {
+  std::vector<int64_t> offsets = {0, 2};
+  std::vector<int64_t> values = {1, 2};
+  auto block = EncodeSparseDeltaColumn(offsets, values);
+  ASSERT_TRUE(block.ok());
+  std::vector<uint8_t> bytes(block->data(), block->data() + block->size());
+  bytes.resize(bytes.size() / 2);  // truncate
+  std::vector<int64_t> oo, vv;
+  EXPECT_FALSE(
+      DecodeSparseDeltaColumn(Slice(bytes.data(), bytes.size()), &oo, &vv)
+          .ok());
+}
+
+}  // namespace
+}  // namespace bullion

@@ -1,0 +1,195 @@
+// User-centric event storage tests (§2.2 Challenge: Generative
+// Recommendation, one training example per user) and compaction.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "format/compaction.h"
+#include "format/deletion.h"
+#include "format/user_events.h"
+#include "io/file.h"
+
+namespace bullion {
+namespace {
+
+std::vector<UserHistory> MakeHistories(size_t users, uint64_t seed) {
+  Random rng(seed);
+  std::vector<UserHistory> out(users);
+  for (size_t u = 0; u < users; ++u) {
+    out[u].uid = static_cast<int64_t>(u * 3 + 1);  // sparse uids
+    size_t n_events = 1 + rng.Uniform(50);
+    int64_t ts = 1700000000;
+    for (size_t e = 0; e < n_events; ++e) {
+      ts += static_cast<int64_t>(1 + rng.Uniform(1000));
+      UserEvent ev;
+      ev.timestamp = ts;
+      ev.kind = static_cast<UserEvent::Kind>(rng.Uniform(4));
+      ev.item_id = static_cast<int64_t>(rng.Uniform(100000));
+      ev.value = rng.NextDouble();
+      out[u].events.push_back(ev);
+    }
+  }
+  return out;
+}
+
+TEST(UserEvents, WriteAndPointLookup) {
+  InMemoryFileSystem fs;
+  std::vector<UserHistory> histories = MakeHistories(5000, 3);
+  {
+    auto f = fs.NewWritableFile("u");
+    UserEventStoreOptions opts;
+    opts.users_per_group = 1000;
+    ASSERT_TRUE(UserEventStore::Write(f->get(), histories, opts).ok());
+  }
+  auto store = UserEventStore::Open(*fs.NewReadableFile("u"));
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ((*store)->num_users(), 5000u);
+
+  for (size_t u : {size_t{0}, size_t{999}, size_t{1000}, size_t{4999}}) {
+    auto h = (*store)->GetUserHistory(histories[u].uid);
+    ASSERT_TRUE(h.ok()) << h.status().ToString();
+    EXPECT_EQ(h->uid, histories[u].uid);
+    EXPECT_EQ(h->events, histories[u].events);
+  }
+}
+
+TEST(UserEvents, MissingUserNotFound) {
+  InMemoryFileSystem fs;
+  std::vector<UserHistory> histories = MakeHistories(100, 4);
+  {
+    auto f = fs.NewWritableFile("u");
+    ASSERT_TRUE(UserEventStore::Write(f->get(), histories, {}).ok());
+  }
+  auto store = *UserEventStore::Open(*fs.NewReadableFile("u"));
+  // uid 2 is between uid 1 and uid 4, absent.
+  EXPECT_TRUE(store->GetUserHistory(2).status().IsNotFound());
+  EXPECT_TRUE(store->GetUserHistory(-5).status().IsNotFound());
+  EXPECT_TRUE(store->GetUserHistory(1 << 20).status().IsNotFound());
+}
+
+TEST(UserEvents, RejectsUnsortedInput) {
+  InMemoryFileSystem fs;
+  std::vector<UserHistory> histories = MakeHistories(10, 5);
+  std::swap(histories[2], histories[3]);
+  auto f = fs.NewWritableFile("u");
+  EXPECT_FALSE(UserEventStore::Write(f->get(), histories, {}).ok());
+}
+
+TEST(UserEvents, ScanAllVisitsEveryUserInOrder) {
+  InMemoryFileSystem fs;
+  std::vector<UserHistory> histories = MakeHistories(2500, 6);
+  {
+    auto f = fs.NewWritableFile("u");
+    UserEventStoreOptions opts;
+    opts.users_per_group = 512;
+    ASSERT_TRUE(UserEventStore::Write(f->get(), histories, opts).ok());
+  }
+  auto store = *UserEventStore::Open(*fs.NewReadableFile("u"));
+  size_t idx = 0;
+  Status st = store->ScanAll([&](const UserHistory& h) {
+    ASSERT_LT(idx, histories.size());
+    EXPECT_EQ(h.uid, histories[idx].uid);
+    EXPECT_EQ(h.events, histories[idx].events);
+    ++idx;
+  });
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(idx, histories.size());
+}
+
+TEST(UserEvents, PointLookupReadsOneGroupNeighborhood) {
+  InMemoryFileSystem fs;
+  std::vector<UserHistory> histories = MakeHistories(8000, 7);
+  {
+    auto f = fs.NewWritableFile("u");
+    UserEventStoreOptions opts;
+    opts.users_per_group = 1000;
+    ASSERT_TRUE(UserEventStore::Write(f->get(), histories, opts).ok());
+  }
+  uint64_t total = *fs.FileSize("u");
+  auto store = *UserEventStore::Open(*fs.NewReadableFile("u"));
+  fs.ResetStats();
+  ASSERT_TRUE(store->GetUserHistory(histories[4500].uid).ok());
+  // Binary search reads a handful of uid chunks plus one group's event
+  // chunks — far less than the whole file.
+  EXPECT_LT(fs.stats().bytes_read, total / 4);
+}
+
+// ---------------------------------------------------------------------------
+// Compaction.
+// ---------------------------------------------------------------------------
+
+TEST(Compaction, ReclaimsDeletedRows) {
+  InMemoryFileSystem fs;
+  Schema schema({
+      Field{"v", DataType::Primitive(PhysicalType::kInt64),
+            LogicalType::kPlain, true},
+  });
+  std::vector<ColumnVector> cols;
+  cols.push_back(ColumnVector::ForLeaf(schema.leaves()[0]));
+  for (int64_t r = 0; r < 10000; ++r) cols[0].AppendInt(r);
+  {
+    auto f = fs.NewWritableFile("t");
+    TableWriter writer(schema, f->get(), {});
+    ASSERT_TRUE(writer.WriteRowGroup(cols).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  // Delete 30% of rows.
+  std::vector<uint64_t> doomed;
+  for (uint64_t r = 1000; r < 4000; ++r) doomed.push_back(r);
+  {
+    auto reader = *TableReader::Open(*fs.NewReadableFile("t"));
+    auto rf = *fs.NewReadableFile("t");
+    auto uf = *fs.OpenForUpdate("t");
+    DeleteExecutor exec(rf.get(), uf.get(), reader->footer());
+    ASSERT_TRUE(exec.DeleteRows(doomed, ComplianceLevel::kLevel2).ok());
+  }
+  auto reader = *TableReader::Open(*fs.NewReadableFile("t"));
+  EXPECT_NEAR(DeletedFraction(*reader), 0.3, 1e-9);
+
+  auto dest = *fs.NewWritableFile("t.compacted");
+  auto report = CompactTable(reader.get(), dest.get(), {});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->rows_before, 10000u);
+  EXPECT_EQ(report->rows_after, 7000u);
+
+  auto compacted = *TableReader::Open(*fs.NewReadableFile("t.compacted"));
+  EXPECT_EQ(compacted->num_rows(), 7000u);
+  EXPECT_NEAR(DeletedFraction(*compacted), 0.0, 1e-9);
+  ReadOptions ropts;
+  ColumnVector v;
+  ASSERT_TRUE(compacted->ReadColumnChunk(0, 0, ropts, &v).ok());
+  EXPECT_EQ(v.int_values()[999], 999);
+  EXPECT_EQ(v.int_values()[1000], 4000);  // gap closed
+  EXPECT_TRUE(compacted->VerifyChecksums().ok());
+}
+
+TEST(Compaction, NoopOnCleanTable) {
+  InMemoryFileSystem fs;
+  Schema schema({
+      Field{"v", DataType::Primitive(PhysicalType::kInt64),
+            LogicalType::kPlain, false},
+  });
+  std::vector<ColumnVector> cols;
+  cols.push_back(ColumnVector::ForLeaf(schema.leaves()[0]));
+  for (int64_t r = 0; r < 500; ++r) cols[0].AppendInt(r * 2);
+  {
+    auto f = fs.NewWritableFile("t");
+    TableWriter writer(schema, f->get(), {});
+    ASSERT_TRUE(writer.WriteRowGroup(cols).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  auto reader = *TableReader::Open(*fs.NewReadableFile("t"));
+  EXPECT_EQ(DeletedFraction(*reader), 0.0);
+  auto dest = *fs.NewWritableFile("t2");
+  auto report = CompactTable(reader.get(), dest.get(), {});
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->rows_after, 500u);
+  auto r2 = *TableReader::Open(*fs.NewReadableFile("t2"));
+  ReadOptions ropts;
+  ColumnVector v;
+  ASSERT_TRUE(r2->ReadColumnChunk(0, 0, ropts, &v).ok());
+  EXPECT_EQ(v, cols[0]);
+}
+
+}  // namespace
+}  // namespace bullion
