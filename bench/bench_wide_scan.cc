@@ -1,4 +1,5 @@
 // E8/E9/E10 — §2.3 wide-table projection end to end, Table 1, Fig. 1.
+// E11 — parallel scan throughput over the exec layer.
 //
 // E8: on a wide ads table, a training job projects ~10% of columns.
 //     For Parquet-like files the paper observes metadata parsing takes
@@ -9,6 +10,9 @@
 //     reproduces, and verifies a scaled instance round-trips.
 // E10: prints the Fig. 1 top-10 ad table sizes with a rows-equivalent
 //     extrapolation from the generator's bytes/row estimate.
+// E11: projects ~10% of a multi-row-group ads table through
+//     ScanBuilder at increasing thread counts, verifying each result
+//     against the serial scan and reporting throughput + speedup.
 
 #include <benchmark/benchmark.h>
 
@@ -54,6 +58,86 @@ struct WideCorpus {
     }
   }
 };
+
+/// A narrower ads table split across several row groups — the shape
+/// the parallel scanner fans out over.
+struct MultiGroupCorpus {
+  InMemoryFileSystem fs;
+  Schema schema;
+  std::vector<uint32_t> projection;  // ~10% of leaves
+  size_t rows_per_group;
+  size_t num_groups;
+
+  MultiGroupCorpus(double scale, size_t rows_per_group, size_t num_groups)
+      : rows_per_group(rows_per_group), num_groups(num_groups) {
+    schema = BuildAdsSchema(scale);
+    AdsDataOptions dopts;
+    dopts.seq_length = 16;
+    std::vector<std::vector<ColumnVector>> groups;
+    for (size_t g = 0; g < num_groups; ++g) {
+      groups.push_back(
+          GenerateAdsData(schema, rows_per_group, 7 + g, dopts));
+    }
+    WriterOptions wopts;
+    wopts.rows_per_page = 1024;
+    auto f = fs.NewWritableFile("bullion");
+    BULLION_CHECK_OK(WriteTableFile(f->get(), schema, groups, wopts));
+    for (uint32_t c = 0; c < schema.num_leaves(); c += 10) {
+      projection.push_back(c);
+    }
+  }
+};
+
+void PrintParallelScanReport() {
+  MultiGroupCorpus corpus(0.05, 2048, 8);
+  bench::PrintHeader(
+      "E11 / exec layer: parallel 10% projection, 8 row groups");
+  std::printf(
+      "columns: %zu  projected: %zu  rows: %zu x %zu groups  "
+      "(hardware threads: %zu — speedup >1x needs >1)\n",
+      (size_t)corpus.schema.num_leaves(), corpus.projection.size(),
+      corpus.rows_per_group, corpus.num_groups,
+      ThreadPool::DefaultThreadCount());
+
+  auto reader = *TableReader::Open(*corpus.fs.NewReadableFile("bullion"));
+  uint64_t data_bytes = *corpus.fs.FileSize("bullion");
+
+  // The pool is shared across scans (server shape): workers spawn
+  // once, each timed iteration only pays plan + fetch + decode.
+  auto scan_with = [&](size_t threads, ThreadPool* pool) {
+    return ScanBuilder(reader.get())
+        .ColumnIndices(corpus.projection)
+        .Threads(threads)
+        .PrefetchDepth(2)
+        .Pool(pool)
+        .Scan();
+  };
+  ScanResult serial = *scan_with(1, nullptr);
+
+  std::printf("%8s %12s %14s %10s %10s\n", "threads", "scan_ms", "MB/s(file)",
+              "speedup", "identical");
+  double serial_ms = 0;
+  for (size_t threads : {1, 2, 4, 8}) {
+    std::unique_ptr<ThreadPool> pool;
+    if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+    // Verify determinism once per thread count before timing.
+    ScanResult check = *scan_with(threads, pool.get());
+    bool identical = check.groups == serial.groups;
+    double ms = bench::TimeUsAveraged([&] {
+                  auto scan = scan_with(threads, pool.get());
+                  BULLION_CHECK(scan.ok());
+                  benchmark::DoNotOptimize(scan);
+                }) /
+                1000.0;
+    if (threads == 1) serial_ms = ms;
+    std::printf("%8zu %12.3f %14.1f %9.2fx %10s\n", threads, ms,
+                data_bytes / 1048576.0 / (ms / 1000.0), serial_ms / ms,
+                identical ? "yes" : "NO");
+  }
+  std::printf(
+      "(fetch+decode of coalesced reads fans out across the pool; gains "
+      "track available cores and I/O parallelism)\n");
+}
 
 void PrintWideScanReport() {
   // ~1.8k leaf columns at scale 0.1 — large enough to expose the
@@ -153,11 +237,31 @@ void BM_BullionProjection10pct(benchmark::State& state) {
 }
 BENCHMARK(BM_BullionProjection10pct)->Unit(benchmark::kMillisecond);
 
+void BM_ParallelScan(benchmark::State& state) {
+  static MultiGroupCorpus* corpus = new MultiGroupCorpus(0.05, 2048, 8);
+  auto reader = *TableReader::Open(*corpus->fs.NewReadableFile("bullion"));
+  size_t threads = static_cast<size_t>(state.range(0));
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+  for (auto _ : state) {
+    auto scan = ScanBuilder(reader.get())
+                    .ColumnIndices(corpus->projection)
+                    .Threads(threads)
+                    .Pool(pool.get())
+                    .Scan();
+    BULLION_CHECK(scan.ok());
+    benchmark::DoNotOptimize(scan);
+  }
+  state.SetLabel(std::to_string(threads) + " threads");
+}
+BENCHMARK(BM_ParallelScan)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace bullion
 
 int main(int argc, char** argv) {
   bullion::PrintWideScanReport();
+  bullion::PrintParallelScanReport();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

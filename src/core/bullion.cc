@@ -14,14 +14,22 @@ Status WriteTableFile(WritableFile* file, const Schema& schema,
 
 Result<ColumnVector> ReadFullColumn(TableReader* reader,
                                     const std::string& column,
-                                    const ReadOptions& options) {
-  BULLION_ASSIGN_OR_RETURN(uint32_t c, reader->footer().FindColumn(column));
-  ColumnRecord rec = reader->footer().column_record(c);
-  ColumnVector out(static_cast<PhysicalType>(rec.physical), rec.list_depth);
-  for (uint32_t g = 0; g < reader->num_row_groups(); ++g) {
-    BULLION_RETURN_NOT_OK(reader->ReadColumnChunk(g, c, options, &out));
-  }
-  return out;
+                                    const ReadOptions& options,
+                                    size_t threads) {
+  BULLION_ASSIGN_OR_RETURN(ScanResult scan, ScanBuilder(reader)
+                                                .Columns({column})
+                                                .Threads(threads)
+                                                .Options(options)
+                                                .Scan());
+  return scan.ConcatColumn(0);
+}
+
+Result<ScanResult> ScanTable(TableReader* reader,
+                             const std::vector<std::string>& columns,
+                             size_t threads, const ReadOptions& options) {
+  ScanBuilder builder(reader);
+  if (!columns.empty()) builder.Columns(columns);
+  return builder.Threads(threads).Options(options).Scan();
 }
 
 }  // namespace bullion

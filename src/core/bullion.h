@@ -4,6 +4,8 @@
 //
 //   Schema / ColumnVector      -- format/schema.h, format/column_vector.h
 //   TableWriter / TableReader  -- format/writer.h, format/reader.h
+//   Read planning              -- io/read_planner.h (coalesced pread plans)
+//   Parallel scan layer        -- exec/scanner.h, exec/thread_pool.h
 //   DeleteExecutor             -- format/deletion.h (§2.1)
 //   Sparse sliding-window delta-- format/sparse_delta.h (§2.2)
 //   Flat footer                -- format/footer.h (§2.3)
@@ -11,6 +13,23 @@
 //   Storage quantization       -- quant/* (§2.4)
 //   Multimodal meta+media      -- multimodal/* (§2.5)
 //   Parquet-like baseline      -- baseline/parquet_like.h
+//
+// The read stack is layered plan → fetch → decode: TableReader plans a
+// projection into coalesced preads (io/read_planner.h), fetches each
+// range, and decodes the covered chunks. The exec/ layer drives those
+// same stages concurrently — ScanBuilder is the front door:
+//
+//   auto reader = TableReader::Open(std::move(file));
+//   auto scan = ScanBuilder(reader->get())
+//                   .Columns({"uid", "score"})  // default: all leaves
+//                   .RowGroups(0, (*reader)->num_row_groups())
+//                   .Threads(8)                 // <=1 = serial path
+//                   .PrefetchDepth(2)           // reads in flight/thread
+//                   .Scan();
+//   auto uid = scan->ConcatColumn(0);           // across row groups
+//
+// Output is byte-identical to the serial TableReader path at any
+// thread count.
 //
 // Quickstart: see examples/quickstart.cpp.
 
@@ -22,6 +41,8 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "encoding/cascade.h"
+#include "exec/scanner.h"
+#include "exec/thread_pool.h"
 #include "format/column_vector.h"
 #include "format/compaction.h"
 #include "format/deletion.h"
@@ -50,9 +71,19 @@ Status WriteTableFile(WritableFile* file, const Schema& schema,
                       const WriterOptions& options = {});
 
 /// Convenience: opens a table and reads one full column across all row
-/// groups (concatenated).
+/// groups (concatenated). Runs on the exec-layer scanner; `threads`
+/// <= 1 keeps the scan serial.
 Result<ColumnVector> ReadFullColumn(TableReader* reader,
                                     const std::string& column,
-                                    const ReadOptions& options = {});
+                                    const ReadOptions& options = {},
+                                    size_t threads = 1);
+
+/// Convenience: scans a projection of every row group, fanning fetch +
+/// decode across `threads` workers (the ScanBuilder front door with
+/// defaults applied).
+Result<ScanResult> ScanTable(TableReader* reader,
+                             const std::vector<std::string>& columns,
+                             size_t threads,
+                             const ReadOptions& options = {});
 
 }  // namespace bullion

@@ -1,0 +1,114 @@
+#include "exec/scanner.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace bullion {
+
+uint64_t ScanResult::num_rows() const {
+  uint64_t rows = 0;
+  for (const auto& group : groups) {
+    if (!group.empty()) rows += group[0].num_rows();
+  }
+  return rows;
+}
+
+Result<ColumnVector> ScanResult::ConcatColumn(size_t slot) const {
+  if (slot >= columns.size()) {
+    return Status::InvalidArgument("projection slot out of range");
+  }
+  ColumnVector out(static_cast<PhysicalType>(column_records_[slot].physical),
+                   column_records_[slot].list_depth);
+  for (const auto& group : groups) {
+    out.AppendAllFrom(group[slot]);
+  }
+  return out;
+}
+
+Result<ScanResult> ParallelTableScanner::Execute() const {
+  const FooterView& f = reader_->footer();
+
+  ScanResult result;
+  if (!spec_.columns.empty()) {
+    result.columns = spec_.columns;
+    for (uint32_t c : result.columns) {
+      if (c >= f.num_columns()) {
+        return Status::InvalidArgument("column out of range");
+      }
+    }
+  } else if (!spec_.column_names.empty()) {
+    BULLION_ASSIGN_OR_RETURN(result.columns,
+                             reader_->ResolveColumns(spec_.column_names));
+  } else {
+    result.columns.resize(f.num_columns());
+    for (uint32_t c = 0; c < f.num_columns(); ++c) result.columns[c] = c;
+  }
+  result.column_records_.reserve(result.columns.size());
+  for (uint32_t c : result.columns) {
+    result.column_records_.push_back(f.column_record(c));
+  }
+
+  if (spec_.group_begin > spec_.group_end) {
+    return Status::InvalidArgument("row-group range begin past end");
+  }
+  // Both ends clamp to the file's group count, so a well-formed range
+  // that lies past the last group is an empty scan, not an error.
+  uint32_t group_end = std::min(spec_.group_end, f.num_row_groups());
+  result.group_begin = std::min(spec_.group_begin, group_end);
+  result.groups.resize(group_end - result.group_begin);
+
+  Status st;
+  if (pool_ != nullptr) {
+    st = pool_->num_threads() > 1 ? ExecuteParallel(pool_, &result)
+                                  : ExecuteSerial(&result);
+  } else if (spec_.threads > 1) {
+    ThreadPool pool(spec_.threads);
+    st = ExecuteParallel(&pool, &result);
+  } else {
+    st = ExecuteSerial(&result);
+  }
+  BULLION_RETURN_NOT_OK(st);
+  return result;
+}
+
+Status ParallelTableScanner::ExecuteSerial(ScanResult* result) const {
+  for (size_t gi = 0; gi < result->groups.size(); ++gi) {
+    uint32_t g = result->group_begin + static_cast<uint32_t>(gi);
+    BULLION_RETURN_NOT_OK(reader_->ReadProjection(
+        g, result->columns, spec_.read_options, &result->groups[gi]));
+  }
+  return Status::OK();
+}
+
+Status ParallelTableScanner::ExecuteParallel(ThreadPool* pool,
+                                             ScanResult* result) const {
+  // Plan stage, serial: pure footer arithmetic, cheap even for
+  // thousands of groups.
+  std::vector<ReadPlan> plans(result->groups.size());
+  for (size_t gi = 0; gi < result->groups.size(); ++gi) {
+    uint32_t g = result->group_begin + static_cast<uint32_t>(gi);
+    BULLION_ASSIGN_OR_RETURN(
+        plans[gi],
+        reader_->PlanProjection(g, result->columns, spec_.read_options));
+    result->groups[gi].resize(result->columns.size());
+  }
+
+  // Fetch + decode stages, parallel: one task per coalesced read.
+  // Tasks write disjoint (group, slot) cells, so no locking is needed
+  // on the output and the result is deterministic.
+  size_t window = pool->num_threads() * (1 + spec_.prefetch_depth);
+  TaskGroup tasks(pool, window);
+  for (size_t gi = 0; gi < plans.size(); ++gi) {
+    uint32_t g = result->group_begin + static_cast<uint32_t>(gi);
+    for (const CoalescedRead& read : plans[gi].reads) {
+      std::vector<ColumnVector>* out = &result->groups[gi];
+      tasks.Submit([this, g, &read, out, result] {
+        return reader_->ExecuteCoalescedRead(g, result->columns, read,
+                                             spec_.read_options, out);
+      });
+    }
+  }
+  return tasks.Wait();
+}
+
+}  // namespace bullion

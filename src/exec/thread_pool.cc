@@ -1,0 +1,97 @@
+#include "exec/thread_pool.h"
+
+#include <utility>
+
+namespace bullion {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Schedule(std::function<void()> fn) {
+  if (workers_.empty()) {
+    fn();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+size_t ThreadPool::DefaultThreadCount() {
+  size_t n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      // Drain remaining tasks even after stop: destruction must not
+      // drop work a TaskGroup is waiting on.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+TaskGroup::TaskGroup(ThreadPool* pool, size_t max_in_flight)
+    : pool_(pool), max_in_flight_(max_in_flight) {}
+
+TaskGroup::~TaskGroup() { Wait(); }
+
+void TaskGroup::Submit(std::function<Status()> task) {
+  size_t index;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (max_in_flight_ > 0) {
+      cv_.wait(lock, [this] { return in_flight_ < max_in_flight_; });
+    }
+    index = next_index_++;
+    ++in_flight_;
+  }
+  if (pool_ == nullptr || pool_->num_threads() == 0) {
+    Run(index, task);
+    return;
+  }
+  pool_->Schedule(
+      [this, index, task = std::move(task)] { Run(index, task); });
+}
+
+void TaskGroup::Run(size_t index, const std::function<Status()>& task) {
+  Status st = task();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!st.ok() && (!has_error_ || index < first_error_index_)) {
+    has_error_ = true;
+    first_error_index_ = index;
+    first_error_ = std::move(st);
+  }
+  --in_flight_;
+  cv_.notify_all();
+}
+
+Status TaskGroup::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return in_flight_ == 0; });
+  return has_error_ ? first_error_ : Status::OK();
+}
+
+}  // namespace bullion

@@ -1,0 +1,96 @@
+// Execution primitives for the parallel scan layer (and every future
+// scaling subsystem: sharding, async I/O, cache warming).
+//
+//   ThreadPool — a fixed set of worker threads draining a FIFO task
+//     queue. Construction spawns the workers; destruction drains
+//     nothing: pending tasks still run, then workers join.
+//   TaskGroup  — a fork/join scope over a pool: Submit() fans
+//     Status-returning tasks out (bounded by max_in_flight for
+//     prefetch-window control), Wait() joins and reports the first
+//     failure in submission order, which keeps error reporting
+//     deterministic regardless of scheduling.
+//
+// A TaskGroup over a null pool (or a pool with zero workers) runs
+// every task inline on the submitting thread — the serial fallback the
+// determinism tests compare against.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace bullion {
+
+/// \brief Fixed-size worker pool with a FIFO task queue.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (0 is allowed: Schedule then runs
+  /// tasks inline).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues `fn` for execution by a worker (inline if the pool has
+  /// no workers). Never blocks.
+  void Schedule(std::function<void()> fn);
+
+  /// std::thread::hardware_concurrency() with a floor of 1.
+  static size_t DefaultThreadCount();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// \brief Fork/join scope for a batch of Status-returning tasks.
+class TaskGroup {
+ public:
+  /// Tasks run on `pool` (inline when pool is null or has no workers).
+  /// `max_in_flight` bounds submitted-but-unfinished tasks; Submit()
+  /// blocks while the window is full. 0 means unbounded.
+  explicit TaskGroup(ThreadPool* pool, size_t max_in_flight = 0);
+
+  /// Waits for all outstanding tasks.
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Fans out one task. May block to respect max_in_flight.
+  void Submit(std::function<Status()> task);
+
+  /// Joins every submitted task; returns OK if all succeeded, else the
+  /// failing status with the smallest submission index.
+  Status Wait();
+
+ private:
+  void Run(size_t index, const std::function<Status()>& task);
+
+  ThreadPool* pool_;
+  size_t max_in_flight_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t in_flight_ = 0;
+  size_t next_index_ = 0;
+  bool has_error_ = false;
+  size_t first_error_index_ = 0;
+  Status first_error_;
+};
+
+}  // namespace bullion

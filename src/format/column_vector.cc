@@ -64,6 +64,119 @@ Result<ColumnVector> ColumnVector::Permute(
   return out;
 }
 
+void ColumnVector::AppendRowFrom(const ColumnVector& src, int64_t src_row) {
+  if (src_row < 0) {
+    // Placeholder for a physically removed row.
+    switch (list_depth_) {
+      case 0:
+        switch (domain()) {
+          case ValueDomain::kInt:
+            AppendInt(0);
+            break;
+          case ValueDomain::kReal:
+            AppendReal(0.0);
+            break;
+          case ValueDomain::kBinary:
+            AppendBinary("");
+            break;
+        }
+        break;
+      case 1:
+        switch (domain()) {
+          case ValueDomain::kInt:
+            AppendIntList({});
+            break;
+          case ValueDomain::kReal:
+            AppendRealList({});
+            break;
+          case ValueDomain::kBinary:
+            AppendBinaryList({});
+            break;
+        }
+        break;
+      default:
+        AppendIntListList({});
+        break;
+    }
+    return;
+  }
+  size_t r = static_cast<size_t>(src_row);
+  switch (list_depth_) {
+    case 0:
+      switch (domain()) {
+        case ValueDomain::kInt:
+          AppendInt(src.int_values_[r]);
+          break;
+        case ValueDomain::kReal:
+          AppendReal(src.real_values_[r]);
+          break;
+        case ValueDomain::kBinary:
+          AppendBinary(src.bin_values_[r]);
+          break;
+      }
+      break;
+    case 1: {
+      auto [b, e] = src.ListRange(r);
+      switch (domain()) {
+        case ValueDomain::kInt:
+          AppendIntList(std::vector<int64_t>(src.int_values_.begin() + b,
+                                             src.int_values_.begin() + e));
+          break;
+        case ValueDomain::kReal:
+          AppendRealList(std::vector<double>(src.real_values_.begin() + b,
+                                             src.real_values_.begin() + e));
+          break;
+        case ValueDomain::kBinary:
+          AppendBinaryList(std::vector<std::string>(
+              src.bin_values_.begin() + b, src.bin_values_.begin() + e));
+          break;
+      }
+      break;
+    }
+    default: {
+      int64_t ib = src.offsets_[0][r];
+      int64_t ie = src.offsets_[0][r + 1];
+      std::vector<std::vector<int64_t>> row;
+      for (int64_t j = ib; j < ie; ++j) {
+        int64_t vb = src.offsets_[1][j];
+        int64_t ve = src.offsets_[1][j + 1];
+        row.push_back(std::vector<int64_t>(src.int_values_.begin() + vb,
+                                           src.int_values_.begin() + ve));
+      }
+      AppendIntListList(row);
+      break;
+    }
+  }
+}
+
+void ColumnVector::AppendAllFrom(const ColumnVector& src) {
+  // Bulk-append the value and offset arrays directly: concatenating
+  // per-group decodes must not re-copy row by row (ReadFullColumn on a
+  // large column would double its allocations otherwise).
+  int64_t leaf_base = static_cast<int64_t>(LeafCount());
+  int_values_.insert(int_values_.end(), src.int_values_.begin(),
+                     src.int_values_.end());
+  real_values_.insert(real_values_.end(), src.real_values_.begin(),
+                      src.real_values_.end());
+  bin_values_.insert(bin_values_.end(), src.bin_values_.begin(),
+                     src.bin_values_.end());
+  if (list_depth_ == 0) return;
+  // Inner-most offsets index leaf values; outer levels index the
+  // items of the level below. Rebase each level by the item count it
+  // held before the append (offset arrays carry a leading 0 sentinel).
+  std::vector<int64_t> bases(list_depth_);
+  bases[list_depth_ - 1] = leaf_base;
+  for (int level = list_depth_ - 2; level >= 0; --level) {
+    bases[level] = static_cast<int64_t>(offsets_[level + 1].size()) - 1;
+  }
+  for (int level = 0; level < list_depth_; ++level) {
+    const auto& from = src.offsets_[level];
+    for (size_t i = 1; i < from.size(); ++i) {
+      offsets_[level].push_back(bases[level] + from[i]);
+    }
+  }
+}
+
 std::vector<uint32_t> SortPermutationDescending(
     const std::vector<double>& scores) {
   std::vector<uint32_t> perm(scores.size());

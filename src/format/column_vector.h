@@ -138,6 +138,16 @@ class ColumnVector {
   /// subset for survivor selection in delete-by-rewrite).
   Result<ColumnVector> Permute(const std::vector<uint32_t>& perm) const;
 
+  /// Appends row `src_row` of `src` (same physical type / list depth).
+  /// A negative src_row appends a zero/empty placeholder — used by the
+  /// reader to stand in for physically erased rows (§2.1).
+  void AppendRowFrom(const ColumnVector& src, int64_t src_row);
+
+  /// Appends every row of `src` (same physical type / list depth).
+  /// Concatenating per-group decodes with this yields the same logical
+  /// content as decoding sequentially into one vector.
+  void AppendAllFrom(const ColumnVector& src);
+
   bool operator==(const ColumnVector& o) const {
     return physical_ == o.physical_ && list_depth_ == o.list_depth_ &&
            offsets_ == o.offsets_ && int_values_ == o.int_values_ &&

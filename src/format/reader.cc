@@ -41,96 +41,6 @@ Result<std::vector<uint32_t>> TableReader::ResolveColumns(
   return out;
 }
 
-namespace {
-
-/// Appends one row from `src` (or a placeholder when src_row < 0).
-void AppendRow(const ColumnVector& src, int64_t src_row, ColumnVector* out) {
-  if (src_row < 0) {
-    // Placeholder for a physically removed row.
-    switch (out->list_depth()) {
-      case 0:
-        switch (out->domain()) {
-          case ValueDomain::kInt:
-            out->AppendInt(0);
-            break;
-          case ValueDomain::kReal:
-            out->AppendReal(0.0);
-            break;
-          case ValueDomain::kBinary:
-            out->AppendBinary("");
-            break;
-        }
-        break;
-      case 1:
-        switch (out->domain()) {
-          case ValueDomain::kInt:
-            out->AppendIntList({});
-            break;
-          case ValueDomain::kReal:
-            out->AppendRealList({});
-            break;
-          case ValueDomain::kBinary:
-            out->AppendBinaryList({});
-            break;
-        }
-        break;
-      default:
-        out->AppendIntListList({});
-        break;
-    }
-    return;
-  }
-  size_t r = static_cast<size_t>(src_row);
-  switch (out->list_depth()) {
-    case 0:
-      switch (out->domain()) {
-        case ValueDomain::kInt:
-          out->AppendInt(src.int_values()[r]);
-          break;
-        case ValueDomain::kReal:
-          out->AppendReal(src.real_values()[r]);
-          break;
-        case ValueDomain::kBinary:
-          out->AppendBinary(src.bin_values()[r]);
-          break;
-      }
-      break;
-    case 1: {
-      auto [b, e] = src.ListRange(r);
-      switch (out->domain()) {
-        case ValueDomain::kInt:
-          out->AppendIntList(std::vector<int64_t>(
-              src.int_values().begin() + b, src.int_values().begin() + e));
-          break;
-        case ValueDomain::kReal:
-          out->AppendRealList(std::vector<double>(
-              src.real_values().begin() + b, src.real_values().begin() + e));
-          break;
-        case ValueDomain::kBinary:
-          out->AppendBinaryList(std::vector<std::string>(
-              src.bin_values().begin() + b, src.bin_values().begin() + e));
-          break;
-      }
-      break;
-    }
-    default: {
-      int64_t ib = src.offsets()[0][r];
-      int64_t ie = src.offsets()[0][r + 1];
-      std::vector<std::vector<int64_t>> row;
-      for (int64_t j = ib; j < ie; ++j) {
-        int64_t vb = src.offsets()[1][j];
-        int64_t ve = src.offsets()[1][j + 1];
-        row.push_back(std::vector<int64_t>(src.int_values().begin() + vb,
-                                           src.int_values().begin() + ve));
-      }
-      out->AppendIntListList(row);
-      break;
-    }
-  }
-}
-
-}  // namespace
-
 Status TableReader::DecodeChunkFromBuffer(uint32_t g, uint32_t c,
                                           Slice chunk_bytes,
                                           uint64_t chunk_file_offset,
@@ -169,7 +79,7 @@ Status TableReader::DecodeChunkFromBuffer(uint32_t g, uint32_t c,
     if (got == expected) {
       for (uint32_t r = 0; r < expected; ++r) {
         if (options.filter_deleted && f.IsDeleted(g, row0 + r)) continue;
-        AppendRow(decoded, static_cast<int64_t>(r), out);
+        out->AppendRowFrom(decoded, static_cast<int64_t>(r));
       }
     } else if (got < expected) {
       // Rows physically removed by in-place deletion (§2.1 RLE path):
@@ -177,13 +87,13 @@ Status TableReader::DecodeChunkFromBuffer(uint32_t g, uint32_t c,
       size_t ti = 0;
       for (uint32_t r = 0; r < expected; ++r) {
         if (f.IsDeleted(g, row0 + r)) {
-          if (!options.filter_deleted) AppendRow(decoded, -1, out);
+          if (!options.filter_deleted) out->AppendRowFrom(decoded, -1);
           continue;
         }
         if (ti >= got) {
           return Status::Corruption("page realign: values exhausted");
         }
-        AppendRow(decoded, static_cast<int64_t>(ti++), out);
+        out->AppendRowFrom(decoded, static_cast<int64_t>(ti++));
       }
       if (ti != got) {
         return Status::Corruption("page realign: trailing values");
@@ -213,69 +123,64 @@ Status TableReader::ReadColumnChunk(uint32_t g, uint32_t c,
   return DecodeChunkFromBuffer(g, c, bytes.AsSlice(), begin, options, out);
 }
 
-Status TableReader::ReadProjection(uint32_t g,
-                                   const std::vector<uint32_t>& columns,
-                                   const ReadOptions& options,
-                                   std::vector<ColumnVector>* out) const {
+Result<ReadPlan> TableReader::PlanProjection(
+    uint32_t g, const std::vector<uint32_t>& columns,
+    const ReadOptions& options) const {
   const FooterView& f = footer_view_;
   if (g >= f.num_row_groups()) {
     return Status::InvalidArgument("group out of range");
   }
-  struct ChunkRange {
-    uint64_t begin;
-    uint64_t end;
-    uint32_t column;
-    size_t request_slot;
-  };
-  std::vector<ChunkRange> ranges;
-  ranges.reserve(columns.size());
+  std::vector<ChunkRequest> requests;
+  requests.reserve(columns.size());
   for (size_t i = 0; i < columns.size(); ++i) {
     uint32_t c = columns[i];
     if (c >= f.num_columns()) {
       return Status::InvalidArgument("column out of range");
     }
     auto [first_page, end_page] = f.chunk_pages(g, c);
-    ranges.push_back(ChunkRange{f.chunk_offset(g, c),
-                                f.page_offset(end_page), c, i});
+    (void)first_page;
+    requests.push_back(
+        ChunkRequest{f.chunk_offset(g, c), f.page_offset(end_page), i});
   }
-  std::sort(ranges.begin(), ranges.end(),
-            [](const ChunkRange& a, const ChunkRange& b) {
-              return a.begin < b.begin;
-            });
+  ReadPlanOptions plan_options;
+  plan_options.coalesce_gap_bytes = options.coalesce_gap_bytes;
+  plan_options.max_coalesced_bytes = options.max_coalesced_bytes;
+  return BuildReadPlan(std::move(requests), plan_options);
+}
 
+Status TableReader::ExecuteCoalescedRead(uint32_t g,
+                                         const std::vector<uint32_t>& columns,
+                                         const CoalescedRead& read,
+                                         const ReadOptions& options,
+                                         std::vector<ColumnVector>* out) const {
+  const FooterView& f = footer_view_;
+  Buffer bytes;
+  BULLION_RETURN_NOT_OK(file_->Read(read.begin, read.size(), &bytes));
+  for (const ChunkRequest& r : read.chunks) {
+    if (r.user_index >= columns.size() || r.user_index >= out->size()) {
+      return Status::InvalidArgument("chunk user_index out of range");
+    }
+    uint32_t c = columns[r.user_index];
+    ColumnRecord rec = f.column_record(c);
+    ColumnVector col(static_cast<PhysicalType>(rec.physical), rec.list_depth);
+    Slice chunk = bytes.AsSlice().SubSlice(r.begin - read.begin, r.size());
+    BULLION_RETURN_NOT_OK(
+        DecodeChunkFromBuffer(g, c, chunk, r.begin, options, &col));
+    (*out)[r.user_index] = std::move(col);
+  }
+  return Status::OK();
+}
+
+Status TableReader::ReadProjection(uint32_t g,
+                                   const std::vector<uint32_t>& columns,
+                                   const ReadOptions& options,
+                                   std::vector<ColumnVector>* out) const {
+  BULLION_ASSIGN_OR_RETURN(ReadPlan plan, PlanProjection(g, columns, options));
   out->clear();
   out->resize(columns.size());
-
-  // Coalesce adjacent ranges into single preads (Alpha-style).
-  size_t i = 0;
-  while (i < ranges.size()) {
-    size_t j = i;
-    uint64_t io_begin = ranges[i].begin;
-    uint64_t io_end = ranges[i].end;
-    while (j + 1 < ranges.size()) {
-      const ChunkRange& next = ranges[j + 1];
-      if (next.begin > io_end + options.coalesce_gap_bytes) break;
-      if (std::max(io_end, next.end) - io_begin >
-          options.max_coalesced_bytes) {
-        break;
-      }
-      io_end = std::max(io_end, next.end);
-      ++j;
-    }
-    Buffer bytes;
-    BULLION_RETURN_NOT_OK(file_->Read(io_begin, io_end - io_begin, &bytes));
-    for (size_t k = i; k <= j; ++k) {
-      const ChunkRange& r = ranges[k];
-      ColumnRecord rec = f.column_record(r.column);
-      ColumnVector col(static_cast<PhysicalType>(rec.physical),
-                       rec.list_depth);
-      Slice chunk = bytes.AsSlice().SubSlice(r.begin - io_begin,
-                                             r.end - r.begin);
-      BULLION_RETURN_NOT_OK(DecodeChunkFromBuffer(g, r.column, chunk, r.begin,
-                                                  options, &col));
-      (*out)[r.request_slot] = std::move(col);
-    }
-    i = j + 1;
+  for (const CoalescedRead& read : plan.reads) {
+    BULLION_RETURN_NOT_OK(
+        ExecuteCoalescedRead(g, columns, read, options, out));
   }
   return Status::OK();
 }

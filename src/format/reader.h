@@ -2,9 +2,18 @@
 // then serves projection reads straight off the zero-copy FooterView.
 //
 // Opening never deserializes per-column metadata — the Fig. 5 claim.
-// Projection reads coalesce adjacent chunk byte ranges into single
-// pread()s (Alpha-style "coalesced reads", capped at
-// ReadOptions::max_coalesced_bytes).
+// Projection reads are layered plan → fetch → decode:
+//   plan   PlanProjection() maps the projection's chunk ranges to a
+//          coalesced ReadPlan (io/read_planner.h; Alpha-style merging
+//          capped at ReadOptions::max_coalesced_bytes),
+//   fetch  each CoalescedRead is one pread() against the (thread-safe)
+//          RandomAccessFile,
+//   decode ExecuteCoalescedRead() decodes every chunk the read covers
+//          into its projection slot.
+// ReadProjection() runs the three stages serially; the exec/ layer
+// (ParallelTableScanner) drives the same stages with coalesced reads
+// fanned out across a thread pool. All reader methods are const and
+// safe to call from multiple threads concurrently.
 
 #pragma once
 
@@ -20,6 +29,7 @@
 #include "format/footer.h"
 #include "format/schema.h"
 #include "io/file.h"
+#include "io/read_planner.h"
 
 namespace bullion {
 
@@ -29,9 +39,9 @@ struct ReadOptions {
   /// Verify page checksums against the footer Merkle leaves.
   bool verify_checksums = false;
   /// Merge reads whose gap is at most this many bytes.
-  uint64_t coalesce_gap_bytes = 64 * 1024;
+  uint64_t coalesce_gap_bytes = kDefaultCoalesceGapBytes;
   /// Upper bound for one coalesced I/O (Alpha uses 1.25 MiB).
-  uint64_t max_coalesced_bytes = 1280 * 1024;
+  uint64_t max_coalesced_bytes = kDefaultMaxCoalescedBytes;
 };
 
 /// \brief Read handle over one Bullion file.
@@ -57,8 +67,30 @@ class TableReader {
   Status ReadColumnChunk(uint32_t g, uint32_t c, const ReadOptions& options,
                          ColumnVector* out) const;
 
+  /// Plan stage: maps a projection of row group `g` to a coalesced
+  /// ReadPlan. Each planned chunk's user_index is the position of its
+  /// column in `columns` (the projection slot). Pure metadata work —
+  /// no I/O.
+  Result<ReadPlan> PlanProjection(uint32_t g,
+                                  const std::vector<uint32_t>& columns,
+                                  const ReadOptions& options) const;
+
+  /// Fetch + decode stages for one planned read: preads
+  /// [read.begin, read.end) once and decodes every covered chunk into
+  /// `(*out)[chunk.user_index]`. `out` must already have one slot per
+  /// projection column. Distinct reads touch distinct slots, so
+  /// multiple ExecuteCoalescedRead calls (even for different groups)
+  /// may run concurrently against non-overlapping outputs.
+  Status ExecuteCoalescedRead(uint32_t g,
+                              const std::vector<uint32_t>& columns,
+                              const CoalescedRead& read,
+                              const ReadOptions& options,
+                              std::vector<ColumnVector>* out) const;
+
   /// Projection read of a full row group with I/O coalescing. `out`
   /// receives one ColumnVector per requested column, in request order.
+  /// Equivalent to PlanProjection + ExecuteCoalescedRead over every
+  /// planned read, in plan order.
   Status ReadProjection(uint32_t g, const std::vector<uint32_t>& columns,
                         const ReadOptions& options,
                         std::vector<ColumnVector>* out) const;

@@ -12,21 +12,19 @@ namespace bullion {
 namespace {
 
 void AccountRead(IoStats* stats, uint64_t offset, size_t len,
-                 uint64_t* last_end) {
+                 std::atomic<uint64_t>* last_end) {
   if (stats == nullptr) return;
   stats->read_ops += 1;
   stats->bytes_read += len;
-  if (*last_end != offset) stats->seeks += 1;
-  *last_end = offset + len;
+  if (last_end->exchange(offset + len) != offset) stats->seeks += 1;
 }
 
 void AccountWrite(IoStats* stats, uint64_t offset, size_t len,
-                  uint64_t* last_end) {
+                  std::atomic<uint64_t>* last_end) {
   if (stats == nullptr) return;
   stats->write_ops += 1;
   stats->bytes_written += len;
-  if (*last_end != offset) stats->seeks += 1;
-  *last_end = offset + len;
+  if (last_end->exchange(offset + len) != offset) stats->seeks += 1;
 }
 
 }  // namespace

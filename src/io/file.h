@@ -7,6 +7,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -29,6 +30,12 @@ class RandomAccessFile {
 
   /// Reads `len` bytes at `offset` into `scratch`; returns the bytes
   /// actually read as a Buffer. Short reads are errors except at EOF.
+  ///
+  /// Contract: Read must be safe to call from multiple threads
+  /// concurrently on one handle — the parallel scanner (src/exec)
+  /// shares a single RandomAccessFile across its workers.
+  /// Implementations must not rely on per-handle mutable state (file
+  /// position, shared scratch buffers) without synchronization.
   virtual Status Read(uint64_t offset, size_t len, Buffer* out) const = 0;
 
   /// Total file size.
@@ -62,7 +69,11 @@ class InMemoryFile {
 
 class InMemoryFileSystem;
 
-/// Readable view over an InMemoryFile with stats accounting.
+/// Readable view over an InMemoryFile with stats accounting. Read() is
+/// thread-safe (the parallel scanner shares one handle across
+/// workers); seek accounting uses an atomic last-end marker, so under
+/// concurrent reads the seek count reflects the interleaved order the
+/// operations actually hit the "device" in.
 class InMemoryReadableFile : public RandomAccessFile {
  public:
   InMemoryReadableFile(std::shared_ptr<InMemoryFile> file, IoStats* stats)
@@ -74,7 +85,7 @@ class InMemoryReadableFile : public RandomAccessFile {
  private:
   std::shared_ptr<InMemoryFile> file_;
   IoStats* stats_;
-  mutable uint64_t last_end_;
+  mutable std::atomic<uint64_t> last_end_;
 };
 
 /// Writable handle over an InMemoryFile with stats accounting.
@@ -91,7 +102,7 @@ class InMemoryWritableFile : public WritableFile {
  private:
   std::shared_ptr<InMemoryFile> file_;
   IoStats* stats_;
-  uint64_t last_end_;
+  std::atomic<uint64_t> last_end_;
 };
 
 /// \brief A name → InMemoryFile map with shared IoStats.

@@ -1,31 +1,55 @@
 // I/O accounting: every file wrapper in src/io reports into an IoStats
 // so benches can report hardware-independent metrics (ops, bytes,
 // distinct ranges) alongside modeled device time (simulated_device.h).
+//
+// Counters are atomic so one IoStats can be shared by every file
+// handle of an InMemoryFileSystem while a parallel scan (src/exec)
+// reads through them concurrently. Copying takes a relaxed snapshot of
+// each counter; under concurrent updates the copy is per-counter
+// consistent, not a cross-counter atomic snapshot — fine for the
+// reporting these feed.
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 namespace bullion {
 
 /// \brief Counters describing the I/O a reader/writer performed.
 struct IoStats {
-  uint64_t read_ops = 0;
-  uint64_t bytes_read = 0;
-  uint64_t write_ops = 0;
-  uint64_t bytes_written = 0;
+  std::atomic<uint64_t> read_ops{0};
+  std::atomic<uint64_t> bytes_read{0};
+  std::atomic<uint64_t> write_ops{0};
+  std::atomic<uint64_t> bytes_written{0};
   /// Number of reads/writes that were not contiguous with the previous
   /// operation (proxy for seeks on spinning/flash media).
-  uint64_t seeks = 0;
+  std::atomic<uint64_t> seeks{0};
+
+  IoStats() = default;
+  IoStats(const IoStats& o) { *this = o; }
+  IoStats& operator=(const IoStats& o) {
+    read_ops.store(o.read_ops.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+    bytes_read.store(o.bytes_read.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    write_ops.store(o.write_ops.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+    bytes_written.store(o.bytes_written.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    seeks.store(o.seeks.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    return *this;
+  }
 
   void Reset() { *this = IoStats{}; }
 
   IoStats& operator+=(const IoStats& o) {
-    read_ops += o.read_ops;
-    bytes_read += o.bytes_read;
-    write_ops += o.write_ops;
-    bytes_written += o.bytes_written;
-    seeks += o.seeks;
+    read_ops += o.read_ops.load(std::memory_order_relaxed);
+    bytes_read += o.bytes_read.load(std::memory_order_relaxed);
+    write_ops += o.write_ops.load(std::memory_order_relaxed);
+    bytes_written += o.bytes_written.load(std::memory_order_relaxed);
+    seeks += o.seeks.load(std::memory_order_relaxed);
     return *this;
   }
 };

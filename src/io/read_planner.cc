@@ -1,0 +1,55 @@
+#include "io/read_planner.h"
+
+#include <algorithm>
+
+namespace bullion {
+
+uint64_t ReadPlan::total_io_bytes() const {
+  uint64_t total = 0;
+  for (const CoalescedRead& r : reads) total += r.size();
+  return total;
+}
+
+uint64_t ReadPlan::total_chunk_bytes() const {
+  uint64_t total = 0;
+  for (const CoalescedRead& r : reads) {
+    for (const ChunkRequest& c : r.chunks) total += c.size();
+  }
+  return total;
+}
+
+ReadPlan BuildReadPlan(std::vector<ChunkRequest> chunks,
+                       const ReadPlanOptions& options) {
+  ReadPlan plan;
+  if (chunks.empty()) return plan;
+  std::sort(chunks.begin(), chunks.end(),
+            [](const ChunkRequest& a, const ChunkRequest& b) {
+              return a.begin < b.begin;
+            });
+
+  size_t i = 0;
+  while (i < chunks.size()) {
+    CoalescedRead read;
+    read.begin = chunks[i].begin;
+    read.end = chunks[i].end;
+    read.chunks.push_back(chunks[i]);
+    size_t j = i;
+    while (j + 1 < chunks.size()) {
+      const ChunkRequest& next = chunks[j + 1];
+      // A gap of exactly coalesce_gap_bytes still merges.
+      if (next.begin > read.end + options.coalesce_gap_bytes) break;
+      if (std::max(read.end, next.end) - read.begin >
+          options.max_coalesced_bytes) {
+        break;
+      }
+      read.end = std::max(read.end, next.end);
+      read.chunks.push_back(next);
+      ++j;
+    }
+    plan.reads.push_back(std::move(read));
+    i = j + 1;
+  }
+  return plan;
+}
+
+}  // namespace bullion

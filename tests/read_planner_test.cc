@@ -1,0 +1,117 @@
+// Read-planner tests: coalescing policy edge cases, plan accounting,
+// and equivalence with the reader's projection planning.
+
+#include <gtest/gtest.h>
+
+#include "io/read_planner.h"
+
+namespace bullion {
+namespace {
+
+ReadPlanOptions Opts(uint64_t gap, uint64_t max) {
+  ReadPlanOptions o;
+  o.coalesce_gap_bytes = gap;
+  o.max_coalesced_bytes = max;
+  return o;
+}
+
+TEST(ReadPlanner, EmptyInputYieldsEmptyPlan) {
+  ReadPlan plan = BuildReadPlan({}, Opts(64, 1024));
+  EXPECT_EQ(plan.num_reads(), 0u);
+  EXPECT_EQ(plan.total_io_bytes(), 0u);
+  EXPECT_EQ(plan.total_chunk_bytes(), 0u);
+}
+
+TEST(ReadPlanner, SingleChunkSingleRead) {
+  ReadPlan plan = BuildReadPlan({{100, 200, 7}}, Opts(64, 1024));
+  ASSERT_EQ(plan.num_reads(), 1u);
+  EXPECT_EQ(plan.reads[0].begin, 100u);
+  EXPECT_EQ(plan.reads[0].end, 200u);
+  ASSERT_EQ(plan.reads[0].chunks.size(), 1u);
+  EXPECT_EQ(plan.reads[0].chunks[0].user_index, 7u);
+}
+
+TEST(ReadPlanner, AdjacentChunksCoalesce) {
+  ReadPlan plan = BuildReadPlan({{0, 100, 0}, {100, 200, 1}}, Opts(0, 1024));
+  ASSERT_EQ(plan.num_reads(), 1u);
+  EXPECT_EQ(plan.reads[0].begin, 0u);
+  EXPECT_EQ(plan.reads[0].end, 200u);
+  EXPECT_EQ(plan.total_io_bytes(), 200u);
+  EXPECT_EQ(plan.total_chunk_bytes(), 200u);
+}
+
+TEST(ReadPlanner, GapExactlyEqualToThresholdCoalesces) {
+  // next.begin == prev_end + gap must merge (merge on <=, split on >).
+  ReadPlan plan = BuildReadPlan({{0, 100, 0}, {164, 200, 1}}, Opts(64, 1024));
+  ASSERT_EQ(plan.num_reads(), 1u);
+  EXPECT_EQ(plan.reads[0].begin, 0u);
+  EXPECT_EQ(plan.reads[0].end, 200u);
+  EXPECT_EQ(plan.total_io_bytes(), 200u);
+  EXPECT_EQ(plan.total_chunk_bytes(), 136u);  // 64 gap bytes over-read
+}
+
+TEST(ReadPlanner, GapOneByteOverThresholdSplits) {
+  ReadPlan plan = BuildReadPlan({{0, 100, 0}, {165, 200, 1}}, Opts(64, 1024));
+  ASSERT_EQ(plan.num_reads(), 2u);
+  EXPECT_EQ(plan.reads[0].end, 100u);
+  EXPECT_EQ(plan.reads[1].begin, 165u);
+}
+
+TEST(ReadPlanner, MaxCoalescedBytesBoundsMerging) {
+  // Three adjacent 100-byte chunks with a 250-byte I/O cap: merging the
+  // third would make 300 bytes, so it starts a new read.
+  ReadPlan plan = BuildReadPlan({{0, 100, 0}, {100, 200, 1}, {200, 300, 2}},
+                                Opts(64, 250));
+  ASSERT_EQ(plan.num_reads(), 2u);
+  EXPECT_EQ(plan.reads[0].chunks.size(), 2u);
+  EXPECT_EQ(plan.reads[1].chunks.size(), 1u);
+}
+
+TEST(ReadPlanner, SingleChunkLargerThanMaxIsNeverSplit) {
+  // One 4 KiB chunk under a 1 KiB cap still becomes one read: chunks
+  // are atomic. Neighbors must not merge into the oversized read.
+  ReadPlan plan = BuildReadPlan({{0, 4096, 0}, {4096, 4196, 1}}, Opts(64, 1024));
+  ASSERT_EQ(plan.num_reads(), 2u);
+  EXPECT_EQ(plan.reads[0].begin, 0u);
+  EXPECT_EQ(plan.reads[0].end, 4096u);
+  ASSERT_EQ(plan.reads[0].chunks.size(), 1u);
+  EXPECT_EQ(plan.reads[1].begin, 4096u);
+}
+
+TEST(ReadPlanner, UnsortedInputIsSortedAndTagsSurvive) {
+  ReadPlan plan =
+      BuildReadPlan({{500, 600, 0}, {0, 100, 1}, {90, 220, 2}}, Opts(0, 1024));
+  ASSERT_EQ(plan.num_reads(), 2u);
+  // Overlapping chunks [0,100) and [90,220) merge; tags route results.
+  EXPECT_EQ(plan.reads[0].begin, 0u);
+  EXPECT_EQ(plan.reads[0].end, 220u);
+  ASSERT_EQ(plan.reads[0].chunks.size(), 2u);
+  EXPECT_EQ(plan.reads[0].chunks[0].user_index, 1u);
+  EXPECT_EQ(plan.reads[0].chunks[1].user_index, 2u);
+  EXPECT_EQ(plan.reads[1].chunks[0].user_index, 0u);
+}
+
+TEST(ReadPlanner, EveryChunkAppearsExactlyOnce) {
+  std::vector<ChunkRequest> chunks;
+  for (size_t i = 0; i < 100; ++i) {
+    uint64_t begin = i * 1000;
+    chunks.push_back({begin, begin + 700, i});
+  }
+  ReadPlan plan = BuildReadPlan(chunks, Opts(512, 8 * 1024));
+  std::vector<bool> seen(chunks.size(), false);
+  for (const CoalescedRead& read : plan.reads) {
+    for (const ChunkRequest& c : read.chunks) {
+      EXPECT_GE(c.begin, read.begin);
+      EXPECT_LE(c.end, read.end);
+      EXPECT_FALSE(seen[c.user_index]) << "chunk planned twice";
+      seen[c.user_index] = true;
+    }
+  }
+  for (size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_TRUE(seen[i]) << "chunk " << i << " missing from plan";
+  }
+  EXPECT_EQ(plan.total_chunk_bytes(), 100u * 700u);
+}
+
+}  // namespace
+}  // namespace bullion
