@@ -1,0 +1,246 @@
+// E12 — dataset layer: sharded parallel scan + decoded-chunk cache.
+//
+// E12a: one logical ads table sharded 1/2/4/8 ways, scanned through
+//       DatasetScanBuilder at increasing thread counts on ONE shared
+//       pool. Every cell is verified byte-identical to concatenating
+//       per-shard serial scans before it is timed.
+// E12b: epoch loop with a DecodedChunkCache — the training-shaped
+//       access pattern. The cold epoch pays fetch + decode and fills
+//       the cache; warm epochs must issue ZERO preads (asserted via
+//       IoStats.read_ops) because every (shard, group, column) chunk
+//       is served decoded from the LRU. Also shows a byte-budgeted
+//       cache (half the table) evicting under pressure.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "common/logging.h"
+#include "core/bullion.h"
+#include "workload/ads_schema.h"
+
+namespace bullion {
+namespace {
+
+using workload::AdsDataOptions;
+using workload::BuildAdsSchema;
+using workload::GenerateAdsData;
+
+/// A narrow ads table written as `num_shards` Bullion files through
+/// ShardedTableWriter, plus a ready ShardedTableReader over them.
+struct ShardedCorpus {
+  InMemoryFileSystem fs;
+  Schema schema;
+  std::vector<uint32_t> projection;  // ~10% of leaves
+  ShardManifest manifest;
+  std::unique_ptr<ShardedTableReader> reader;
+  size_t total_rows;
+
+  ShardedCorpus(double scale, size_t total_rows, size_t rows_per_group,
+                size_t num_shards)
+      : total_rows(total_rows) {
+    schema = BuildAdsSchema(scale);
+    AdsDataOptions dopts;
+    dopts.seq_length = 16;
+
+    ShardedWriterOptions opts;
+    opts.rows_per_group = static_cast<uint32_t>(rows_per_group);
+    opts.target_rows_per_shard = total_rows / num_shards;
+    opts.base_name = "ads";
+    opts.writer.rows_per_page = 512;
+    ShardedTableWriter writer(schema, opts, [this](const std::string& name) {
+      return fs.NewWritableFile(name);
+    });
+    // Append in row-group-sized batches (streaming-writer shape).
+    for (size_t r = 0, seed = 7; r < total_rows;
+         r += rows_per_group, ++seed) {
+      BULLION_CHECK_OK(writer.Append(
+          GenerateAdsData(schema, rows_per_group, seed, dopts)));
+    }
+    manifest = *writer.Finish();
+    reader = *ShardedTableReader::Open(manifest, [this](const std::string& n) {
+      return fs.NewReadableFile(n);
+    });
+    for (uint32_t c = 0; c < schema.num_leaves(); c += 10) {
+      projection.push_back(c);
+    }
+  }
+
+  uint64_t DataBytes() const {
+    uint64_t bytes = 0;
+    for (const ShardInfo& s : manifest.shards()) {
+      bytes += *fs.FileSize(s.name);
+    }
+    return bytes;
+  }
+};
+
+void PrintShardedScanReport() {
+  bench::PrintHeader(
+      "E12a / dataset layer: sharded 10% projection, one shared pool");
+  size_t hw = ThreadPool::DefaultThreadCount();
+  std::printf("hardware_concurrency: %zu%s\n", hw,
+              hw <= 1 ? "  ** SINGLE CORE: parallel rows degenerate to "
+                        "<=1x serial; not a scaling measurement **"
+                      : "");
+
+  std::printf("%8s %8s %12s %14s %10s %10s\n", "shards", "threads", "scan_ms",
+              "MB/s(files)", "speedup", "identical");
+  for (size_t shards : {1, 2, 4, 8}) {
+    ShardedCorpus corpus(0.02, 4096, 512, shards);
+    uint64_t data_bytes = corpus.DataBytes();
+
+    // Ground truth: per-shard serial scans, concatenated.
+    std::vector<std::vector<ColumnVector>> truth;
+    for (size_t s = 0; s < corpus.reader->num_shards(); ++s) {
+      auto scan = ScanBuilder(corpus.reader->shard_reader(s))
+                      .ColumnIndices(corpus.projection)
+                      .Threads(1)
+                      .Scan();
+      BULLION_CHECK(scan.ok());
+      for (auto& g : scan->groups) truth.push_back(std::move(g));
+    }
+
+    double serial_ms = 0;
+    for (size_t threads : {1, 2, 4, 8}) {
+      std::unique_ptr<ThreadPool> pool;
+      if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+      auto scan_once = [&] {
+        return DatasetScanBuilder(corpus.reader.get())
+            .ColumnIndices(corpus.projection)
+            .Threads(threads)
+            .PrefetchDepth(2)
+            .Pool(pool.get())
+            .Scan();
+      };
+      auto check = scan_once();
+      BULLION_CHECK(check.ok());
+      bool identical = check->groups == truth;
+      double ms = bench::TimeUsAveraged([&] {
+                    auto scan = scan_once();
+                    BULLION_CHECK(scan.ok());
+                    benchmark::DoNotOptimize(scan);
+                  }) /
+                  1000.0;
+      if (threads == 1) serial_ms = ms;
+      std::printf("%8zu %8zu %12.3f %14.1f %9.2fx %10s\n", shards, threads,
+                  ms, data_bytes / 1048576.0 / (ms / 1000.0), serial_ms / ms,
+                  identical ? "yes" : "NO");
+    }
+  }
+  std::printf(
+      "(all shards fan through one ThreadPool + one in-flight window; "
+      "output == per-shard serial concat)\n");
+}
+
+void PrintEpochCacheReport() {
+  bench::PrintHeader(
+      "E12b / decoded-chunk cache: cold vs warm training epochs");
+  ShardedCorpus corpus(0.02, 4096, 512, 4);
+  IoStats& stats = corpus.fs.stats();
+
+  auto epoch = [&](DecodedChunkCache* cache) {
+    auto scan = DatasetScanBuilder(corpus.reader.get())
+                    .ColumnIndices(corpus.projection)
+                    .Threads(4)
+                    .Cache(cache)
+                    .Scan();
+    BULLION_CHECK(scan.ok());
+    return scan;
+  };
+
+  // Unbounded-enough cache: the whole projection fits.
+  DecodedChunkCache cache(1ull << 30, &stats);
+  stats.Reset();
+  double cold_ms = bench::TimeUs([&] { epoch(&cache); }) / 1000.0;
+  uint64_t cold_preads = stats.read_ops.load();
+  uint64_t cold_bytes = stats.bytes_read.load();
+
+  auto cold_result = DatasetScanBuilder(corpus.reader.get())
+                         .ColumnIndices(corpus.projection)
+                         .Scan();
+
+  stats.Reset();
+  double warm_ms = bench::TimeUsAveraged([&] {
+                     auto scan = epoch(&cache);
+                     benchmark::DoNotOptimize(scan);
+                   }) /
+                   1000.0;
+  uint64_t warm_preads = stats.read_ops.load();
+  auto warm_result = epoch(&cache);
+  bool identical = warm_result->groups == cold_result->groups;
+
+  std::printf("%8s %12s %10s %14s %12s %12s\n", "epoch", "scan_ms", "preads",
+              "bytes_read", "cache_hits", "identical");
+  std::printf("%8s %12.3f %10llu %14llu %12llu %12s\n", "cold", cold_ms,
+              (unsigned long long)cold_preads, (unsigned long long)cold_bytes,
+              0ull, "-");
+  std::printf("%8s %12.3f %10llu %14llu %12llu %12s\n", "warm", warm_ms,
+              (unsigned long long)warm_preads,
+              (unsigned long long)stats.bytes_read.load(),
+              (unsigned long long)stats.cache_hits.load(),
+              identical ? "yes" : "NO");
+  BULLION_CHECK(warm_preads == 0);  // the acceptance criterion
+  std::printf(
+      "cache: %zu entries, %.1f MB resident; warm epochs issue zero preads "
+      "(%.1fx cold/warm)\n",
+      cache.num_entries(), cache.size_bytes() / 1048576.0,
+      cold_ms / warm_ms);
+
+  // Byte-budgeted run: cap at half the resident set and show pressure.
+  DecodedChunkCache half(cache.size_bytes() / 2, &stats);
+  stats.Reset();
+  epoch(&half);
+  epoch(&half);
+  std::printf(
+      "half-budget cache (%.1f MB cap): hits=%llu misses=%llu "
+      "evictions=%llu (LRU churns, output still identical: %s)\n",
+      half.capacity_bytes() / 1048576.0, (unsigned long long)half.hits(),
+      (unsigned long long)half.misses(),
+      (unsigned long long)half.evictions(),
+      epoch(&half)->groups == cold_result->groups ? "yes" : "NO");
+}
+
+void BM_ShardedScan(benchmark::State& state) {
+  static ShardedCorpus* corpus = new ShardedCorpus(0.02, 4096, 512, 4);
+  size_t threads = static_cast<size_t>(state.range(0));
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+  for (auto _ : state) {
+    auto scan = DatasetScanBuilder(corpus->reader.get())
+                    .ColumnIndices(corpus->projection)
+                    .Threads(threads)
+                    .Pool(pool.get())
+                    .Scan();
+    BULLION_CHECK(scan.ok());
+    benchmark::DoNotOptimize(scan);
+  }
+  state.SetLabel(std::to_string(threads) + " threads, 4 shards");
+}
+BENCHMARK(BM_ShardedScan)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_WarmEpochScan(benchmark::State& state) {
+  static ShardedCorpus* corpus = new ShardedCorpus(0.02, 4096, 512, 4);
+  static DecodedChunkCache* cache = new DecodedChunkCache(1ull << 30);
+  for (auto _ : state) {
+    auto scan = DatasetScanBuilder(corpus->reader.get())
+                    .ColumnIndices(corpus->projection)
+                    .Threads(2)
+                    .Cache(cache)
+                    .Scan();
+    BULLION_CHECK(scan.ok());
+    benchmark::DoNotOptimize(scan);
+  }
+  state.SetLabel("decoded-chunk LRU, all hits after iter 1");
+}
+BENCHMARK(BM_WarmEpochScan)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bullion
+
+int main(int argc, char** argv) {
+  bullion::PrintShardedScanReport();
+  bullion::PrintEpochCacheReport();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

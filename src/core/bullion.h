@@ -6,6 +6,7 @@
 //   TableWriter / TableReader  -- format/writer.h, format/reader.h
 //   Read planning              -- io/read_planner.h (coalesced pread plans)
 //   Parallel scan layer        -- exec/scanner.h, exec/thread_pool.h
+//   Sharded datasets           -- dataset/* (multi-file logical tables)
 //   DeleteExecutor             -- format/deletion.h (§2.1)
 //   Sparse sliding-window delta-- format/sparse_delta.h (§2.2)
 //   Flat footer                -- format/footer.h (§2.3)
@@ -31,6 +32,28 @@
 // Output is byte-identical to the serial TableReader path at any
 // thread count.
 //
+// Sharded datasets (dataset/*): a logical table at production scale is
+// many Bullion files. ShardedTableWriter splits an append stream into
+// shards by target rows-per-shard; ShardManifest records the shard
+// list and global row-group index; ShardedTableReader scans them as
+// one table, fanning every shard's coalesced reads through ONE shared
+// ThreadPool. An optional DecodedChunkCache (byte-budgeted LRU of
+// decoded chunks) lets repeated training epochs skip fetch + decode —
+// fully cached row groups issue zero preads (see IoStats.cache_hits).
+// DatasetScanBuilder is the front door:
+//
+//   auto ds = ShardedTableReader::Open(manifest, open_fn);
+//   DecodedChunkCache cache(256 << 20, &fs.stats());
+//   auto scan = DatasetScanBuilder(ds->get())
+//                   .Columns({"uid", "clk_seq"})
+//                   .Threads(8)                 // one pool, all shards
+//                   .Cache(&cache)              // warm epochs skip I/O
+//                   .Scan();
+//   auto uid = scan->ConcatColumn(0);           // across every shard
+//
+// Output is byte-identical to concatenating per-shard serial scans at
+// any thread/shard count.
+//
 // Quickstart: see examples/quickstart.cpp.
 
 #pragma once
@@ -40,6 +63,10 @@
 #include "common/random.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "dataset/chunk_cache.h"
+#include "dataset/shard_manifest.h"
+#include "dataset/sharded_reader.h"
+#include "dataset/sharded_writer.h"
 #include "encoding/cascade.h"
 #include "exec/scanner.h"
 #include "exec/thread_pool.h"

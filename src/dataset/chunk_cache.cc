@@ -1,0 +1,89 @@
+#include "dataset/chunk_cache.h"
+
+namespace bullion {
+
+size_t ApproxColumnVectorBytes(const ColumnVector& v) {
+  size_t bytes = v.int_values().size() * sizeof(int64_t) +
+                 v.real_values().size() * sizeof(double);
+  for (const std::string& s : v.bin_values()) {
+    bytes += s.size() + sizeof(std::string);
+  }
+  for (const auto& level : v.offsets()) {
+    bytes += level.size() * sizeof(int64_t);
+  }
+  return bytes;
+}
+
+bool DecodedChunkCache::Lookup(const ChunkCacheKey& key, ColumnVector* out) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+      *out = it->second->value;
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      if (stats_ != nullptr) {
+        stats_->cache_hits.fetch_add(1, std::memory_order_relaxed);
+      }
+      return true;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  if (stats_ != nullptr) {
+    stats_->cache_misses.fetch_add(1, std::memory_order_relaxed);
+  }
+  return false;
+}
+
+void DecodedChunkCache::Insert(const ChunkCacheKey& key,
+                               const ColumnVector& value) {
+  size_t bytes = ApproxColumnVectorBytes(value);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    size_bytes_ -= it->second->bytes;
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  if (bytes > capacity_bytes_) {
+    // Oversized chunk: caching it would immediately evict everything
+    // else and then itself — refuse instead.
+    return;
+  }
+  lru_.push_front(Entry{key, value, bytes});
+  index_[key] = lru_.begin();
+  size_bytes_ += bytes;
+  EvictToFitLocked();
+}
+
+void DecodedChunkCache::EvictToFitLocked() {
+  while (size_bytes_ > capacity_bytes_ && !lru_.empty()) {
+    const Entry& cold = lru_.back();
+    size_bytes_ -= cold.bytes;
+    index_.erase(cold.key);
+    lru_.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    if (stats_ != nullptr) {
+      stats_->cache_evictions.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void DecodedChunkCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  size_bytes_ = 0;
+}
+
+size_t DecodedChunkCache::size_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return size_bytes_;
+}
+
+size_t DecodedChunkCache::num_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace bullion

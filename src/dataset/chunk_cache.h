@@ -1,0 +1,137 @@
+// DecodedChunkCache: a byte-budgeted, thread-safe LRU over *decoded*
+// column chunks, keyed by (shard, row group, column).
+//
+// ML training rereads the same table epoch after epoch; the expensive
+// part of a warm re-scan is not the pread (the page cache absorbs
+// that) but re-running page decode for every chunk. Caching at the
+// decoded-ColumnVector granularity lets a warm epoch skip fetch AND
+// decode: the dataset scanner consults the cache before planning any
+// I/O, so fully-cached row groups issue zero preads (observable via
+// IoStats.read_ops).
+//
+// The key includes the decode-affecting ReadOptions bits
+// (filter_deleted, and verify_checksums — a verifying scan must not be
+// served chunks a non-verifying scan decoded past a bad checksum) so
+// one cache can serve scans with different options without mixing
+// incompatible decodes. Same hot-entry LRU
+// shape as pull-based ID/LOC control-plane caches (Almasan et al.):
+// hits refresh recency, inserts evict from the cold tail until the
+// byte budget holds.
+//
+// Thread safety: all methods are safe to call concurrently; one mutex
+// guards the map + LRU list. Lookups copy the cached vector out under
+// the lock (decoded chunks are modest — row_group_rows × value width —
+// and copying keeps the entry lifetime trivially correct while worker
+// threads race with evictions). Hit/miss/eviction counts go to the
+// cache's own atomics and, when wired, to an IoStats (cache_hits /
+// cache_misses / cache_evictions).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
+#include "format/column_vector.h"
+#include "io/io_stats.h"
+
+namespace bullion {
+
+/// \brief Identity of one decoded chunk in a sharded dataset.
+struct ChunkCacheKey {
+  uint32_t shard = 0;        // shard index in the manifest
+  uint32_t row_group = 0;    // shard-local row group
+  uint32_t column = 0;       // leaf column index
+  // Decode-affecting ReadOptions bits.
+  bool filter_deleted = true;
+  bool verify_checksums = false;
+
+  bool operator==(const ChunkCacheKey& o) const {
+    return shard == o.shard && row_group == o.row_group &&
+           column == o.column && filter_deleted == o.filter_deleted &&
+           verify_checksums == o.verify_checksums;
+  }
+};
+
+struct ChunkCacheKeyHash {
+  size_t operator()(const ChunkCacheKey& k) const {
+    uint64_t h = (static_cast<uint64_t>(k.shard) << 33) ^
+                 (static_cast<uint64_t>(k.row_group) << 1) ^
+                 (static_cast<uint64_t>(k.column) << 17) ^
+                 (k.filter_deleted ? 0x9E3779B97F4A7C15ull : 0) ^
+                 (k.verify_checksums ? 0xC2B2AE3D27D4EB4Full : 0);
+    h ^= h >> 33;
+    h *= 0xFF51AFD7ED558CCDull;
+    h ^= h >> 33;
+    return static_cast<size_t>(h);
+  }
+};
+
+/// Approximate heap footprint of a decoded chunk (values + offsets +
+/// string payloads) — the unit the cache budget is charged in.
+size_t ApproxColumnVectorBytes(const ColumnVector& v);
+
+/// \brief Thread-safe, byte-budgeted LRU of decoded column chunks.
+class DecodedChunkCache {
+ public:
+  /// `capacity_bytes` bounds the sum of ApproxColumnVectorBytes over
+  /// resident entries. `stats` (optional) additionally receives
+  /// hit/miss/eviction counts — pass the filesystem's IoStats to see
+  /// cache behavior next to pread counts in one report.
+  explicit DecodedChunkCache(size_t capacity_bytes, IoStats* stats = nullptr)
+      : capacity_bytes_(capacity_bytes), stats_(stats) {}
+
+  DecodedChunkCache(const DecodedChunkCache&) = delete;
+  DecodedChunkCache& operator=(const DecodedChunkCache&) = delete;
+
+  /// Copies the cached chunk into `*out` and refreshes its recency.
+  /// Returns false (and counts a miss) if absent.
+  bool Lookup(const ChunkCacheKey& key, ColumnVector* out);
+
+  /// Inserts (or replaces) the chunk, evicting cold entries until the
+  /// budget holds. A chunk larger than the whole budget is not cached.
+  void Insert(const ChunkCacheKey& key, const ColumnVector& value);
+
+  /// Drops every entry (no eviction counts — this is a reset, not
+  /// pressure).
+  void Clear();
+
+  size_t capacity_bytes() const { return capacity_bytes_; }
+  size_t size_bytes() const;
+  size_t num_entries() const;
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Entry {
+    ChunkCacheKey key;
+    ColumnVector value;
+    size_t bytes = 0;
+  };
+  using LruList = std::list<Entry>;
+
+  /// Pops cold-tail entries until size_bytes_ <= capacity. Caller
+  /// holds mu_.
+  void EvictToFitLocked();
+
+  const size_t capacity_bytes_;
+  IoStats* stats_;
+
+  mutable std::mutex mu_;
+  LruList lru_;  // front = hottest
+  std::unordered_map<ChunkCacheKey, LruList::iterator, ChunkCacheKeyHash>
+      index_;
+  size_t size_bytes_ = 0;
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace bullion

@@ -1,0 +1,94 @@
+#include "dataset/shard_manifest.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/varint.h"
+
+namespace bullion {
+
+namespace {
+// "BSHM" little-endian + format version.
+constexpr uint32_t kManifestMagic = 0x4D485342;
+constexpr uint32_t kManifestVersion = 1;
+}  // namespace
+
+ShardManifest::ShardManifest(std::vector<ShardInfo> shards)
+    : shards_(std::move(shards)) {
+  group_begin_.reserve(shards_.size() + 1);
+  for (const ShardInfo& s : shards_) {
+    group_begin_.push_back(total_row_groups_);
+    total_row_groups_ += s.num_row_groups;
+    total_rows_ += s.num_rows;
+  }
+  group_begin_.push_back(total_row_groups_);
+}
+
+ShardManifest::GroupRef ShardManifest::group(uint32_t g) const {
+  // Last shard whose first global group is <= g. upper_bound lands one
+  // past it; empty shards (zero-width ranges) are skipped naturally.
+  auto it = std::upper_bound(group_begin_.begin(), group_begin_.end(), g);
+  uint32_t s = static_cast<uint32_t>(it - group_begin_.begin()) - 1;
+  return GroupRef{s, g - group_begin_[s]};
+}
+
+Buffer ShardManifest::Serialize() const {
+  BufferBuilder out;
+  out.Append<uint32_t>(kManifestMagic);
+  out.Append<uint32_t>(kManifestVersion);
+  varint::PutVarint64(&out, shards_.size());
+  for (const ShardInfo& s : shards_) {
+    varint::PutVarint64(&out, s.name.size());
+    out.AppendBytes(s.name.data(), s.name.size());
+    varint::PutVarint64(&out, s.num_rows);
+    varint::PutVarint64(&out, s.num_row_groups);
+  }
+  return out.Finish();
+}
+
+Result<ShardManifest> ShardManifest::Parse(Slice data) {
+  if (data.size() < 8) return Status::Corruption("manifest too small");
+  size_t pos = 0;
+  uint32_t magic, version;
+  std::memcpy(&magic, data.data(), 4);
+  std::memcpy(&version, data.data() + 4, 4);
+  pos = 8;
+  if (magic != kManifestMagic) return Status::Corruption("bad manifest magic");
+  if (version != kManifestVersion) {
+    return Status::NotImplemented("manifest version " +
+                                  std::to_string(version));
+  }
+  uint64_t count;
+  if (!varint::GetVarint64(data, &pos, &count)) {
+    return Status::Corruption("manifest shard count truncated");
+  }
+  // Each shard record is at least 3 bytes (empty name + two varints),
+  // so a count the remaining bytes cannot hold is corruption — reject
+  // before reserve() so a hostile count can't throw/OOM.
+  if (count > (data.size() - pos) / 3) {
+    return Status::Corruption("manifest shard count implausible");
+  }
+  std::vector<ShardInfo> shards;
+  shards.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    ShardInfo s;
+    uint64_t name_len;
+    if (!varint::GetVarint64(data, &pos, &name_len) ||
+        name_len > data.size() - pos) {  // pos <= size; no overflow
+      return Status::Corruption("manifest shard name truncated");
+    }
+    s.name.assign(reinterpret_cast<const char*>(data.data()) + pos, name_len);
+    pos += name_len;
+    uint64_t groups;
+    if (!varint::GetVarint64(data, &pos, &s.num_rows) ||
+        !varint::GetVarint64(data, &pos, &groups)) {
+      return Status::Corruption("manifest shard record truncated");
+    }
+    if (groups > UINT32_MAX) return Status::Corruption("shard group count");
+    s.num_row_groups = static_cast<uint32_t>(groups);
+    shards.push_back(std::move(s));
+  }
+  return ShardManifest(std::move(shards));
+}
+
+}  // namespace bullion

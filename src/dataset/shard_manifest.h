@@ -1,0 +1,91 @@
+// ShardManifest: the metadata spine of a sharded logical table.
+//
+// A logical table at Bullion's target scale is not one file — it is an
+// ordered list of Bullion files ("shards") that together hold the
+// table's row groups. The manifest records, per shard, the file name,
+// row count, and row-group count, and derives from them a *global*
+// row-group index: global group g maps to (shard, shard-local group)
+// so scan code can address the whole table with one flat group range,
+// exactly like a single file.
+//
+// The manifest serializes to a small self-describing blob (magic +
+// version + varint-packed shard records) so it can live next to the
+// shards as `<table>.manifest`; it can also be rebuilt from the shard
+// footers alone (ShardedTableReader::Open validates the two agree).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/buffer.h"
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace bullion {
+
+/// \brief One shard's entry in the manifest.
+struct ShardInfo {
+  /// File name, relative to wherever the dataset lives (the reader
+  /// resolves it through a caller-supplied opener).
+  std::string name;
+  uint64_t num_rows = 0;
+  uint32_t num_row_groups = 0;
+
+  bool operator==(const ShardInfo& o) const {
+    return name == o.name && num_rows == o.num_rows &&
+           num_row_groups == o.num_row_groups;
+  }
+};
+
+/// \brief Ordered shard list + global row-group index.
+class ShardManifest {
+ public:
+  /// Where a global row group physically lives.
+  struct GroupRef {
+    uint32_t shard = 0;        // index into shards()
+    uint32_t local_group = 0;  // row group within that shard
+  };
+
+  ShardManifest() = default;
+  /// Builds the manifest (and its global group index) from shard
+  /// entries in table order. Empty shards are legal — they contribute
+  /// no global groups.
+  explicit ShardManifest(std::vector<ShardInfo> shards);
+
+  size_t num_shards() const { return shards_.size(); }
+  const ShardInfo& shard(size_t i) const { return shards_[i]; }
+  const std::vector<ShardInfo>& shards() const { return shards_; }
+
+  uint64_t total_rows() const { return total_rows_; }
+  uint32_t total_row_groups() const { return total_row_groups_; }
+
+  /// Maps a global row-group index to its shard. `g` must be <
+  /// total_row_groups().
+  GroupRef group(uint32_t g) const;
+
+  /// First global row-group index of shard `s` (== total_row_groups()
+  /// for an empty trailing shard).
+  uint32_t shard_group_begin(uint32_t s) const { return group_begin_[s]; }
+
+  bool operator==(const ShardManifest& o) const {
+    return shards_ == o.shards_;
+  }
+
+  /// Serializes to the on-disk manifest blob.
+  Buffer Serialize() const;
+  /// Parses a blob produced by Serialize().
+  static Result<ShardManifest> Parse(Slice data);
+
+ private:
+  std::vector<ShardInfo> shards_;
+  /// group_begin_[s] = first global group of shard s; has
+  /// num_shards() + 1 entries (sentinel = total_row_groups()).
+  std::vector<uint32_t> group_begin_;
+  uint64_t total_rows_ = 0;
+  uint32_t total_row_groups_ = 0;
+};
+
+}  // namespace bullion

@@ -1,0 +1,236 @@
+#include "dataset/sharded_reader.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace bullion {
+
+uint64_t DatasetScanResult::num_rows() const {
+  uint64_t rows = 0;
+  for (const auto& group : groups) {
+    if (!group.empty()) rows += group[0].num_rows();
+  }
+  return rows;
+}
+
+Result<ColumnVector> DatasetScanResult::ConcatColumn(size_t slot) const {
+  if (slot >= columns.size()) {
+    return Status::InvalidArgument("projection slot out of range");
+  }
+  ColumnVector out(static_cast<PhysicalType>(column_records_[slot].physical),
+                   column_records_[slot].list_depth);
+  for (const auto& group : groups) {
+    out.AppendAllFrom(group[slot]);
+  }
+  return out;
+}
+
+Result<std::unique_ptr<ShardedTableReader>> ShardedTableReader::Open(
+    const ShardManifest& manifest, const FileOpener& opener) {
+  std::vector<std::unique_ptr<RandomAccessFile>> files;
+  files.reserve(manifest.num_shards());
+  for (size_t s = 0; s < manifest.num_shards(); ++s) {
+    BULLION_ASSIGN_OR_RETURN(auto file, opener(manifest.shard(s).name));
+    files.push_back(std::move(file));
+  }
+  BULLION_ASSIGN_OR_RETURN(auto reader, Open(std::move(files)));
+  // The footers are the ground truth; the manifest must agree with
+  // what the shard files actually contain.
+  for (size_t s = 0; s < manifest.num_shards(); ++s) {
+    const ShardInfo& info = manifest.shard(s);
+    const FooterView& f = reader->shards_[s]->footer();
+    if (f.num_rows() != info.num_rows ||
+        f.num_row_groups() != info.num_row_groups) {
+      return Status::Corruption("shard '" + info.name +
+                                "' disagrees with manifest");
+    }
+  }
+  reader->manifest_ = manifest;
+  return reader;
+}
+
+Result<std::unique_ptr<ShardedTableReader>> ShardedTableReader::Open(
+    std::vector<std::unique_ptr<RandomAccessFile>> files) {
+  auto reader = std::unique_ptr<ShardedTableReader>(new ShardedTableReader());
+  std::vector<ShardInfo> infos;
+  infos.reserve(files.size());
+  for (size_t s = 0; s < files.size(); ++s) {
+    BULLION_ASSIGN_OR_RETURN(auto shard, TableReader::Open(std::move(files[s])));
+    const FooterView& f = shard->footer();
+    // Every shard must carry the same flattened schema — global column
+    // indices are only meaningful if they agree across shards.
+    if (s > 0) {
+      const FooterView& f0 = reader->shards_[0]->footer();
+      if (f.num_columns() != f0.num_columns()) {
+        return Status::InvalidArgument("shard " + std::to_string(s) +
+                                       " column count differs from shard 0");
+      }
+      for (uint32_t c = 0; c < f.num_columns(); ++c) {
+        ColumnRecord a = f.column_record(c), b = f0.column_record(c);
+        if (f.column_name(c) != f0.column_name(c) ||
+            a.physical != b.physical || a.list_depth != b.list_depth ||
+            a.logical != b.logical) {
+          return Status::InvalidArgument("shard " + std::to_string(s) +
+                                         " schema differs from shard 0 at "
+                                         "column " +
+                                         std::to_string(c));
+        }
+      }
+    }
+    infos.push_back(ShardInfo{"shard-" + std::to_string(s), f.num_rows(),
+                              f.num_row_groups()});
+    reader->shards_.push_back(std::move(shard));
+  }
+  reader->manifest_ = ShardManifest(std::move(infos));
+  return reader;
+}
+
+uint32_t ShardedTableReader::num_columns() const {
+  return shards_.empty() ? 0 : shards_[0]->footer().num_columns();
+}
+
+Result<std::vector<uint32_t>> ShardedTableReader::ResolveColumns(
+    const std::vector<std::string>& names) const {
+  if (shards_.empty()) return Status::NotFound("dataset has no shards");
+  return shards_[0]->ResolveColumns(names);
+}
+
+namespace {
+
+/// One row group whose cache-missing slots are being read into a
+/// side buffer (so SubmitGroupScan's clear+resize cannot wipe slots
+/// already filled from the cache).
+struct PendingGroup {
+  size_t result_index = 0;
+  /// missing_slots[j] = result slot that temp[j] lands in.
+  std::vector<size_t> missing_slots;
+  std::vector<ColumnVector> temp;
+};
+
+}  // namespace
+
+Result<DatasetScanResult> ShardedTableReader::Scan(
+    const DatasetScanSpec& spec, ThreadPool* external_pool,
+    DecodedChunkCache* cache) const {
+  DatasetScanResult result;
+  if (!spec.columns.empty()) {
+    result.columns = spec.columns;
+    for (uint32_t c : result.columns) {
+      if (c >= num_columns()) {
+        return Status::InvalidArgument("column out of range");
+      }
+    }
+  } else if (!spec.column_names.empty()) {
+    BULLION_ASSIGN_OR_RETURN(result.columns,
+                             ResolveColumns(spec.column_names));
+  } else {
+    result.columns.resize(num_columns());
+    for (uint32_t c = 0; c < num_columns(); ++c) result.columns[c] = c;
+  }
+  result.column_records_.reserve(result.columns.size());
+  for (uint32_t c : result.columns) {
+    result.column_records_.push_back(shards_[0]->footer().column_record(c));
+  }
+
+  if (spec.group_begin > spec.group_end) {
+    return Status::InvalidArgument("row-group range begin past end");
+  }
+  uint32_t group_end = std::min(spec.group_end, num_row_groups());
+  result.group_begin = std::min(spec.group_begin, group_end);
+  result.groups.resize(group_end - result.group_begin);
+
+  std::unique_ptr<ThreadPool> owned_pool;
+  ThreadPool* pool = external_pool;
+  if (pool == nullptr && spec.threads > 1) {
+    owned_pool = std::make_unique<ThreadPool>(spec.threads);
+    pool = owned_pool.get();
+  }
+  size_t workers = pool != nullptr ? std::max<size_t>(1, pool->num_threads())
+                                   : 1;
+
+  // All shards share ONE pool and ONE in-flight window: a scan over N
+  // shards at T threads keeps T*(1+prefetch) reads in flight total.
+  const bool fd = spec.read_options.filter_deleted;
+  const bool vc = spec.read_options.verify_checksums;
+  auto all_columns =
+      std::make_shared<const std::vector<uint32_t>>(result.columns);
+  std::vector<PendingGroup> pending;
+  pending.reserve(result.groups.size());  // stable temp addresses
+  TaskGroup tasks(pool, workers * (1 + spec.prefetch_depth));
+
+  for (size_t gi = 0; gi < result.groups.size(); ++gi) {
+    uint32_t g = result.group_begin + static_cast<uint32_t>(gi);
+    ShardManifest::GroupRef ref = manifest_.group(g);
+    const TableReader* shard = shards_[ref.shard].get();
+    std::vector<ColumnVector>& out = result.groups[gi];
+    out.resize(result.columns.size());
+
+    std::vector<size_t> missing;
+    for (size_t slot = 0; slot < result.columns.size(); ++slot) {
+      if (cache != nullptr) {
+        ChunkCacheKey key{ref.shard, ref.local_group, result.columns[slot],
+                          fd, vc};
+        if (cache->Lookup(key, &out[slot])) continue;
+      }
+      missing.push_back(slot);
+    }
+    if (missing.empty()) continue;  // fully cached: zero preads for g
+
+    if (missing.size() == result.columns.size()) {
+      // Nothing cached: decode straight into the result group. When a
+      // cache is attached, workers publish each read's freshly decoded
+      // chunks as they complete (user_index == result slot here).
+      std::function<void(const CoalescedRead&, std::vector<ColumnVector>*)>
+          publish;
+      if (cache != nullptr) {
+        publish = [cache, all_columns, ref, fd, vc](
+                      const CoalescedRead& read,
+                      std::vector<ColumnVector>* done) {
+          for (const ChunkRequest& r : read.chunks) {
+            ChunkCacheKey key{ref.shard, ref.local_group,
+                              (*all_columns)[r.user_index], fd, vc};
+            cache->Insert(key, (*done)[r.user_index]);
+          }
+        };
+      }
+      BULLION_RETURN_NOT_OK(SubmitGroupScan(shard, ref.local_group,
+                                            all_columns, spec.read_options,
+                                            &tasks, &out, publish));
+      continue;
+    }
+
+    // Mixed group: some slots came from the cache, the rest read into
+    // a side buffer and land in their result slots after the join.
+    pending.push_back(PendingGroup{gi, std::move(missing), {}});
+    PendingGroup& pg = pending.back();
+    auto miss_cols = std::make_shared<std::vector<uint32_t>>();
+    miss_cols->reserve(pg.missing_slots.size());
+    for (size_t slot : pg.missing_slots) {
+      miss_cols->push_back(result.columns[slot]);
+    }
+    std::function<void(const CoalescedRead&, std::vector<ColumnVector>*)>
+        publish = [cache, miss_cols, ref, fd, vc](
+                      const CoalescedRead& read,
+                      std::vector<ColumnVector>* done) {
+          for (const ChunkRequest& r : read.chunks) {
+            ChunkCacheKey key{ref.shard, ref.local_group,
+                              (*miss_cols)[r.user_index], fd, vc};
+            cache->Insert(key, (*done)[r.user_index]);
+          }
+        };
+    BULLION_RETURN_NOT_OK(SubmitGroupScan(shard, ref.local_group, miss_cols,
+                                          spec.read_options, &tasks, &pg.temp,
+                                          publish));
+  }
+  BULLION_RETURN_NOT_OK(tasks.Wait());
+
+  for (PendingGroup& pg : pending) {
+    std::vector<ColumnVector>& out = result.groups[pg.result_index];
+    for (size_t j = 0; j < pg.missing_slots.size(); ++j) {
+      out[pg.missing_slots[j]] = std::move(pg.temp[j]);
+    }
+  }
+  return result;
+}
+
+}  // namespace bullion

@@ -1,0 +1,107 @@
+#include "dataset/sharded_writer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace bullion {
+
+ShardedTableWriter::ShardedTableWriter(Schema schema,
+                                       ShardedWriterOptions options,
+                                       FileOpener opener)
+    : schema_(std::move(schema)),
+      options_(std::move(options)),
+      opener_(std::move(opener)) {
+  if (options_.target_rows_per_shard == 0) options_.target_rows_per_shard = 1;
+  if (options_.rows_per_group == 0) options_.rows_per_group = 1;
+  pending_.reserve(schema_.num_leaves());
+  for (const LeafColumn& leaf : schema_.leaves()) {
+    pending_.push_back(ColumnVector::ForLeaf(leaf));
+  }
+}
+
+std::string ShardedTableWriter::ShardName(const std::string& base,
+                                          size_t index) {
+  char suffix[32];
+  std::snprintf(suffix, sizeof(suffix), ".shard-%05zu", index);
+  return base + suffix;
+}
+
+Status ShardedTableWriter::EnsureShardOpen() {
+  if (shard_writer_ != nullptr) return Status::OK();
+  std::string name = ShardName(options_.base_name, shards_.size());
+  BULLION_ASSIGN_OR_RETURN(shard_file_, opener_(name));
+  shard_writer_ = std::make_unique<TableWriter>(schema_, shard_file_.get(),
+                                                options_.writer);
+  shard_rows_ = 0;
+  shard_groups_ = 0;
+  return Status::OK();
+}
+
+Status ShardedTableWriter::FlushGroup() {
+  if (pending_rows_ == 0) return Status::OK();
+  BULLION_RETURN_NOT_OK(EnsureShardOpen());
+  BULLION_RETURN_NOT_OK(shard_writer_->WriteRowGroup(pending_));
+  shard_rows_ += pending_rows_;
+  ++shard_groups_;
+  total_rows_ += pending_rows_;
+  pending_rows_ = 0;
+  for (size_t c = 0; c < pending_.size(); ++c) {
+    pending_[c] = ColumnVector::ForLeaf(schema_.leaves()[c]);
+  }
+  // Shards close only here, so every shard ends on a group boundary.
+  if (shard_rows_ >= options_.target_rows_per_shard) {
+    return CloseShard();
+  }
+  return Status::OK();
+}
+
+Status ShardedTableWriter::CloseShard() {
+  BULLION_RETURN_NOT_OK(shard_writer_->Finish());
+  BULLION_RETURN_NOT_OK(shard_file_->Flush());
+  shards_.push_back(ShardInfo{ShardName(options_.base_name, shards_.size()),
+                              shard_rows_, shard_groups_});
+  shard_writer_.reset();
+  shard_file_.reset();
+  return Status::OK();
+}
+
+Status ShardedTableWriter::Append(const std::vector<ColumnVector>& columns) {
+  if (finished_) return Status::InvalidArgument("writer already finished");
+  if (columns.size() != schema_.num_leaves()) {
+    return Status::InvalidArgument("batch has wrong leaf count");
+  }
+  size_t rows = columns.empty() ? 0 : columns[0].num_rows();
+  for (const ColumnVector& c : columns) {
+    if (c.num_rows() != rows) {
+      return Status::InvalidArgument("batch columns disagree on row count");
+    }
+  }
+  size_t row = 0;
+  while (row < rows) {
+    size_t take = std::min<size_t>(options_.rows_per_group - pending_rows_,
+                                   rows - row);
+    for (size_t c = 0; c < columns.size(); ++c) {
+      for (size_t r = row; r < row + take; ++r) {
+        pending_[c].AppendRowFrom(columns[c], static_cast<int64_t>(r));
+      }
+    }
+    pending_rows_ += take;
+    row += take;
+    if (pending_rows_ == options_.rows_per_group) {
+      BULLION_RETURN_NOT_OK(FlushGroup());
+    }
+  }
+  return Status::OK();
+}
+
+Result<ShardManifest> ShardedTableWriter::Finish() {
+  if (finished_) return Status::InvalidArgument("writer already finished");
+  finished_ = true;
+  BULLION_RETURN_NOT_OK(FlushGroup());  // partial tail group
+  if (shard_writer_ != nullptr) {
+    BULLION_RETURN_NOT_OK(CloseShard());
+  }
+  return ShardManifest(std::move(shards_));
+}
+
+}  // namespace bullion

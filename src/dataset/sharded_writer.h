@@ -1,0 +1,103 @@
+// ShardedTableWriter: splits one logical append stream into N Bullion
+// files ("shards") by a target rows-per-shard.
+//
+// Callers append columnar row batches of any size; the writer slices
+// them into fixed-size row groups and rolls to a fresh shard file
+// whenever the current shard reaches the target (always on a row-group
+// boundary, so every shard is a complete, independently readable
+// Bullion file). Finish() closes the tail shard and returns the
+// ShardManifest describing what was written — persist it as
+// `<table>.manifest` or rebuild it later from the shard footers.
+//
+// File creation goes through a caller-supplied opener so the writer is
+// filesystem-agnostic (InMemoryFileSystem in tests/benches, POSIX in
+// examples):
+//
+//   ShardedTableWriter writer(schema, options, [&](const std::string& n) {
+//     return fs.NewWritableFile(n);
+//   });
+//   writer.Append(batch1);           // any row count
+//   writer.Append(batch2);
+//   ShardManifest manifest = *writer.Finish();
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "dataset/shard_manifest.h"
+#include "format/column_vector.h"
+#include "format/schema.h"
+#include "format/writer.h"
+#include "io/file.h"
+
+namespace bullion {
+
+struct ShardedWriterOptions {
+  /// A shard closes at the first row-group boundary at or past this
+  /// many rows; actual shard sizes are within one row group of it.
+  uint64_t target_rows_per_shard = 1 << 20;
+  /// Rows per row group inside each shard.
+  uint32_t rows_per_group = 65536;
+  /// Shard file names: "<base_name>.shard-00000", -00001, ...
+  std::string base_name = "table";
+  /// Per-shard file options (page size, encodings, compliance, ...).
+  WriterOptions writer;
+};
+
+/// \brief Streams row batches into a sequence of Bullion shard files.
+class ShardedTableWriter {
+ public:
+  using FileOpener =
+      std::function<Result<std::unique_ptr<WritableFile>>(const std::string&)>;
+
+  ShardedTableWriter(Schema schema, ShardedWriterOptions options,
+                     FileOpener opener);
+
+  /// Appends a batch: one ColumnVector per schema leaf, equal row
+  /// counts. Rows are buffered and flushed as full row groups.
+  Status Append(const std::vector<ColumnVector>& columns);
+
+  /// Flushes buffered rows, closes the tail shard, and returns the
+  /// manifest. Must be called exactly once; a stream with zero rows
+  /// yields a zero-shard manifest.
+  Result<ShardManifest> Finish();
+
+  uint64_t num_rows() const { return total_rows_; }
+  size_t num_shards_started() const { return shards_.size() + (shard_writer_ ? 1 : 0); }
+
+  /// Name of shard `index` under `base`: "<base>.shard-00042".
+  static std::string ShardName(const std::string& base, size_t index);
+
+ private:
+  /// Opens the next shard file lazily (so empty streams make no files).
+  Status EnsureShardOpen();
+  /// Writes the buffered rows as one row group into the current shard.
+  Status FlushGroup();
+  /// Finishes the current shard file and records its ShardInfo.
+  Status CloseShard();
+
+  Schema schema_;
+  ShardedWriterOptions options_;
+  FileOpener opener_;
+
+  /// Row-group staging buffer (one vector per leaf).
+  std::vector<ColumnVector> pending_;
+  uint64_t pending_rows_ = 0;
+
+  std::unique_ptr<WritableFile> shard_file_;
+  std::unique_ptr<TableWriter> shard_writer_;
+  uint64_t shard_rows_ = 0;
+  uint32_t shard_groups_ = 0;
+
+  std::vector<ShardInfo> shards_;
+  uint64_t total_rows_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace bullion

@@ -5,6 +5,34 @@
 
 namespace bullion {
 
+Status SubmitGroupScan(
+    const TableReader* reader, uint32_t g,
+    std::shared_ptr<const std::vector<uint32_t>> columns,
+    const ReadOptions& options, TaskGroup* tasks,
+    std::vector<ColumnVector>* out,
+    std::function<void(const CoalescedRead&, std::vector<ColumnVector>*)>
+        on_read_done) {
+  // Plan stage runs on the calling thread: pure footer arithmetic.
+  BULLION_ASSIGN_OR_RETURN(ReadPlan plan,
+                           reader->PlanProjection(g, *columns, options));
+  out->clear();
+  out->resize(columns->size());
+  // The plan is shared by the read tasks, which may still be running
+  // after this frame returns (the caller joins via tasks->Wait()).
+  auto shared_plan = std::make_shared<const ReadPlan>(std::move(plan));
+  for (size_t i = 0; i < shared_plan->reads.size(); ++i) {
+    tasks->Submit([reader, g, columns, options, shared_plan, i, out,
+                   on_read_done] {
+      const CoalescedRead& read = shared_plan->reads[i];
+      BULLION_RETURN_NOT_OK(
+          reader->ExecuteCoalescedRead(g, *columns, read, options, out));
+      if (on_read_done) on_read_done(read, out);
+      return Status::OK();
+    });
+  }
+  return Status::OK();
+}
+
 uint64_t ScanResult::num_rows() const {
   uint64_t rows = 0;
   for (const auto& group : groups) {
@@ -82,31 +110,18 @@ Status ParallelTableScanner::ExecuteSerial(ScanResult* result) const {
 
 Status ParallelTableScanner::ExecuteParallel(ThreadPool* pool,
                                              ScanResult* result) const {
-  // Plan stage, serial: pure footer arithmetic, cheap even for
-  // thousands of groups.
-  std::vector<ReadPlan> plans(result->groups.size());
-  for (size_t gi = 0; gi < result->groups.size(); ++gi) {
-    uint32_t g = result->group_begin + static_cast<uint32_t>(gi);
-    BULLION_ASSIGN_OR_RETURN(
-        plans[gi],
-        reader_->PlanProjection(g, result->columns, spec_.read_options));
-    result->groups[gi].resize(result->columns.size());
-  }
-
   // Fetch + decode stages, parallel: one task per coalesced read.
   // Tasks write disjoint (group, slot) cells, so no locking is needed
   // on the output and the result is deterministic.
+  auto columns =
+      std::make_shared<const std::vector<uint32_t>>(result->columns);
   size_t window = pool->num_threads() * (1 + spec_.prefetch_depth);
   TaskGroup tasks(pool, window);
-  for (size_t gi = 0; gi < plans.size(); ++gi) {
+  for (size_t gi = 0; gi < result->groups.size(); ++gi) {
     uint32_t g = result->group_begin + static_cast<uint32_t>(gi);
-    for (const CoalescedRead& read : plans[gi].reads) {
-      std::vector<ColumnVector>* out = &result->groups[gi];
-      tasks.Submit([this, g, &read, out, result] {
-        return reader_->ExecuteCoalescedRead(g, result->columns, read,
-                                             spec_.read_options, out);
-      });
-    }
+    BULLION_RETURN_NOT_OK(SubmitGroupScan(reader_, g, columns,
+                                          spec_.read_options, &tasks,
+                                          &result->groups[gi]));
   }
   return tasks.Wait();
 }

@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -34,6 +35,32 @@
 #include "format/reader.h"
 
 namespace bullion {
+
+/// Plans row group `g`'s projection and fans its coalesced reads out as
+/// tasks on `tasks` — the shared-pool scan entry point. Multiple calls
+/// (for different groups, or different readers/shards) may target one
+/// TaskGroup, so a whole dataset shares a single in-flight window and
+/// thread pool.
+///
+/// `columns` is shared because the submitted tasks outlive this call's
+/// frame. `out` is resized to one slot per projection column and must
+/// stay valid until `tasks->Wait()` returns; distinct reads write
+/// distinct slots, so the decoded output is byte-identical to the
+/// serial path regardless of scheduling.
+///
+/// `on_read_done` (optional) runs on the worker thread after one
+/// coalesced read has fetched and decoded successfully. It may only
+/// touch the output slots named by that read's `chunks[].user_index` —
+/// other slots may still be written concurrently by sibling tasks. The
+/// dataset layer uses this hook to publish freshly decoded chunks into
+/// the DecodedChunkCache while the scan is still in flight.
+Status SubmitGroupScan(
+    const TableReader* reader, uint32_t g,
+    std::shared_ptr<const std::vector<uint32_t>> columns,
+    const ReadOptions& options, TaskGroup* tasks,
+    std::vector<ColumnVector>* out,
+    std::function<void(const CoalescedRead&, std::vector<ColumnVector>*)>
+        on_read_done = nullptr);
 
 /// \brief Everything a scan needs; filled in by ScanBuilder.
 struct ScanSpec {

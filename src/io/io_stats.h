@@ -25,6 +25,14 @@ struct IoStats {
   /// Number of reads/writes that were not contiguous with the previous
   /// operation (proxy for seeks on spinning/flash media).
   std::atomic<uint64_t> seeks{0};
+  /// Decoded-chunk cache traffic (src/dataset/chunk_cache.h): one hit
+  /// or miss per (shard, row group, column) probe, one eviction per
+  /// entry dropped under byte-budget pressure. A warm epoch shows
+  /// cache_hits rising while read_ops stays flat — the cached groups
+  /// issued no preads.
+  std::atomic<uint64_t> cache_hits{0};
+  std::atomic<uint64_t> cache_misses{0};
+  std::atomic<uint64_t> cache_evictions{0};
 
   IoStats() = default;
   IoStats(const IoStats& o) { *this = o; }
@@ -39,9 +47,18 @@ struct IoStats {
                         std::memory_order_relaxed);
     seeks.store(o.seeks.load(std::memory_order_relaxed),
                 std::memory_order_relaxed);
+    cache_hits.store(o.cache_hits.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    cache_misses.store(o.cache_misses.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    cache_evictions.store(o.cache_evictions.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
     return *this;
   }
 
+  /// Zeroes every counter (same relaxed per-counter semantics as
+  /// copying — not an atomic cross-counter snapshot). Benches call
+  /// this between phases, e.g. cold vs warm epochs.
   void Reset() { *this = IoStats{}; }
 
   IoStats& operator+=(const IoStats& o) {
@@ -50,6 +67,9 @@ struct IoStats {
     write_ops += o.write_ops.load(std::memory_order_relaxed);
     bytes_written += o.bytes_written.load(std::memory_order_relaxed);
     seeks += o.seeks.load(std::memory_order_relaxed);
+    cache_hits += o.cache_hits.load(std::memory_order_relaxed);
+    cache_misses += o.cache_misses.load(std::memory_order_relaxed);
+    cache_evictions += o.cache_evictions.load(std::memory_order_relaxed);
     return *this;
   }
 };

@@ -1,0 +1,542 @@
+// Dataset-layer tests: shard manifest index + round-trip, sharded
+// writer splitting, and the headline correctness claim — a sharded
+// dataset scan (any thread count, with or without the decoded-chunk
+// cache) is byte-identical to concatenating per-shard serial scans,
+// which in turn match the uncached single-file path.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/bullion.h"
+
+namespace bullion {
+namespace {
+
+Schema MakeMixedSchema() {
+  std::vector<Field> fields;
+  fields.push_back({"uid", DataType::Primitive(PhysicalType::kInt64),
+                    LogicalType::kPlain, true});
+  fields.push_back({"score", DataType::Primitive(PhysicalType::kFloat64),
+                    LogicalType::kQualityScore, false});
+  fields.push_back({"tag", DataType::Primitive(PhysicalType::kBinary),
+                    LogicalType::kPlain, false});
+  fields.push_back({"clk_seq",
+                    DataType::List(DataType::Primitive(PhysicalType::kInt64)),
+                    LogicalType::kIdSequence, false});
+  return Schema(std::move(fields));
+}
+
+std::vector<ColumnVector> MakeMixedData(const Schema& schema, size_t rows,
+                                        uint64_t seed) {
+  Random rng(seed);
+  std::vector<ColumnVector> cols;
+  for (const LeafColumn& leaf : schema.leaves()) {
+    cols.push_back(ColumnVector::ForLeaf(leaf));
+  }
+  std::vector<int64_t> window;
+  for (size_t r = 0; r < rows; ++r) {
+    cols[0].AppendInt(static_cast<int64_t>(r / 3));
+    cols[1].AppendReal(rng.NextDouble());
+    cols[2].AppendBinary("tag" + std::to_string(r % 5));
+    if (window.empty() || rng.Bernoulli(0.3)) {
+      window.insert(window.begin(), rng.UniformRange(0, 99));
+      if (window.size() > 8) window.pop_back();
+    }
+    cols[3].AppendIntList(window);
+  }
+  return cols;
+}
+
+// ------------------------------------------------------------ manifest
+
+TEST(ShardManifest, GlobalGroupIndexSkipsEmptyShards) {
+  ShardManifest m({{"a", 100, 2}, {"empty", 0, 0}, {"b", 50, 3}});
+  EXPECT_EQ(m.total_rows(), 150u);
+  EXPECT_EQ(m.total_row_groups(), 5u);
+  EXPECT_EQ(m.shard_group_begin(0), 0u);
+  EXPECT_EQ(m.shard_group_begin(1), 2u);
+  EXPECT_EQ(m.shard_group_begin(2), 2u);
+
+  struct Want {
+    uint32_t shard, local;
+  } wants[] = {{0, 0}, {0, 1}, {2, 0}, {2, 1}, {2, 2}};
+  for (uint32_t g = 0; g < 5; ++g) {
+    auto ref = m.group(g);
+    EXPECT_EQ(ref.shard, wants[g].shard) << "g=" << g;
+    EXPECT_EQ(ref.local_group, wants[g].local) << "g=" << g;
+  }
+}
+
+TEST(ShardManifest, SerializeRoundTrips) {
+  ShardManifest m(
+      {{"t.shard-00000", 1 << 20, 16}, {"t.shard-00001", 123456, 2}});
+  Buffer blob = m.Serialize();
+  auto parsed = ShardManifest::Parse(blob.AsSlice());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(*parsed, m);
+  EXPECT_EQ(parsed->total_rows(), m.total_rows());
+  EXPECT_EQ(parsed->group(17).shard, 1u);
+}
+
+TEST(ShardManifest, ParseRejectsGarbage) {
+  EXPECT_FALSE(ShardManifest::Parse(Slice()).ok());
+  std::vector<uint8_t> junk(16, 0xAB);
+  EXPECT_FALSE(ShardManifest::Parse(Slice(junk.data(), junk.size())).ok());
+
+  // Valid header but hostile varints: a huge shard count and a
+  // name_len chosen to overflow `pos + name_len` must both come back
+  // as Status::Corruption, not throw or read out of bounds.
+  ShardManifest good({{"s", 1, 1}});
+  Buffer blob = good.Serialize();
+  std::vector<uint8_t> huge_count(blob.data(), blob.data() + 8);
+  for (int i = 0; i < 9; ++i) huge_count.push_back(0xFF);  // count ~ 2^63
+  huge_count.push_back(0x7F);
+  EXPECT_FALSE(
+      ShardManifest::Parse(Slice(huge_count.data(), huge_count.size())).ok());
+
+  std::vector<uint8_t> huge_name(blob.data(), blob.data() + 8);
+  huge_name.push_back(0x01);                               // count = 1
+  for (int i = 0; i < 9; ++i) huge_name.push_back(0xFF);   // name_len huge
+  huge_name.push_back(0x7F);
+  EXPECT_FALSE(
+      ShardManifest::Parse(Slice(huge_name.data(), huge_name.size())).ok());
+}
+
+// -------------------------------------------------------------- writer
+
+TEST(ShardedWriter, SplitsStreamAtRowGroupAlignedTargets) {
+  InMemoryFileSystem fs;
+  Schema schema = MakeMixedSchema();
+  ShardedWriterOptions opts;
+  opts.rows_per_group = 100;
+  opts.target_rows_per_shard = 250;  // closes at 300 (group boundary)
+  opts.base_name = "t";
+  opts.writer.rows_per_page = 32;
+  ShardedTableWriter writer(schema, opts, [&](const std::string& name) {
+    return fs.NewWritableFile(name);
+  });
+  // Batch sizes deliberately misaligned with both group and shard.
+  ASSERT_TRUE(writer.Append(MakeMixedData(schema, 730, 1)).ok());
+  ASSERT_TRUE(writer.Append(MakeMixedData(schema, 270, 2)).ok());
+  auto manifest = writer.Finish();
+  ASSERT_TRUE(manifest.ok()) << manifest.status().ToString();
+
+  ASSERT_EQ(manifest->num_shards(), 4u);
+  EXPECT_EQ(manifest->total_rows(), 1000u);
+  EXPECT_EQ(manifest->shard(0).num_rows, 300u);
+  EXPECT_EQ(manifest->shard(0).num_row_groups, 3u);
+  EXPECT_EQ(manifest->shard(3).num_rows, 100u);
+  // Every shard is an independently readable Bullion file.
+  for (size_t s = 0; s < manifest->num_shards(); ++s) {
+    EXPECT_TRUE(fs.Exists(manifest->shard(s).name));
+    auto r = TableReader::Open(*fs.NewReadableFile(manifest->shard(s).name));
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ((*r)->num_rows(), manifest->shard(s).num_rows);
+  }
+}
+
+TEST(ShardedWriter, EmptyStreamMakesNoShards) {
+  InMemoryFileSystem fs;
+  ShardedTableWriter writer(MakeMixedSchema(), {},
+                            [&](const std::string& name) {
+                              return fs.NewWritableFile(name);
+                            });
+  auto manifest = writer.Finish();
+  ASSERT_TRUE(manifest.ok());
+  EXPECT_EQ(manifest->num_shards(), 0u);
+  EXPECT_EQ(manifest->total_rows(), 0u);
+}
+
+// ------------------------------------------------------- reader fixture
+
+/// Writes `total_rows` rows both as a sharded dataset and as one
+/// single Bullion file with the same row-group size — the uncached
+/// single-file ground truth.
+struct DatasetFixture {
+  InMemoryFileSystem fs;
+  Schema schema = MakeMixedSchema();
+  ShardManifest manifest;
+  std::unique_ptr<ShardedTableReader> reader;
+
+  DatasetFixture(size_t total_rows, uint32_t rows_per_group,
+                 uint64_t target_rows_per_shard) {
+    std::vector<ColumnVector> all = MakeMixedData(schema, total_rows, 42);
+    ShardedWriterOptions opts;
+    opts.rows_per_group = rows_per_group;
+    opts.target_rows_per_shard = target_rows_per_shard;
+    opts.base_name = "t";
+    opts.writer.rows_per_page = 32;
+    ShardedTableWriter writer(schema, opts, [&](const std::string& name) {
+      return fs.NewWritableFile(name);
+    });
+    EXPECT_TRUE(writer.Append(all).ok());
+    manifest = *writer.Finish();
+
+    // Single-file twin, same grouping.
+    std::vector<std::vector<ColumnVector>> groups;
+    for (size_t r = 0; r < total_rows; r += rows_per_group) {
+      std::vector<ColumnVector> g;
+      for (const LeafColumn& leaf : schema.leaves()) {
+        g.push_back(ColumnVector::ForLeaf(leaf));
+      }
+      for (size_t i = r; i < std::min(total_rows, r + rows_per_group); ++i) {
+        for (size_t c = 0; c < g.size(); ++c) {
+          g[c].AppendRowFrom(all[c], static_cast<int64_t>(i));
+        }
+      }
+      groups.push_back(std::move(g));
+    }
+    WriterOptions wopts;
+    wopts.rows_per_page = 32;
+    auto f = fs.NewWritableFile("single");
+    EXPECT_TRUE(WriteTableFile(f->get(), schema, groups, wopts).ok());
+
+    auto ds = ShardedTableReader::Open(manifest, [&](const std::string& n) {
+      return fs.NewReadableFile(n);
+    });
+    EXPECT_TRUE(ds.ok()) << ds.status().ToString();
+    reader = std::move(*ds);
+  }
+
+  /// Ground truth: per-shard serial scans, concatenated in shard order.
+  std::vector<std::vector<ColumnVector>> SerialConcat(
+      const std::vector<uint32_t>& projection) const {
+    std::vector<std::vector<ColumnVector>> out;
+    for (size_t s = 0; s < reader->num_shards(); ++s) {
+      auto scan = ScanBuilder(reader->shard_reader(s))
+                      .ColumnIndices(projection)
+                      .Threads(1)
+                      .Scan();
+      EXPECT_TRUE(scan.ok());
+      for (auto& g : scan->groups) out.push_back(std::move(g));
+    }
+    return out;
+  }
+};
+
+// -------------------------------------------------------------- reader
+
+TEST(ShardedReader, OpenValidatesManifestAgainstFooters) {
+  DatasetFixture fx(500, 50, 100);
+  EXPECT_EQ(fx.reader->num_rows(), 500u);
+  EXPECT_EQ(fx.reader->num_row_groups(), 10u);
+  EXPECT_EQ(fx.reader->num_columns(), 4u);
+
+  // A manifest that lies about a shard's row count must be rejected.
+  std::vector<ShardInfo> lying = fx.manifest.shards();
+  lying[0].num_rows += 1;
+  auto bad = ShardedTableReader::Open(ShardManifest(std::move(lying)),
+                                      [&](const std::string& n) {
+                                        return fx.fs.NewReadableFile(n);
+                                      });
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(ShardedReader, ScanIsByteIdenticalToPerShardSerialConcat) {
+  DatasetFixture fx(900, 60, 180);  // 5 shards x 3 groups
+  std::vector<uint32_t> projection = {0, 2, 3};
+  auto truth = fx.SerialConcat(projection);
+  ASSERT_EQ(truth.size(), fx.reader->num_row_groups());
+
+  for (size_t threads : {1, 2, 4, 8}) {
+    auto scan = DatasetScanBuilder(fx.reader.get())
+                    .ColumnIndices(projection)
+                    .Threads(threads)
+                    .Scan();
+    ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+    ASSERT_EQ(scan->groups.size(), truth.size());
+    for (size_t g = 0; g < truth.size(); ++g) {
+      EXPECT_EQ(scan->groups[g], truth[g]) << "threads=" << threads
+                                           << " global group " << g;
+    }
+  }
+}
+
+TEST(ShardedReader, ConcatColumnMatchesSingleFileRead) {
+  DatasetFixture fx(700, 64, 128);
+  auto single = *TableReader::Open(*fx.fs.NewReadableFile("single"));
+  for (const char* name : {"uid", "score", "tag", "clk_seq"}) {
+    auto expect = ReadFullColumn(single.get(), name);
+    ASSERT_TRUE(expect.ok());
+    auto scan = DatasetScanBuilder(fx.reader.get())
+                    .Columns({name})
+                    .Threads(4)
+                    .Scan();
+    ASSERT_TRUE(scan.ok());
+    auto got = scan->ConcatColumn(0);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, *expect) << name;
+  }
+}
+
+TEST(ShardedReader, GlobalRowGroupRangeSpansShardEdges) {
+  DatasetFixture fx(600, 50, 100);  // 3 shards x 2 groups + ...
+  ASSERT_GE(fx.reader->num_shards(), 2u);
+  // [1, 4) crosses the shard-0/shard-1 boundary at global group 2.
+  auto truth = fx.SerialConcat({1, 3});
+  auto scan = DatasetScanBuilder(fx.reader.get())
+                  .ColumnIndices({1, 3})
+                  .RowGroups(1, 4)
+                  .Threads(3)
+                  .Scan();
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan->group_begin, 1u);
+  ASSERT_EQ(scan->num_groups(), 3u);
+  for (size_t g = 0; g < 3; ++g) {
+    EXPECT_EQ(scan->groups[g], truth[g + 1]) << "global group " << g + 1;
+  }
+  // A well-formed range past the end is an empty scan, not an error.
+  auto past = DatasetScanBuilder(fx.reader.get()).RowGroups(99, 99).Scan();
+  ASSERT_TRUE(past.ok());
+  EXPECT_EQ(past->num_groups(), 0u);
+  EXPECT_FALSE(
+      DatasetScanBuilder(fx.reader.get()).RowGroups(4, 1).Scan().ok());
+}
+
+TEST(ShardedReader, EmptyShardInTheMiddleContributesNoGroups) {
+  InMemoryFileSystem fs;
+  Schema schema = MakeMixedSchema();
+  WriterOptions wopts;
+  wopts.rows_per_page = 16;
+  auto a = MakeMixedData(schema, 80, 1);
+  auto b = MakeMixedData(schema, 40, 2);
+  ASSERT_TRUE(
+      WriteTableFile(fs.NewWritableFile("a")->get(), schema, {a}, wopts).ok());
+  ASSERT_TRUE(
+      WriteTableFile(fs.NewWritableFile("mid")->get(), schema, {}, wopts).ok());
+  ASSERT_TRUE(
+      WriteTableFile(fs.NewWritableFile("b")->get(), schema, {b}, wopts).ok());
+
+  std::vector<std::unique_ptr<RandomAccessFile>> files;
+  for (const char* n : {"a", "mid", "b"}) {
+    files.push_back(*fs.NewReadableFile(n));
+  }
+  auto ds = ShardedTableReader::Open(std::move(files));
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_EQ((*ds)->num_shards(), 3u);
+  EXPECT_EQ((*ds)->num_rows(), 120u);
+  EXPECT_EQ((*ds)->num_row_groups(), 2u);
+
+  auto scan = DatasetScanBuilder(ds->get()).Threads(2).Scan();
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan->num_rows(), 120u);
+  ColumnVector expect(PhysicalType::kInt64, 0);
+  expect.AppendAllFrom(a[0]);
+  expect.AppendAllFrom(b[0]);
+  EXPECT_EQ(*scan->ConcatColumn(0), expect);
+}
+
+TEST(ShardedReader, SingleRowShards) {
+  InMemoryFileSystem fs;
+  Schema schema = MakeMixedSchema();
+  ShardedWriterOptions opts;
+  opts.rows_per_group = 1;
+  opts.target_rows_per_shard = 1;
+  opts.base_name = "tiny";
+  opts.writer.rows_per_page = 4;
+  ShardedTableWriter writer(schema, opts, [&](const std::string& name) {
+    return fs.NewWritableFile(name);
+  });
+  auto data = MakeMixedData(schema, 5, 9);
+  ASSERT_TRUE(writer.Append(data).ok());
+  auto manifest = writer.Finish();
+  ASSERT_TRUE(manifest.ok());
+  ASSERT_EQ(manifest->num_shards(), 5u);
+
+  auto ds = ShardedTableReader::Open(*manifest, [&](const std::string& n) {
+    return fs.NewReadableFile(n);
+  });
+  ASSERT_TRUE(ds.ok());
+  auto scan = DatasetScanBuilder(ds->get()).Threads(4).Scan();
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan->num_rows(), 5u);
+  for (size_t c = 0; c < data.size(); ++c) {
+    EXPECT_EQ(*scan->ConcatColumn(c), data[c]) << "column " << c;
+  }
+}
+
+TEST(ShardedReader, RejectsMismatchedShardSchemas) {
+  InMemoryFileSystem fs;
+  Schema a = MakeMixedSchema();
+  Schema b({{"other", DataType::Primitive(PhysicalType::kInt64),
+             LogicalType::kPlain, false}});
+  WriterOptions wopts;
+  ASSERT_TRUE(WriteTableFile(fs.NewWritableFile("a")->get(), a,
+                             {MakeMixedData(a, 10, 1)}, wopts)
+                  .ok());
+  ColumnVector col(PhysicalType::kInt64, 0);
+  col.AppendInt(1);
+  ASSERT_TRUE(
+      WriteTableFile(fs.NewWritableFile("b")->get(), b, {{col}}, wopts).ok());
+  std::vector<std::unique_ptr<RandomAccessFile>> files;
+  files.push_back(*fs.NewReadableFile("a"));
+  files.push_back(*fs.NewReadableFile("b"));
+  EXPECT_FALSE(ShardedTableReader::Open(std::move(files)).ok());
+}
+
+// --------------------------------------------------------------- cache
+
+TEST(DecodedChunkCache, WarmEpochIsByteIdenticalAndIssuesZeroPreads) {
+  DatasetFixture fx(800, 50, 200);
+  DecodedChunkCache cache(64 << 20, &fx.fs.stats());
+
+  auto cold = DatasetScanBuilder(fx.reader.get())
+                  .Threads(4)
+                  .Cache(&cache)
+                  .Scan();
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_GT(cache.misses(), 0u);
+
+  fx.fs.ResetStats();
+  auto warm = DatasetScanBuilder(fx.reader.get())
+                  .Threads(4)
+                  .Cache(&cache)
+                  .Scan();
+  ASSERT_TRUE(warm.ok());
+  // Every chunk was cached: the warm epoch does zero I/O...
+  EXPECT_EQ(fx.fs.stats().read_ops.load(), 0u);
+  EXPECT_EQ(fx.fs.stats().bytes_read.load(), 0u);
+  EXPECT_EQ(fx.fs.stats().cache_misses.load(), 0u);
+  EXPECT_GT(fx.fs.stats().cache_hits.load(), 0u);
+  // ...and the output is still byte-identical.
+  EXPECT_EQ(warm->groups, cold->groups);
+
+  auto uncached = DatasetScanBuilder(fx.reader.get()).Threads(1).Scan();
+  ASSERT_TRUE(uncached.ok());
+  EXPECT_EQ(warm->groups, uncached->groups);
+}
+
+TEST(DecodedChunkCache, PartiallyCachedGroupsMergeCacheAndFreshReads) {
+  DatasetFixture fx(600, 60, 180);
+  DecodedChunkCache cache(64 << 20);
+
+  // Warm only column 1, then scan {0, 1, 3}: every group is "mixed" —
+  // one slot from the cache, two freshly read.
+  auto prime = DatasetScanBuilder(fx.reader.get())
+                   .ColumnIndices({1})
+                   .Cache(&cache)
+                   .Scan();
+  ASSERT_TRUE(prime.ok());
+  uint64_t misses_after_prime = cache.misses();
+
+  auto mixed = DatasetScanBuilder(fx.reader.get())
+                   .ColumnIndices({0, 1, 3})
+                   .Threads(4)
+                   .Cache(&cache)
+                   .Scan();
+  ASSERT_TRUE(mixed.ok());
+  EXPECT_EQ(cache.hits(), fx.reader->num_row_groups());
+  EXPECT_EQ(cache.misses(), misses_after_prime +
+                                2 * fx.reader->num_row_groups());
+
+  auto truth = fx.SerialConcat({0, 1, 3});
+  ASSERT_EQ(mixed->groups.size(), truth.size());
+  for (size_t g = 0; g < truth.size(); ++g) {
+    EXPECT_EQ(mixed->groups[g], truth[g]) << "global group " << g;
+  }
+}
+
+TEST(DecodedChunkCache, EvictsUnderTinyByteBudgetAndStaysCorrect) {
+  DatasetFixture fx(800, 50, 200);
+  // Budget ~2 chunks: constant churn, most probes miss, and the cache
+  // must never hold more than its budget.
+  auto probe = DatasetScanBuilder(fx.reader.get()).ColumnIndices({3}).Scan();
+  ASSERT_TRUE(probe.ok());
+  size_t one_chunk = ApproxColumnVectorBytes(probe->groups[0][0]);
+  ASSERT_GT(one_chunk, 0u);
+  DecodedChunkCache cache(2 * one_chunk + one_chunk / 2);
+
+  auto uncached = DatasetScanBuilder(fx.reader.get()).Scan();
+  ASSERT_TRUE(uncached.ok());
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    auto scan = DatasetScanBuilder(fx.reader.get())
+                    .Threads(4)
+                    .Cache(&cache)
+                    .Scan();
+    ASSERT_TRUE(scan.ok());
+    EXPECT_EQ(scan->groups, uncached->groups) << "epoch " << epoch;
+    EXPECT_LE(cache.size_bytes(), cache.capacity_bytes());
+  }
+  EXPECT_GT(cache.evictions(), 0u);
+  EXPECT_GT(cache.misses(), 0u);
+}
+
+TEST(DecodedChunkCache, OversizedChunkIsNotCached) {
+  DecodedChunkCache cache(8);  // 8 bytes: smaller than any real chunk
+  ColumnVector big(PhysicalType::kInt64, 0);
+  for (int i = 0; i < 100; ++i) big.AppendInt(i);
+  cache.Insert(ChunkCacheKey{0, 0, 0, true}, big);
+  EXPECT_EQ(cache.num_entries(), 0u);
+  EXPECT_EQ(cache.size_bytes(), 0u);
+  ColumnVector out;
+  EXPECT_FALSE(cache.Lookup(ChunkCacheKey{0, 0, 0, true}, &out));
+}
+
+TEST(DecodedChunkCache, LruKeepsHotEntriesUnderPressure) {
+  ColumnVector v(PhysicalType::kInt64, 0);
+  for (int i = 0; i < 4; ++i) v.AppendInt(i);
+  size_t bytes = ApproxColumnVectorBytes(v);
+  DecodedChunkCache cache(2 * bytes);  // room for exactly two entries
+
+  ChunkCacheKey a{0, 0, 0, true}, b{0, 0, 1, true}, c{0, 0, 2, true};
+  cache.Insert(a, v);
+  cache.Insert(b, v);
+  ColumnVector out;
+  ASSERT_TRUE(cache.Lookup(a, &out));  // refresh a: b is now coldest
+  cache.Insert(c, v);                  // evicts b
+  EXPECT_TRUE(cache.Lookup(a, &out));
+  EXPECT_FALSE(cache.Lookup(b, &out));
+  EXPECT_TRUE(cache.Lookup(c, &out));
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(DecodedChunkCache, KeySeparatesReadOptionVariants) {
+  ColumnVector v(PhysicalType::kInt64, 0);
+  v.AppendInt(7);
+  DecodedChunkCache cache(1 << 20);
+  cache.Insert(ChunkCacheKey{1, 2, 3, true, false}, v);
+  ColumnVector out;
+  // filter_deleted and verify_checksums both change what a decode
+  // produces/checks; neither variant may serve the other's entry.
+  EXPECT_FALSE(cache.Lookup(ChunkCacheKey{1, 2, 3, false, false}, &out));
+  EXPECT_FALSE(cache.Lookup(ChunkCacheKey{1, 2, 3, true, true}, &out));
+  EXPECT_TRUE(cache.Lookup(ChunkCacheKey{1, 2, 3, true, false}, &out));
+  EXPECT_EQ(out, v);
+}
+
+TEST(ShardedReader, ConcurrentScansShareOnePoolAndCache) {
+  // TSAN target: two dataset scans racing on one shared pool + cache.
+  DatasetFixture fx(600, 50, 150);
+  ThreadPool pool(4);
+  DecodedChunkCache cache(64 << 20, &fx.fs.stats());
+  auto run = [&] {
+    return DatasetScanBuilder(fx.reader.get())
+        .Pool(&pool)
+        .Cache(&cache)
+        .Scan();
+  };
+  auto first = run();
+  ASSERT_TRUE(first.ok());
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> scanners;
+  scanners.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    scanners.emplace_back([&] {
+      auto scan = run();
+      if (!scan.ok() || scan->groups != first->groups) failures.fetch_add(1);
+    });
+  }
+  for (auto& t : scanners) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace bullion
