@@ -92,26 +92,37 @@ int main(int argc, char** argv) {
   std::printf(" ]\n");
 
   // 5. Sharded dataset: production tables span many files. Split the
-  //    same stream into shards, then scan them as ONE logical table —
-  //    all shards fan through one pool, and a DecodedChunkCache makes
-  //    the second (warm) epoch skip fetch + decode entirely.
+  //    same stream into shards with a MULTI-THREADED write — the row
+  //    groups of all shards encode concurrently on one pool, commits
+  //    land in order, and the shard files are byte-identical to a
+  //    serial write. Then scan them as ONE logical table — all shards
+  //    fan through one pool, and a DecodedChunkCache makes the second
+  //    (warm) epoch skip fetch + decode entirely.
   {
-    ShardedWriterOptions sopts;
-    sopts.rows_per_group = 2048;
-    sopts.target_rows_per_shard = 4096;  // -> 3 shards for 10k rows
-    sopts.base_name = path;
-    sopts.writer.rows_per_page = 1024;
-    ShardedTableWriter sharded(schema, sopts, [](const std::string& name) {
-      return OpenPosixWritableFile(name, /*truncate=*/true);
-    });
-    Status st = sharded.Append(cols);
+    auto sharded_w = ShardedWriteBuilder(schema,
+                                         [](const std::string& name) {
+                                           return OpenPosixWritableFile(
+                                               name, /*truncate=*/true);
+                                         })
+                         .BaseName(path)
+                         .RowsPerShard(4096)  // -> 3 shards for 10k rows
+                         .RowsPerGroup(2048)
+                         .RowsPerPage(1024)
+                         .Threads(2)  // parallel page encoding
+                         .Build();
+    if (!sharded_w.ok()) {
+      std::fprintf(stderr, "shard writer failed: %s\n",
+                   sharded_w.status().ToString().c_str());
+      return 1;
+    }
+    Status st = (*sharded_w)->Append(cols);
     if (!st.ok()) {
       std::fprintf(stderr, "shard append failed: %s\n",
                    st.ToString().c_str());
       return 1;
     }
     {
-      auto manifest = sharded.Finish();
+      auto manifest = (*sharded_w)->Finish();
       if (!manifest.ok()) {
         std::fprintf(stderr, "shard write failed: %s\n",
                      manifest.status().ToString().c_str());

@@ -32,14 +32,35 @@
 // Output is byte-identical to the serial TableReader path at any
 // thread count.
 //
+// The write stack is its twin, layered stage → encode → commit:
+// TableWriter stages a batch into per-column page-encode tasks
+// (format/writer.h), encodes each page, and commits the encoded pages
+// in deterministic placement order. exec/writer.h fans the encode
+// stage across a ThreadPool — WriteBuilder is the front door:
+//
+//   auto writer = WriteBuilder(schema, file)
+//                     .RowsPerPage(4096)
+//                     .Threads(8)                // encode workers
+//                     .MaxPendingGroups(4)       // groups in flight
+//                     .Build();
+//   (*writer)->WriteRowGroup(std::move(batch));
+//   (*writer)->Finish();
+//
+// Files are byte-identical to the serial TableWriter at any thread
+// count — all placement decisions happen in the ordered commit stage.
+//
 // Sharded datasets (dataset/*): a logical table at production scale is
 // many Bullion files. ShardedTableWriter splits an append stream into
-// shards by target rows-per-shard; ShardManifest records the shard
-// list and global row-group index; ShardedTableReader scans them as
-// one table, fanning every shard's coalesced reads through ONE shared
-// ThreadPool. An optional DecodedChunkCache (byte-budgeted LRU of
-// decoded chunks) lets repeated training epochs skip fetch + decode —
-// fully cached row groups issue zero preads (see IoStats.cache_hits).
+// shards by target rows-per-shard — with ShardedWriteBuilder(...)
+// .Threads(N) the row groups of ALL shards encode concurrently on one
+// shared pool with one bounded in-flight window, committing in order
+// so every shard file is byte-identical to a serial write.
+// ShardManifest records the shard list and global row-group index;
+// ShardedTableReader scans them as one table, fanning every shard's
+// coalesced reads through ONE shared ThreadPool. An optional
+// DecodedChunkCache (byte-budgeted LRU of decoded chunks) lets
+// repeated training epochs skip fetch + decode — fully cached row
+// groups issue zero preads (see IoStats.cache_hits).
 // DatasetScanBuilder is the front door:
 //
 //   auto ds = ShardedTableReader::Open(manifest, open_fn);
@@ -70,6 +91,7 @@
 #include "encoding/cascade.h"
 #include "exec/scanner.h"
 #include "exec/thread_pool.h"
+#include "exec/writer.h"
 #include "format/column_vector.h"
 #include "format/compaction.h"
 #include "format/deletion.h"
@@ -93,9 +115,11 @@ namespace bullion {
 inline constexpr const char* kVersionString = "0.1.0";
 
 /// Convenience: writes a complete table (one call, many row groups).
+/// Runs on the exec-layer parallel writer; `threads` <= 1 keeps the
+/// write serial. Output bytes are identical either way.
 Status WriteTableFile(WritableFile* file, const Schema& schema,
                       const std::vector<std::vector<ColumnVector>>& groups,
-                      const WriterOptions& options = {});
+                      const WriterOptions& options = {}, size_t threads = 1);
 
 /// Convenience: opens a table and reads one full column across all row
 /// groups (concatenated). Runs on the exec-layer scanner; `threads`

@@ -9,20 +9,35 @@
 // ShardManifest describing what was written — persist it as
 // `<table>.manifest` or rebuild it later from the shard footers.
 //
+// The write path is the staged pipeline from format/writer.h: every
+// full row group is staged immediately and its page-encode tasks fan
+// out across ONE shared exec::ThreadPool (exec/writer.h's
+// SubmitGroupEncode), while commits trail behind in row-group order —
+// so groups of several shards encode concurrently, bounded by one
+// in-flight window. Shard assignment is decided at staging time from
+// row counts alone, and all file bytes are placed at commit time, so
+// output is byte-identical to the serial writer at any thread count.
+//
 // File creation goes through a caller-supplied opener so the writer is
 // filesystem-agnostic (InMemoryFileSystem in tests/benches, POSIX in
-// examples):
+// examples). ShardedWriteBuilder is the fluent front door:
 //
-//   ShardedTableWriter writer(schema, options, [&](const std::string& n) {
-//     return fs.NewWritableFile(n);
-//   });
-//   writer.Append(batch1);           // any row count
-//   writer.Append(batch2);
-//   ShardManifest manifest = *writer.Finish();
+//   auto writer = ShardedWriteBuilder(schema, [&](const std::string& n) {
+//                     return fs.NewWritableFile(n);
+//                 })
+//                     .BaseName("table")
+//                     .RowsPerShard(1 << 20)
+//                     .RowsPerGroup(65536)
+//                     .Threads(8)            // encode workers, all shards
+//                     .Build();
+//   (*writer)->Append(batch1);               // any row count
+//   (*writer)->Append(batch2);
+//   ShardManifest manifest = *(*writer)->Finish();
 
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
@@ -31,6 +46,8 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "dataset/shard_manifest.h"
+#include "exec/thread_pool.h"
+#include "exec/writer.h"
 #include "format/column_vector.h"
 #include "format/schema.h"
 #include "format/writer.h"
@@ -41,14 +58,28 @@ namespace bullion {
 struct ShardedWriterOptions {
   /// A shard closes at the first row-group boundary at or past this
   /// many rows; actual shard sizes are within one row group of it.
+  /// Must be positive.
   uint64_t target_rows_per_shard = 1 << 20;
-  /// Rows per row group inside each shard.
+  /// Rows per row group inside each shard. Must be positive.
   uint32_t rows_per_group = 65536;
   /// Shard file names: "<base_name>.shard-00000", -00001, ...
   std::string base_name = "table";
   /// Per-shard file options (page size, encodings, compliance, ...).
   WriterOptions writer;
+  /// Encode worker threads shared across ALL shards (<= 1 encodes
+  /// inline on the calling thread — the serial reference path). An
+  /// external pool passed to the constructor overrides this.
+  size_t threads = 1;
+  /// Row groups allowed in flight (staged/encoding, uncommitted)
+  /// across all shards; 0 = 2 × encode workers.
+  size_t max_pending_groups = 0;
 };
+
+/// Checks a ShardedWriterOptions against a schema: positive
+/// rows-per-shard / rows-per-group plus the nested WriterOptions
+/// checks.
+Status ValidateShardedWriterOptions(const ShardedWriterOptions& options,
+                                    const Schema& schema);
 
 /// \brief Streams row batches into a sequence of Bullion shard files.
 class ShardedTableWriter {
@@ -56,48 +87,151 @@ class ShardedTableWriter {
   using FileOpener =
       std::function<Result<std::unique_ptr<WritableFile>>(const std::string&)>;
 
+  /// If `pool` is null and `options.threads` > 1, a private pool is
+  /// spun up for the writer's lifetime; a shared `pool` lets several
+  /// writers (or writers and scanners) share one set of workers.
   ShardedTableWriter(Schema schema, ShardedWriterOptions options,
-                     FileOpener opener);
+                     FileOpener opener, ThreadPool* pool = nullptr);
 
   /// Appends a batch: one ColumnVector per schema leaf, equal row
   /// counts. Rows are buffered and flushed as full row groups.
   Status Append(const std::vector<ColumnVector>& columns);
 
-  /// Flushes buffered rows, closes the tail shard, and returns the
-  /// manifest. Must be called exactly once; a stream with zero rows
-  /// yields a zero-shard manifest.
+  /// Flushes buffered rows, drains in-flight encodes, closes the tail
+  /// shard, and returns the manifest. Must be called exactly once; a
+  /// stream with zero rows yields a zero-shard manifest.
   Result<ShardManifest> Finish();
 
-  uint64_t num_rows() const { return total_rows_; }
-  size_t num_shards_started() const { return shards_.size() + (shard_writer_ ? 1 : 0); }
+  /// Rows accepted so far (buffered and in-flight rows included).
+  uint64_t num_rows() const { return total_rows_ + pending_rows_; }
+  /// Shards assigned at least one row group so far (committed or
+  /// still encoding).
+  size_t num_shards_started() const {
+    return staging_shard_ + (staging_shard_rows_ > 0 ? 1 : 0);
+  }
+  /// Row groups currently staged or encoding, not yet committed.
+  size_t pending_groups() const { return pending_.size(); }
 
   /// Name of shard `index` under `base`: "<base>.shard-00042".
   static std::string ShardName(const std::string& base, size_t index);
 
  private:
-  /// Opens the next shard file lazily (so empty streams make no files).
-  Status EnsureShardOpen();
-  /// Writes the buffered rows as one row group into the current shard.
-  Status FlushGroup();
+  struct PendingGroup {
+    size_t shard;       // which shard this group commits into
+    bool closes_shard;  // last group of its shard
+    std::shared_ptr<const StagedRowGroup> staged;
+    std::vector<EncodedPage> pages;
+    std::unique_ptr<TaskGroup> tasks;
+  };
+
+  /// Stages the buffered rows as one row group, assigns it to a shard,
+  /// and fans its encodes out on the pool.
+  Status SubmitGroup();
+  /// Joins the oldest pending group's encodes and commits it to its
+  /// shard (opening/closing shard files as boundaries pass).
+  Status DrainOne();
+  /// Opens shard `shard`'s file lazily (commit side).
+  Status EnsureShardOpen(size_t shard);
   /// Finishes the current shard file and records its ShardInfo.
   Status CloseShard();
 
   Schema schema_;
   ShardedWriterOptions options_;
   FileOpener opener_;
+  Status init_status_;
+
+  std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* pool_;
+  size_t max_pending_;
 
   /// Row-group staging buffer (one vector per leaf).
-  std::vector<ColumnVector> pending_;
+  std::vector<ColumnVector> pending_batch_;
   uint64_t pending_rows_ = 0;
 
+  // Staging side: which shard new groups belong to. Pure row-count
+  // arithmetic, so assignment is independent of encode scheduling.
+  size_t staging_shard_ = 0;
+  uint64_t staging_shard_rows_ = 0;
+
+  std::deque<PendingGroup> pending_;
+
+  // Commit side: trails staging by at most the in-flight window.
   std::unique_ptr<WritableFile> shard_file_;
   std::unique_ptr<TableWriter> shard_writer_;
+  size_t open_shard_ = 0;
   uint64_t shard_rows_ = 0;
   uint32_t shard_groups_ = 0;
 
   std::vector<ShardInfo> shards_;
   uint64_t total_rows_ = 0;
+  Status error_;  // sticky first failure
   bool finished_ = false;
+};
+
+/// \brief Fluent builder for (parallel) sharded writes — the write-side
+/// twin of DatasetScanBuilder.
+class ShardedWriteBuilder {
+ public:
+  ShardedWriteBuilder(Schema schema, ShardedTableWriter::FileOpener opener)
+      : schema_(std::move(schema)), opener_(std::move(opener)) {}
+
+  ShardedWriteBuilder& BaseName(std::string name) {
+    options_.base_name = std::move(name);
+    return *this;
+  }
+  /// Target rows per shard file (shards roll on group boundaries).
+  ShardedWriteBuilder& RowsPerShard(uint64_t rows) {
+    options_.target_rows_per_shard = rows;
+    return *this;
+  }
+  /// Rows per row group inside each shard.
+  ShardedWriteBuilder& RowsPerGroup(uint32_t rows) {
+    options_.rows_per_group = rows;
+    return *this;
+  }
+  /// Rows per page (shorthand for Options).
+  ShardedWriteBuilder& RowsPerPage(uint32_t rows) {
+    options_.writer.rows_per_page = rows;
+    return *this;
+  }
+  /// Per-shard file options (page size, encodings, compliance, ...).
+  ShardedWriteBuilder& Options(WriterOptions writer) {
+    options_.writer = std::move(writer);
+    return *this;
+  }
+  /// Encode worker threads shared across all shards.
+  ShardedWriteBuilder& Threads(size_t n) {
+    options_.threads = n;
+    return *this;
+  }
+  /// Row groups allowed in flight across all shards (0 = 2 × workers).
+  ShardedWriteBuilder& MaxPendingGroups(size_t n) {
+    options_.max_pending_groups = n;
+    return *this;
+  }
+  /// Run encodes on a shared pool instead of a writer-private one.
+  ShardedWriteBuilder& Pool(ThreadPool* pool) {
+    pool_ = pool;
+    return *this;
+  }
+  /// Count committed pages into `stats` (shorthand for Options).
+  ShardedWriteBuilder& Stats(IoStats* stats) {
+    options_.writer.stats = stats;
+    return *this;
+  }
+
+  /// Validates the options and constructs the writer.
+  Result<std::unique_ptr<ShardedTableWriter>> Build() const {
+    BULLION_RETURN_NOT_OK(ValidateShardedWriterOptions(options_, schema_));
+    return std::make_unique<ShardedTableWriter>(schema_, options_, opener_,
+                                                pool_);
+  }
+
+ private:
+  Schema schema_;
+  ShardedTableWriter::FileOpener opener_;
+  ShardedWriterOptions options_;
+  ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace bullion

@@ -1,0 +1,97 @@
+#include "exec/writer.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace bullion {
+
+Status SubmitGroupEncode(std::shared_ptr<const StagedRowGroup> staged,
+                         TaskGroup* tasks, std::vector<EncodedPage>* pages) {
+  if (staged == nullptr) {
+    return Status::InvalidArgument("null staged row group");
+  }
+  pages->clear();
+  pages->resize(staged->tasks.size());
+  for (size_t i = 0; i < staged->tasks.size(); ++i) {
+    tasks->Submit([staged, i, pages] {
+      BULLION_ASSIGN_OR_RETURN(EncodedPage page, EncodeStagedPage(*staged, i));
+      (*pages)[i] = std::move(page);
+      return Status::OK();
+    });
+  }
+  return Status::OK();
+}
+
+ParallelTableWriter::ParallelTableWriter(Schema schema, WritableFile* file,
+                                         WriterOptions options, size_t threads,
+                                         size_t max_pending_groups,
+                                         ThreadPool* pool)
+    : writer_(std::move(schema), file, std::move(options)), pool_(pool) {
+  if (pool_ == nullptr && threads > 1) {
+    owned_pool_ = std::make_unique<ThreadPool>(threads);
+    pool_ = owned_pool_.get();
+  }
+  size_t workers = pool_ != nullptr ? std::max<size_t>(pool_->num_threads(), 1)
+                                    : 1;
+  max_pending_ = max_pending_groups > 0 ? max_pending_groups : 2 * workers;
+}
+
+Status ParallelTableWriter::WriteRowGroup(std::vector<ColumnVector> columns) {
+  return WriteRowGroup(
+      std::make_shared<const std::vector<ColumnVector>>(std::move(columns)));
+}
+
+Status ParallelTableWriter::WriteRowGroup(
+    std::shared_ptr<const std::vector<ColumnVector>> columns) {
+  BULLION_RETURN_NOT_OK(error_);
+  if (finished_) return Status::InvalidArgument("writer already finished");
+  // Stage failures touch no file/footer state and are not sticky — like
+  // the serial TableWriter, the writer stays usable after a bad batch.
+  Result<StagedRowGroup> staged = writer_.StageRowGroup(std::move(columns));
+  BULLION_RETURN_NOT_OK(staged.status());
+  // Emplace first, submit second: the encode tasks capture a pointer to
+  // the pages vector, which must never move while they run. Deque
+  // growth leaves existing elements in place.
+  pending_.emplace_back();
+  PendingGroup& pg = pending_.back();
+  pg.staged = std::make_shared<const StagedRowGroup>(std::move(*staged));
+  pg.tasks = std::make_unique<TaskGroup>(pool_);
+  Status st = SubmitGroupEncode(pg.staged, pg.tasks.get(), &pg.pages);
+  if (!st.ok()) {
+    pg.tasks->Wait();
+    pending_.pop_back();
+    return st;
+  }
+  while (pending_.size() > max_pending_) {
+    BULLION_RETURN_NOT_OK(DrainOne());
+  }
+  return Status::OK();
+}
+
+Status ParallelTableWriter::DrainOne() {
+  PendingGroup& pg = pending_.front();
+  Status st = pg.tasks->Wait();
+  if (st.ok()) st = writer_.CommitEncodedGroup(*pg.staged, pg.pages);
+  pending_.pop_front();
+  if (!st.ok()) error_ = st;
+  return st;
+}
+
+Status ParallelTableWriter::Finish() {
+  if (finished_) return Status::InvalidArgument("writer already finished");
+  finished_ = true;
+  Status st = error_;
+  while (!pending_.empty()) {
+    if (st.ok()) {
+      st = DrainOne();
+    } else {
+      // A commit already failed: join the stragglers without writing.
+      pending_.front().tasks->Wait();
+      pending_.pop_front();
+    }
+  }
+  if (!st.ok()) return st;
+  return writer_.Finish();
+}
+
+}  // namespace bullion

@@ -4,85 +4,177 @@
 
 namespace bullion {
 
-TableWriter::TableWriter(Schema schema, WritableFile* file,
-                         WriterOptions options)
-    : schema_(std::move(schema)),
-      file_(file),
-      options_(std::move(options)),
-      footer_(schema_, options_.rows_per_page, options_.compliance) {}
+Status ValidateWriterOptions(const WriterOptions& options,
+                             const Schema& schema) {
+  if (options.rows_per_page == 0) {
+    return Status::InvalidArgument("rows_per_page must be positive");
+  }
+  if (!options.column_order.empty()) {
+    if (options.column_order.size() != schema.num_leaves()) {
+      return Status::InvalidArgument("column_order size mismatch");
+    }
+    std::vector<bool> seen(schema.num_leaves(), false);
+    for (uint32_t c : options.column_order) {
+      if (c >= schema.num_leaves()) {
+        return Status::InvalidArgument("column_order entry " +
+                                       std::to_string(c) +
+                                       " is not a leaf column index");
+      }
+      if (seen[c]) {
+        return Status::InvalidArgument("column_order repeats column " +
+                                       std::to_string(c));
+      }
+      seen[c] = true;
+    }
+  }
+  if (options.quality_sort_column >= 0 &&
+      static_cast<uint32_t>(options.quality_sort_column) >=
+          schema.num_leaves()) {
+    return Status::InvalidArgument("quality sort column out of range");
+  }
+  return Status::OK();
+}
 
-Status TableWriter::WriteRowGroup(const std::vector<ColumnVector>& columns) {
-  if (finished_) return Status::InvalidArgument("writer already finished");
-  if (columns.size() != schema_.num_leaves()) {
+Result<StagedRowGroup> StageRowGroup(
+    const Schema& schema, const WriterOptions& options,
+    std::shared_ptr<const std::vector<ColumnVector>> columns) {
+  BULLION_RETURN_NOT_OK(ValidateWriterOptions(options, schema));
+  return StageValidatedRowGroup(schema, options, std::move(columns));
+}
+
+Result<StagedRowGroup> StageValidatedRowGroup(
+    const Schema& schema, const WriterOptions& options,
+    std::shared_ptr<const std::vector<ColumnVector>> columns) {
+  if (columns == nullptr) {
+    return Status::InvalidArgument("null column batch");
+  }
+  if (columns->size() != schema.num_leaves()) {
     return Status::InvalidArgument(
-        "row group has " + std::to_string(columns.size()) +
-        " columns, schema has " + std::to_string(schema_.num_leaves()) +
+        "row group has " + std::to_string(columns->size()) +
+        " columns, schema has " + std::to_string(schema.num_leaves()) +
         " leaves");
   }
-  size_t rows = columns.empty() ? 0 : columns[0].num_rows();
-  for (const ColumnVector& col : columns) {
+  size_t rows = columns->empty() ? 0 : (*columns)[0].num_rows();
+  for (const ColumnVector& col : *columns) {
     if (col.num_rows() != rows) {
       return Status::InvalidArgument("row group columns disagree on rows");
     }
   }
   if (rows == 0) return Status::InvalidArgument("empty row group");
 
-  if (options_.quality_sort_column >= 0) {
-    uint32_t qc = static_cast<uint32_t>(options_.quality_sort_column);
-    if (qc >= columns.size()) {
-      return Status::InvalidArgument("quality sort column out of range");
-    }
-    const ColumnVector& qcol = columns[qc];
+  if (options.quality_sort_column >= 0) {
+    uint32_t qc = static_cast<uint32_t>(options.quality_sort_column);
+    const ColumnVector& qcol = (*columns)[qc];
     if (qcol.domain() != ValueDomain::kReal || qcol.list_depth() != 0) {
       return Status::InvalidArgument("quality column must be scalar float");
     }
     std::vector<uint32_t> perm =
         SortPermutationDescending(qcol.real_values());
-    std::vector<ColumnVector> sorted;
-    sorted.reserve(columns.size());
-    for (const ColumnVector& col : columns) {
+    auto sorted = std::make_shared<std::vector<ColumnVector>>();
+    sorted->reserve(columns->size());
+    for (const ColumnVector& col : *columns) {
       BULLION_ASSIGN_OR_RETURN(ColumnVector p, col.Permute(perm));
-      sorted.push_back(std::move(p));
+      sorted->push_back(std::move(p));
     }
-    return WriteRowGroupImpl(sorted);
-  }
-  return WriteRowGroupImpl(columns);
-}
-
-Status TableWriter::WriteRowGroupImpl(const std::vector<ColumnVector>& columns) {
-  size_t rows = columns[0].num_rows();
-  footer_.BeginRowGroup(static_cast<uint32_t>(rows));
-
-  std::vector<uint32_t> order = options_.column_order;
-  if (order.empty()) {
-    order.resize(schema_.num_leaves());
-    for (uint32_t c = 0; c < order.size(); ++c) order[c] = c;
-  } else if (order.size() != schema_.num_leaves()) {
-    return Status::InvalidArgument("column_order size mismatch");
+    columns = std::move(sorted);
   }
 
-  for (uint32_t c : order) {
-    const LeafColumn& leaf = schema_.leaves()[c];
-    const ColumnVector& col = columns[c];
+  StagedRowGroup staged;
+  staged.columns = std::move(columns);
+  staged.row_count = static_cast<uint32_t>(rows);
+  if (options.column_order.empty()) {
+    staged.order.resize(schema.num_leaves());
+    for (uint32_t c = 0; c < staged.order.size(); ++c) staged.order[c] = c;
+  } else {
+    staged.order = options.column_order;
+  }
+
+  staged.column_task_begin.reserve(staged.order.size() + 1);
+  for (uint32_t c : staged.order) {
+    staged.column_task_begin.push_back(staged.tasks.size());
+    const LeafColumn& leaf = schema.leaves()[c];
+    const ColumnVector& col = (*staged.columns)[c];
 
     PageEncodeOptions popts;
-    popts.cascade = options_.cascade;
-    popts.deletable = options_.compliance == ComplianceLevel::kLevel2 &&
+    popts.cascade = options.cascade;
+    popts.deletable = options.compliance == ComplianceLevel::kLevel2 &&
                       leaf.deletable && col.domain() == ValueDomain::kInt;
-    popts.use_sparse_delta = options_.enable_sparse_delta &&
+    popts.use_sparse_delta = options.enable_sparse_delta &&
                              leaf.logical == LogicalType::kIdSequence &&
                              leaf.list_depth == 1 &&
                              col.domain() == ValueDomain::kInt &&
                              !popts.deletable;
-    popts.min_sparse_overlap = options_.min_sparse_overlap;
+    popts.min_sparse_overlap = options.min_sparse_overlap;
 
+    for (size_t row = 0; row < rows; row += options.rows_per_page) {
+      size_t end = std::min(rows, row + options.rows_per_page);
+      staged.tasks.push_back(PageEncodeTask{c, row, end, popts});
+    }
+  }
+  staged.column_task_begin.push_back(staged.tasks.size());
+  return staged;
+}
+
+Result<EncodedPage> EncodeStagedPage(const StagedRowGroup& staged,
+                                     size_t task) {
+  if (task >= staged.tasks.size()) {
+    return Status::InvalidArgument("staged task index out of range");
+  }
+  const PageEncodeTask& t = staged.tasks[task];
+  return EncodePage((*staged.columns)[t.column], t.row_begin, t.row_end,
+                    t.options);
+}
+
+TableWriter::TableWriter(Schema schema, WritableFile* file,
+                         WriterOptions options)
+    : schema_(std::move(schema)),
+      file_(file),
+      options_(std::move(options)),
+      init_status_(ValidateWriterOptions(options_, schema_)),
+      footer_(schema_, options_.rows_per_page, options_.compliance) {}
+
+Result<StagedRowGroup> TableWriter::StageRowGroup(
+    std::shared_ptr<const std::vector<ColumnVector>> columns) const {
+  BULLION_RETURN_NOT_OK(init_status_);
+  // Options were validated at construction and are immutable.
+  return StageValidatedRowGroup(schema_, options_, std::move(columns));
+}
+
+Status TableWriter::WriteRowGroup(const std::vector<ColumnVector>& columns) {
+  BULLION_RETURN_NOT_OK(init_status_);
+  if (finished_) return Status::InvalidArgument("writer already finished");
+  // Borrow the batch: the serial path commits before returning, so no
+  // ownership transfer is needed.
+  std::shared_ptr<const std::vector<ColumnVector>> borrowed(
+      &columns, [](const std::vector<ColumnVector>*) {});
+  BULLION_ASSIGN_OR_RETURN(
+      StagedRowGroup staged,
+      StageValidatedRowGroup(schema_, options_, std::move(borrowed)));
+  std::vector<EncodedPage> pages;
+  pages.reserve(staged.tasks.size());
+  for (size_t t = 0; t < staged.tasks.size(); ++t) {
+    BULLION_ASSIGN_OR_RETURN(EncodedPage page, EncodeStagedPage(staged, t));
+    pages.push_back(std::move(page));
+  }
+  return CommitEncodedGroup(staged, pages);
+}
+
+Status TableWriter::CommitEncodedGroup(const StagedRowGroup& staged,
+                                       const std::vector<EncodedPage>& pages) {
+  BULLION_RETURN_NOT_OK(init_status_);
+  if (finished_) return Status::InvalidArgument("writer already finished");
+  if (pages.size() != staged.tasks.size()) {
+    return Status::InvalidArgument("encoded page count disagrees with stage");
+  }
+  footer_.BeginRowGroup(staged.row_count);
+  for (size_t oi = 0; oi < staged.order.size(); ++oi) {
+    uint32_t c = staged.order[oi];
+    uint64_t chunk_offset = offset_;
     uint32_t first_page = 0;
     bool first = true;
-    uint64_t chunk_offset = offset_;
-    for (size_t row = 0; row < rows; row += options_.rows_per_page) {
-      size_t end = std::min(rows, row + options_.rows_per_page);
-      BULLION_ASSIGN_OR_RETURN(EncodedPage page,
-                               EncodePage(col, row, end, popts));
+    for (size_t t = staged.column_task_begin[oi];
+         t < staged.column_task_begin[oi + 1]; ++t) {
+      const EncodedPage& page = pages[t];
       uint64_t hash = HashPage(page.data.AsSlice());
       uint32_t page_idx =
           footer_.AddPage(offset_, page.row_count, page.encoding, hash);
@@ -92,16 +184,17 @@ Status TableWriter::WriteRowGroupImpl(const std::vector<ColumnVector>& columns) 
       }
       BULLION_RETURN_NOT_OK(file_->Append(page.data.AsSlice()));
       offset_ += page.data.size();
+      if (options_.stats != nullptr) options_.stats->pages_encoded += 1;
     }
     footer_.SetChunk(group_index_, c, chunk_offset, first_page);
   }
-
-  num_rows_ += rows;
+  num_rows_ += staged.row_count;
   ++group_index_;
   return Status::OK();
 }
 
 Status TableWriter::Finish() {
+  BULLION_RETURN_NOT_OK(init_status_);
   if (finished_) return Status::InvalidArgument("writer already finished");
   finished_ = true;
   BULLION_ASSIGN_OR_RETURN(Buffer footer, footer_.Finish(offset_, num_rows_));

@@ -7,6 +7,31 @@
 // Placement order defaults to schema order; WriterOptions::column_order
 // implements Alpha-style feature reordering (§3): columns that training
 // jobs co-access are placed adjacently so projection reads coalesce.
+//
+// The write path is layered stage → encode → commit, the write-side
+// twin of the reader's plan → fetch → decode split:
+//
+//   StageRowGroup()        -- pure: validates a batch, applies the
+//                             quality sort, and slices it into
+//                             per-column/per-page PageEncodeTasks in
+//                             placement order. No file or footer state
+//                             is touched, so staged groups from
+//                             consecutive batches may encode
+//                             concurrently.
+//   EncodeStagedPage()     -- pure: encodes one task into an
+//                             EncodedPage buffer. Thread-safe; the
+//                             exec layer fans these out across a
+//                             ThreadPool (exec/writer.h).
+//   CommitEncodedGroup()   -- appends the encoded pages in
+//                             deterministic placement order and
+//                             records footer metadata. Commits must
+//                             happen in row-group order; because every
+//                             byte placement decision is made here,
+//                             the file is byte-identical no matter how
+//                             the encode stage was scheduled.
+//
+// WriteRowGroup() runs the three stages back to back on the calling
+// thread — the serial reference path.
 
 #pragma once
 
@@ -27,6 +52,7 @@ namespace bullion {
 
 struct WriterOptions {
   /// Rows per page (unit of encoding / checksum / in-place deletion).
+  /// Must be positive.
   uint32_t rows_per_page = 4096;
   /// Cascade tuning for page encoding.
   CascadeOptions cascade;
@@ -42,7 +68,68 @@ struct WriterOptions {
   /// Sort each row group's rows by this leaf column's value descending
   /// before writing (quality-aware layout, §2.5). -1 disables.
   int32_t quality_sort_column = -1;
+  /// Optional write-side accounting: commits bump pages_encoded here
+  /// (bytes_written / write_ops are counted by the WritableFile).
+  IoStats* stats = nullptr;
 };
+
+/// Checks a WriterOptions against a schema: positive rows_per_page,
+/// column_order a permutation of the leaf indices, quality sort column
+/// in range. Writers run this up front so misconfiguration is a clear
+/// Status instead of downstream misbehavior.
+Status ValidateWriterOptions(const WriterOptions& options,
+                             const Schema& schema);
+
+/// \brief One unit of the parallel encode stage: rows
+/// [row_begin, row_end) of leaf `column`, encoded as a single page.
+struct PageEncodeTask {
+  uint32_t column;
+  size_t row_begin;
+  size_t row_end;
+  PageEncodeOptions options;
+};
+
+/// \brief A validated batch sliced into page-encode tasks, ready for
+/// the encode stage.
+///
+/// `columns` keeps the batch alive while tasks encode (possibly on
+/// other threads, after the staging frame returned). Tasks are ordered
+/// placement-major — column `order[i]`'s pages occupy task indices
+/// [column_task_begin[i], column_task_begin[i+1]) in page order — which
+/// is exactly the byte order CommitEncodedGroup writes.
+struct StagedRowGroup {
+  std::shared_ptr<const std::vector<ColumnVector>> columns;
+  uint32_t row_count = 0;
+  /// Physical placement order of leaf columns.
+  std::vector<uint32_t> order;
+  /// Encode tasks, placement-major.
+  std::vector<PageEncodeTask> tasks;
+  /// order.size() + 1 offsets into `tasks`.
+  std::vector<size_t> column_task_begin;
+
+  size_t num_tasks() const { return tasks.size(); }
+};
+
+/// Stage step: validates the batch against the schema/options, applies
+/// the quality sort (producing an owned sorted copy when enabled), and
+/// slices it into page-encode tasks. Pure metadata + sort work — no
+/// file or footer state.
+Result<StagedRowGroup> StageRowGroup(
+    const Schema& schema, const WriterOptions& options,
+    std::shared_ptr<const std::vector<ColumnVector>> columns);
+
+/// As above but assumes `options` already passed ValidateWriterOptions
+/// against `schema` — the per-group fast path for writers that
+/// validated once at construction (options are immutable afterwards).
+Result<StagedRowGroup> StageValidatedRowGroup(
+    const Schema& schema, const WriterOptions& options,
+    std::shared_ptr<const std::vector<ColumnVector>> columns);
+
+/// Encode step: encodes task `task` of `staged` into one page. Pure
+/// and thread-safe — distinct tasks of one staged group (or of many)
+/// may run concurrently.
+Result<EncodedPage> EncodeStagedPage(const StagedRowGroup& staged,
+                                     size_t task);
 
 /// \brief Writes a Bullion file row group by row group.
 class TableWriter {
@@ -50,20 +137,35 @@ class TableWriter {
   TableWriter(Schema schema, WritableFile* file, WriterOptions options);
 
   /// Writes one row group; `columns` has one ColumnVector per schema
-  /// leaf, all with the same row count.
+  /// leaf, all with the same row count. Runs stage → encode → commit
+  /// serially on the calling thread.
   Status WriteRowGroup(const std::vector<ColumnVector>& columns);
+
+  /// Stage step against this writer's schema/options (see the free
+  /// function). Const: staging never touches file or footer state.
+  Result<StagedRowGroup> StageRowGroup(
+      std::shared_ptr<const std::vector<ColumnVector>> columns) const;
+
+  /// Commit step: appends `pages` (pages[i] = encoded task i of
+  /// `staged`) in placement order and records footer metadata. Row
+  /// groups must be committed in order; this is the only stage that
+  /// mutates file state, so the bytes written are independent of how
+  /// the encode stage was scheduled.
+  Status CommitEncodedGroup(const StagedRowGroup& staged,
+                            const std::vector<EncodedPage>& pages);
 
   /// Writes the footer and trailer. Must be called exactly once.
   Status Finish();
 
   uint64_t num_rows() const { return num_rows_; }
+  const Schema& schema() const { return schema_; }
+  const WriterOptions& options() const { return options_; }
 
  private:
-  Status WriteRowGroupImpl(const std::vector<ColumnVector>& columns);
-
   Schema schema_;
   WritableFile* file_;
   WriterOptions options_;
+  Status init_status_;
   FooterBuilder footer_;
   uint64_t offset_ = 0;
   uint64_t num_rows_ = 0;

@@ -25,6 +25,13 @@ struct IoStats {
   /// Number of reads/writes that were not contiguous with the previous
   /// operation (proxy for seeks on spinning/flash media).
   std::atomic<uint64_t> seeks{0};
+  /// Write-side twins of the read counters: pages encoded + committed
+  /// by a TableWriter (WriterOptions::stats), and Flush() calls on a
+  /// WritableFile. A parallel write shows pages_encoded / write_ops /
+  /// bytes_written identical to the serial writer — the encode stage
+  /// fans out, but every byte still lands exactly once.
+  std::atomic<uint64_t> pages_encoded{0};
+  std::atomic<uint64_t> flush_calls{0};
   /// Decoded-chunk cache traffic (src/dataset/chunk_cache.h): one hit
   /// or miss per (shard, row group, column) probe, one eviction per
   /// entry dropped under byte-budget pressure. A warm epoch shows
@@ -47,6 +54,10 @@ struct IoStats {
                         std::memory_order_relaxed);
     seeks.store(o.seeks.load(std::memory_order_relaxed),
                 std::memory_order_relaxed);
+    pages_encoded.store(o.pages_encoded.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    flush_calls.store(o.flush_calls.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
     cache_hits.store(o.cache_hits.load(std::memory_order_relaxed),
                      std::memory_order_relaxed);
     cache_misses.store(o.cache_misses.load(std::memory_order_relaxed),
@@ -67,6 +78,8 @@ struct IoStats {
     write_ops += o.write_ops.load(std::memory_order_relaxed);
     bytes_written += o.bytes_written.load(std::memory_order_relaxed);
     seeks += o.seeks.load(std::memory_order_relaxed);
+    pages_encoded += o.pages_encoded.load(std::memory_order_relaxed);
+    flush_calls += o.flush_calls.load(std::memory_order_relaxed);
     cache_hits += o.cache_hits.load(std::memory_order_relaxed);
     cache_misses += o.cache_misses.load(std::memory_order_relaxed);
     cache_evictions += o.cache_evictions.load(std::memory_order_relaxed);

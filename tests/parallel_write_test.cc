@@ -1,0 +1,536 @@
+// Parallel write path tests: stage → encode → commit layering,
+// WriterOptions validation, and the headline determinism claim — a
+// parallel write (single-file and sharded) is byte-identical to the
+// serial writer at every thread count.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/bullion.h"
+
+namespace bullion {
+namespace {
+
+Schema MakeMixedSchema() {
+  std::vector<Field> fields;
+  fields.push_back({"uid", DataType::Primitive(PhysicalType::kInt64),
+                    LogicalType::kPlain, true});
+  fields.push_back({"score", DataType::Primitive(PhysicalType::kFloat64),
+                    LogicalType::kQualityScore, false});
+  fields.push_back({"tag", DataType::Primitive(PhysicalType::kBinary),
+                    LogicalType::kPlain, false});
+  fields.push_back({"clk_seq",
+                    DataType::List(DataType::Primitive(PhysicalType::kInt64)),
+                    LogicalType::kIdSequence, false});
+  fields.push_back({"emb",
+                    DataType::List(DataType::Primitive(PhysicalType::kFloat32)),
+                    LogicalType::kEmbedding, false});
+  return Schema(std::move(fields));
+}
+
+std::vector<ColumnVector> MakeMixedData(const Schema& schema, size_t rows,
+                                        uint64_t seed) {
+  Random rng(seed);
+  std::vector<ColumnVector> cols;
+  for (const LeafColumn& leaf : schema.leaves()) {
+    cols.push_back(ColumnVector::ForLeaf(leaf));
+  }
+  std::vector<int64_t> window;
+  for (size_t r = 0; r < rows; ++r) {
+    cols[0].AppendInt(static_cast<int64_t>(r / 3));
+    cols[1].AppendReal(rng.NextDouble());
+    cols[2].AppendBinary("tag" + std::to_string(r % 7));
+    if (window.empty() || rng.Bernoulli(0.25)) {
+      window.insert(window.begin(), rng.UniformRange(0, 99));
+      if (window.size() > 12) window.pop_back();
+    }
+    cols[3].AppendIntList(window);
+    std::vector<double> emb(6);
+    for (double& x : emb) x = std::tanh(rng.NextGaussian());
+    cols[4].AppendRealList(emb);
+  }
+  return cols;
+}
+
+std::vector<uint8_t> FileBytes(const InMemoryFileSystem& fs,
+                               const std::string& name) {
+  auto file = fs.NewReadableFile(name);
+  EXPECT_TRUE(file.ok());
+  auto size = (*file)->Size();
+  EXPECT_TRUE(size.ok());
+  Buffer buf;
+  EXPECT_TRUE((*file)->Read(0, *size, &buf).ok());
+  return std::vector<uint8_t>(buf.data(), buf.data() + buf.size());
+}
+
+// ----------------------------------------------------------- validation
+
+TEST(WriterValidation, RejectsZeroRowsPerPage) {
+  Schema schema = MakeMixedSchema();
+  InMemoryFileSystem fs;
+  auto f = fs.NewWritableFile("t");
+  WriterOptions wopts;
+  wopts.rows_per_page = 0;
+  TableWriter writer(schema, f->get(), wopts);
+  Status st = writer.WriteRowGroup(MakeMixedData(schema, 10, 1));
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(writer.Finish().ok());
+  EXPECT_FALSE(WriteBuilder(schema, f->get()).RowsPerPage(0).Build().ok());
+}
+
+TEST(WriterValidation, RejectsMalformedColumnOrder) {
+  Schema schema = MakeMixedSchema();
+  ASSERT_EQ(schema.num_leaves(), 5u);
+  auto validate = [&](std::vector<uint32_t> order) {
+    WriterOptions wopts;
+    wopts.column_order = std::move(order);
+    return ValidateWriterOptions(wopts, schema);
+  };
+  EXPECT_TRUE(validate({}).ok());
+  EXPECT_TRUE(validate({4, 3, 1, 0, 2}).ok());
+  EXPECT_FALSE(validate({0, 1, 2}).ok());                 // size mismatch
+  EXPECT_FALSE(validate({0, 1, 2, 3, 99}).ok());          // out of range
+  EXPECT_FALSE(validate({0, 1, 2, 3, 3}).ok());           // duplicate
+  // Writers surface the same error instead of misbehaving downstream.
+  InMemoryFileSystem fs;
+  auto f = fs.NewWritableFile("t");
+  WriterOptions bad;
+  bad.column_order = {0, 1, 2, 3, 99};
+  TableWriter writer(schema, f->get(), bad);
+  EXPECT_FALSE(writer.WriteRowGroup(MakeMixedData(schema, 10, 1)).ok());
+}
+
+TEST(WriterValidation, RejectsQualitySortColumnOutOfRange) {
+  Schema schema = MakeMixedSchema();
+  WriterOptions wopts;
+  wopts.quality_sort_column = 42;
+  EXPECT_FALSE(ValidateWriterOptions(wopts, schema).ok());
+  wopts.quality_sort_column = -1;
+  EXPECT_TRUE(ValidateWriterOptions(wopts, schema).ok());
+}
+
+TEST(WriterValidation, ShardedRejectsZeroTargets) {
+  Schema schema = MakeMixedSchema();
+  InMemoryFileSystem fs;
+  auto opener = [&](const std::string& name) {
+    return fs.NewWritableFile(name);
+  };
+  ShardedWriterOptions zero_shard;
+  zero_shard.target_rows_per_shard = 0;
+  ShardedTableWriter w1(schema, zero_shard, opener);
+  EXPECT_FALSE(w1.Append(MakeMixedData(schema, 10, 1)).ok());
+  EXPECT_FALSE(w1.Finish().ok());
+
+  ShardedWriterOptions zero_group;
+  zero_group.rows_per_group = 0;
+  ShardedTableWriter w2(schema, zero_group, opener);
+  EXPECT_FALSE(w2.Append(MakeMixedData(schema, 10, 1)).ok());
+
+  EXPECT_FALSE(
+      ShardedWriteBuilder(schema, opener).RowsPerShard(0).Build().ok());
+  EXPECT_FALSE(
+      ShardedWriteBuilder(schema, opener).RowsPerGroup(0).Build().ok());
+  EXPECT_TRUE(ShardedWriteBuilder(schema, opener).Build().ok());
+}
+
+// ---------------------------------------------------------------- stage
+
+TEST(StageRowGroup, SlicesPlacementMajorPageTasks) {
+  Schema schema = MakeMixedSchema();
+  WriterOptions wopts;
+  wopts.rows_per_page = 4;
+  wopts.column_order = {2, 0, 1, 4, 3};
+  auto batch = std::make_shared<const std::vector<ColumnVector>>(
+      MakeMixedData(schema, 10, 3));
+  auto staged = StageRowGroup(schema, wopts, batch);
+  ASSERT_TRUE(staged.ok()) << staged.status().ToString();
+  EXPECT_EQ(staged->row_count, 10u);
+  EXPECT_EQ(staged->order, wopts.column_order);
+  // ceil(10/4) = 3 pages per column, 5 columns.
+  ASSERT_EQ(staged->num_tasks(), 15u);
+  ASSERT_EQ(staged->column_task_begin.size(), 6u);
+  for (size_t oi = 0; oi < staged->order.size(); ++oi) {
+    EXPECT_EQ(staged->column_task_begin[oi], oi * 3);
+    for (size_t t = staged->column_task_begin[oi];
+         t < staged->column_task_begin[oi + 1]; ++t) {
+      EXPECT_EQ(staged->tasks[t].column, staged->order[oi]);
+    }
+  }
+  // Page ranges tile [0, rows) in order: [0,4) [4,8) [8,10).
+  EXPECT_EQ(staged->tasks[0].row_begin, 0u);
+  EXPECT_EQ(staged->tasks[0].row_end, 4u);
+  EXPECT_EQ(staged->tasks[2].row_begin, 8u);
+  EXPECT_EQ(staged->tasks[2].row_end, 10u);
+}
+
+TEST(StageRowGroup, RejectsEmptyAndRaggedBatches) {
+  Schema schema = MakeMixedSchema();
+  WriterOptions wopts;
+  auto empty = std::make_shared<const std::vector<ColumnVector>>(
+      [&] {
+        std::vector<ColumnVector> cols;
+        for (const LeafColumn& leaf : schema.leaves()) {
+          cols.push_back(ColumnVector::ForLeaf(leaf));
+        }
+        return cols;
+      }());
+  EXPECT_FALSE(StageRowGroup(schema, wopts, empty).ok());
+
+  auto ragged = std::make_shared<std::vector<ColumnVector>>(
+      MakeMixedData(schema, 10, 1));
+  (*ragged)[0].AppendInt(7);  // now 11 rows vs 10 everywhere else
+  EXPECT_FALSE(
+      StageRowGroup(schema, wopts,
+                    std::shared_ptr<const std::vector<ColumnVector>>(ragged))
+          .ok());
+}
+
+// ------------------------------------------------- single-file identity
+
+TEST(ParallelWrite, ByteIdenticalToSerialAtEveryThreadCount) {
+  Schema schema = MakeMixedSchema();
+  std::vector<std::vector<ColumnVector>> groups;
+  for (size_t g = 0; g < 6; ++g) {
+    groups.push_back(MakeMixedData(schema, 400, 100 + g));
+  }
+  WriterOptions wopts;
+  wopts.rows_per_page = 64;
+
+  InMemoryFileSystem fs;
+  {
+    auto f = fs.NewWritableFile("serial");
+    TableWriter writer(schema, f->get(), wopts);
+    for (const auto& g : groups) ASSERT_TRUE(writer.WriteRowGroup(g).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  std::vector<uint8_t> truth = FileBytes(fs, "serial");
+
+  for (size_t threads : {1, 2, 4, 8}) {
+    std::string name = "par" + std::to_string(threads);
+    auto f = fs.NewWritableFile(name);
+    auto writer = WriteBuilder(schema, f->get())
+                      .Options(wopts)
+                      .Threads(threads)
+                      .MaxPendingGroups(3)
+                      .Build();
+    ASSERT_TRUE(writer.ok());
+    for (const auto& g : groups) {
+      ASSERT_TRUE((*writer)->WriteRowGroup(g).ok());
+    }
+    ASSERT_TRUE((*writer)->Finish().ok());
+    EXPECT_EQ((*writer)->num_rows(), 2400u);
+    EXPECT_EQ(FileBytes(fs, name), truth) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelWrite, SingleRowGroupsAndTinyPages) {
+  // Single-row groups with rows_per_page=1 maximize task count and
+  // scheduling interleavings; bytes must not change.
+  Schema schema = MakeMixedSchema();
+  std::vector<std::vector<ColumnVector>> groups;
+  for (size_t g = 0; g < 12; ++g) {
+    groups.push_back(MakeMixedData(schema, 1, 500 + g));
+  }
+  WriterOptions wopts;
+  wopts.rows_per_page = 1;
+
+  InMemoryFileSystem fs;
+  auto fserial = fs.NewWritableFile("serial");
+  ASSERT_TRUE(WriteTableFile(fserial->get(), schema, groups, wopts).ok());
+  std::vector<uint8_t> truth = FileBytes(fs, "serial");
+
+  auto fpar = fs.NewWritableFile("par");
+  ASSERT_TRUE(
+      WriteTableFile(fpar->get(), schema, groups, wopts, /*threads=*/4).ok());
+  EXPECT_EQ(FileBytes(fs, "par"), truth);
+
+  auto reader = TableReader::Open(*fs.NewReadableFile("par"));
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ((*reader)->num_rows(), 12u);
+  EXPECT_EQ((*reader)->num_row_groups(), 12u);
+}
+
+TEST(ParallelWrite, ZeroRowGroupsWritesFooterOnly) {
+  Schema schema = MakeMixedSchema();
+  InMemoryFileSystem fs;
+  auto fserial = fs.NewWritableFile("serial");
+  {
+    TableWriter writer(schema, fserial->get(), {});
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  auto fpar = fs.NewWritableFile("par");
+  auto writer = WriteBuilder(schema, fpar->get()).Threads(4).Build();
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Finish().ok());
+  EXPECT_EQ(FileBytes(fs, "par"), FileBytes(fs, "serial"));
+}
+
+TEST(ParallelWrite, QualitySortAndColumnOrderIdentical) {
+  Schema schema = MakeMixedSchema();
+  std::vector<std::vector<ColumnVector>> groups;
+  for (size_t g = 0; g < 4; ++g) {
+    groups.push_back(MakeMixedData(schema, 300, 700 + g));
+  }
+  WriterOptions wopts;
+  wopts.rows_per_page = 32;
+  wopts.column_order = {4, 3, 1, 0, 2};
+  wopts.quality_sort_column = 1;  // "score"
+
+  InMemoryFileSystem fs;
+  auto fserial = fs.NewWritableFile("serial");
+  ASSERT_TRUE(WriteTableFile(fserial->get(), schema, groups, wopts).ok());
+  auto fpar = fs.NewWritableFile("par");
+  ASSERT_TRUE(
+      WriteTableFile(fpar->get(), schema, groups, wopts, /*threads=*/8).ok());
+  EXPECT_EQ(FileBytes(fs, "par"), FileBytes(fs, "serial"));
+
+  // The parallel-written file round-trips through the reader.
+  auto reader = TableReader::Open(*fs.NewReadableFile("par"));
+  ASSERT_TRUE(reader.ok());
+  EXPECT_TRUE((*reader)->VerifyChecksums().ok());
+}
+
+TEST(ParallelWrite, SharedPoolAcrossWriters) {
+  Schema schema = MakeMixedSchema();
+  std::vector<std::vector<ColumnVector>> groups;
+  for (size_t g = 0; g < 4; ++g) {
+    groups.push_back(MakeMixedData(schema, 200, 40 + g));
+  }
+  InMemoryFileSystem fs;
+  auto fserial = fs.NewWritableFile("serial");
+  ASSERT_TRUE(WriteTableFile(fserial->get(), schema, groups, {}).ok());
+  std::vector<uint8_t> truth = FileBytes(fs, "serial");
+
+  ThreadPool pool(4);
+  auto fa = fs.NewWritableFile("a");
+  auto fb = fs.NewWritableFile("b");
+  auto wa = WriteBuilder(schema, fa->get()).Pool(&pool).Build();
+  auto wb = WriteBuilder(schema, fb->get()).Pool(&pool).Build();
+  ASSERT_TRUE(wa.ok());
+  ASSERT_TRUE(wb.ok());
+  // Interleave submissions so both writers' encodes share the pool.
+  for (const auto& g : groups) {
+    ASSERT_TRUE((*wa)->WriteRowGroup(g).ok());
+    ASSERT_TRUE((*wb)->WriteRowGroup(g).ok());
+  }
+  ASSERT_TRUE((*wa)->Finish().ok());
+  ASSERT_TRUE((*wb)->Finish().ok());
+  EXPECT_EQ(FileBytes(fs, "a"), truth);
+  EXPECT_EQ(FileBytes(fs, "b"), truth);
+}
+
+TEST(ParallelWrite, BadBatchIsRejectedWithoutBrickingTheWriter) {
+  Schema schema = MakeMixedSchema();
+  InMemoryFileSystem fs;
+  auto f = fs.NewWritableFile("t");
+  auto writer = WriteBuilder(schema, f->get()).Threads(2).Build();
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->WriteRowGroup(MakeMixedData(schema, 50, 1)).ok());
+  // Wrong leaf count fails the stage step, which touches no file or
+  // footer state...
+  std::vector<ColumnVector> bad;
+  bad.push_back(ColumnVector(PhysicalType::kInt64, 0));
+  bad[0].AppendInt(1);
+  Status st = (*writer)->WriteRowGroup(std::move(bad));
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  // ...so, like the serial TableWriter, the writer stays usable: a
+  // corrected batch and Finish succeed, and the file round-trips.
+  EXPECT_TRUE((*writer)->WriteRowGroup(MakeMixedData(schema, 50, 2)).ok());
+  ASSERT_TRUE((*writer)->Finish().ok());
+  auto reader = TableReader::Open(*fs.NewReadableFile("t"));
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ((*reader)->num_rows(), 100u);
+  EXPECT_EQ((*reader)->num_row_groups(), 2u);
+}
+
+// ---------------------------------------------------- sharded identity
+
+TEST(ShardedWrite, ByteIdenticalAcrossThreadCounts) {
+  Schema schema = MakeMixedSchema();
+  std::vector<ColumnVector> all = MakeMixedData(schema, 1000, 42);
+
+  auto write = [&](InMemoryFileSystem* fs, size_t threads) {
+    auto writer = ShardedWriteBuilder(schema,
+                                      [fs](const std::string& name) {
+                                        return fs->NewWritableFile(name);
+                                      })
+                      .BaseName("t")
+                      .RowsPerShard(250)
+                      .RowsPerGroup(100)
+                      .RowsPerPage(32)
+                      .Threads(threads)
+                      .Build();
+    EXPECT_TRUE(writer.ok());
+    EXPECT_TRUE((*writer)->Append(all).ok());
+    auto manifest = (*writer)->Finish();
+    EXPECT_TRUE(manifest.ok());
+    return *manifest;
+  };
+
+  InMemoryFileSystem serial_fs;
+  ShardManifest truth = write(&serial_fs, 1);
+  ASSERT_EQ(truth.num_shards(), 4u);
+
+  for (size_t threads : {2, 4, 8}) {
+    InMemoryFileSystem fs;
+    ShardManifest manifest = write(&fs, threads);
+    ASSERT_EQ(manifest.num_shards(), truth.num_shards())
+        << "threads=" << threads;
+    for (size_t s = 0; s < truth.num_shards(); ++s) {
+      EXPECT_EQ(manifest.shard(s).name, truth.shard(s).name);
+      EXPECT_EQ(manifest.shard(s).num_rows, truth.shard(s).num_rows);
+      EXPECT_EQ(manifest.shard(s).num_row_groups,
+                truth.shard(s).num_row_groups);
+      EXPECT_EQ(FileBytes(fs, truth.shard(s).name),
+                FileBytes(serial_fs, truth.shard(s).name))
+          << "threads=" << threads << " shard=" << s;
+    }
+  }
+}
+
+TEST(ShardedWrite, ManyShardsEncodeConcurrentlyOnOnePool) {
+  // Tiny shards + a wide window: groups of several shards are in the
+  // encode stage at once, all on one shared pool. Output must still be
+  // byte-identical, and the result must read back as one table.
+  Schema schema = MakeMixedSchema();
+  std::vector<ColumnVector> all = MakeMixedData(schema, 600, 9);
+
+  InMemoryFileSystem serial_fs;
+  InMemoryFileSystem par_fs;
+  ThreadPool pool(4);
+  auto write = [&](InMemoryFileSystem* fs, ThreadPool* p) {
+    auto writer = ShardedWriteBuilder(schema,
+                                      [fs](const std::string& name) {
+                                        return fs->NewWritableFile(name);
+                                      })
+                      .BaseName("t")
+                      .RowsPerShard(50)  // 12 shards
+                      .RowsPerGroup(50)
+                      .RowsPerPage(16)
+                      .MaxPendingGroups(8)
+                      .Pool(p)
+                      .Build();
+    EXPECT_TRUE(writer.ok());
+    // Stream in odd-sized batches to exercise group slicing.
+    EXPECT_TRUE((*writer)->Append(all).ok());
+    return *(*writer)->Finish();
+  };
+  ShardManifest truth = write(&serial_fs, nullptr);
+  ShardManifest manifest = write(&par_fs, &pool);
+  ASSERT_EQ(truth.num_shards(), 12u);
+  ASSERT_EQ(manifest.num_shards(), 12u);
+  for (size_t s = 0; s < truth.num_shards(); ++s) {
+    EXPECT_EQ(FileBytes(par_fs, truth.shard(s).name),
+              FileBytes(serial_fs, truth.shard(s).name))
+        << "shard=" << s;
+  }
+
+  // The parallel-written dataset scans as one logical table, equal to
+  // the original stream.
+  auto ds = ShardedTableReader::Open(manifest, [&](const std::string& n) {
+    return par_fs.NewReadableFile(n);
+  });
+  ASSERT_TRUE(ds.ok());
+  auto scan = DatasetScanBuilder(ds->get()).Threads(4).Scan();
+  ASSERT_TRUE(scan.ok());
+  for (size_t c = 0; c < all.size(); ++c) {
+    EXPECT_EQ(*scan->ConcatColumn(c), all[c]) << "column " << c;
+  }
+}
+
+TEST(ShardedWrite, TwoWritersShareOnePoolConcurrently) {
+  Schema schema = MakeMixedSchema();
+  std::vector<ColumnVector> all = MakeMixedData(schema, 400, 11);
+
+  auto write = [&](InMemoryFileSystem* fs, ThreadPool* p) {
+    auto writer = ShardedWriteBuilder(schema,
+                                      [fs](const std::string& name) {
+                                        return fs->NewWritableFile(name);
+                                      })
+                      .BaseName("t")
+                      .RowsPerShard(100)
+                      .RowsPerGroup(50)
+                      .RowsPerPage(16)
+                      .Pool(p)
+                      .Build();
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append(all).ok());
+    ASSERT_TRUE((*writer)->Finish().ok());
+  };
+
+  InMemoryFileSystem serial_fs;
+  write(&serial_fs, nullptr);
+
+  ThreadPool pool(4);
+  InMemoryFileSystem fs_a, fs_b;
+  std::thread ta([&] { write(&fs_a, &pool); });
+  std::thread tb([&] { write(&fs_b, &pool); });
+  ta.join();
+  tb.join();
+
+  for (size_t s = 0; s < 4; ++s) {
+    std::string name = ShardedTableWriter::ShardName("t", s);
+    EXPECT_EQ(FileBytes(fs_a, name), FileBytes(serial_fs, name));
+    EXPECT_EQ(FileBytes(fs_b, name), FileBytes(serial_fs, name));
+  }
+}
+
+TEST(ShardedWrite, NumRowsIncludesBufferedRows) {
+  Schema schema = MakeMixedSchema();
+  InMemoryFileSystem fs;
+  auto writer = ShardedWriteBuilder(schema,
+                                    [&](const std::string& name) {
+                                      return fs.NewWritableFile(name);
+                                    })
+                    .RowsPerGroup(1000)  // 100 rows stay buffered
+                    .Build();
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Append(MakeMixedData(schema, 100, 5)).ok());
+  EXPECT_EQ((*writer)->num_rows(), 100u);
+  auto manifest = (*writer)->Finish();
+  ASSERT_TRUE(manifest.ok());
+  EXPECT_EQ(manifest->total_rows(), 100u);
+}
+
+// ----------------------------------------------------------- accounting
+
+TEST(WriteStats, CountsPagesBytesAndFlushes) {
+  Schema schema = MakeMixedSchema();
+  std::vector<std::vector<ColumnVector>> groups;
+  for (size_t g = 0; g < 3; ++g) {
+    groups.push_back(MakeMixedData(schema, 100, 20 + g));
+  }
+
+  InMemoryFileSystem serial_fs;
+  WriterOptions wopts;
+  wopts.rows_per_page = 32;
+  wopts.stats = &serial_fs.stats();
+  auto fserial = serial_fs.NewWritableFile("t");
+  ASSERT_TRUE(WriteTableFile(fserial->get(), schema, groups, wopts).ok());
+  // ceil(100/32) = 4 pages per column per group, 5 leaves, 3 groups.
+  EXPECT_EQ(serial_fs.stats().pages_encoded.load(), 4u * 5u * 3u);
+  EXPECT_GE(serial_fs.stats().flush_calls.load(), 1u);
+  uint64_t serial_ops = serial_fs.stats().write_ops.load();
+  uint64_t serial_bytes = serial_fs.stats().bytes_written.load();
+  EXPECT_GT(serial_bytes, 0u);
+
+  // The parallel writer performs the identical committed I/O.
+  InMemoryFileSystem par_fs;
+  WriterOptions popts = wopts;
+  popts.stats = &par_fs.stats();
+  auto fpar = par_fs.NewWritableFile("t");
+  ASSERT_TRUE(
+      WriteTableFile(fpar->get(), schema, groups, popts, /*threads=*/4).ok());
+  EXPECT_EQ(par_fs.stats().pages_encoded.load(), 4u * 5u * 3u);
+  EXPECT_EQ(par_fs.stats().write_ops.load(), serial_ops);
+  EXPECT_EQ(par_fs.stats().bytes_written.load(), serial_bytes);
+}
+
+}  // namespace
+}  // namespace bullion
