@@ -1,7 +1,8 @@
 // Quickstart: define a schema, write a Bullion file to disk, read a
 // projection back with the parallel ScanBuilder, shard the same table
 // across multiple files and re-scan it warm through the decoded-chunk
-// cache, and delete a user's rows in place.
+// cache, append to the live dataset, tombstone + compact a shard (with
+// GC and cache invalidation), and delete a user's rows in place.
 //
 //   ./build/quickstart [/tmp/quickstart.bullion]
 
@@ -162,6 +163,110 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(warm_hits),
           static_cast<unsigned long long>(warm_probes),
           warm->groups == cold->groups ? "yes" : "NO");
+
+      // 5b. The dataset is LIVE: append more rows through the same
+      //     parallel pipeline. The appender continues the shard
+      //     numbering and publishes a v2 manifest with the generation
+      //     bumped — only after the new files are durable.
+      auto read_fn = [](const std::string& name) {
+        return OpenPosixReadableFile(name);
+      };
+      auto write_fn = [](const std::string& name) {
+        return OpenPosixWritableFile(name, /*truncate=*/true);
+      };
+      auto appender = DatasetAppender::Open(*manifest, schema, read_fn,
+                                            write_fn);
+      if (!appender.ok() || !(*appender)->Append(cols).ok()) {
+        std::fprintf(stderr, "append failed\n");
+        return 1;
+      }
+      auto live = (*appender)->Finish();
+      if (!live.ok()) {
+        std::fprintf(stderr, "append publish failed: %s\n",
+                     live.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("appended: %zu shards, %llu rows (generation %llu)\n",
+                  live->num_shards(),
+                  static_cast<unsigned long long>(live->total_rows()),
+                  static_cast<unsigned long long>(live->generation()));
+
+      // 5c. Tombstone a third of shard 0's rows in place, then let the
+      //     compactor reclaim the space: the shard is rewritten without
+      //     its deleted rows (encodes fanned across workers), the old
+      //     file is GC'd, and the generation bump invalidates any
+      //     cached pre-compaction chunks.
+      {
+        const std::string& victim = live->shard(0).name;
+        auto vf = OpenPosixReadableFile(victim);
+        auto rf = OpenPosixReadableFile(victim);
+        auto uf = OpenPosixWritableFile(victim, /*truncate=*/false);
+        if (!vf.ok() || !rf.ok() || !uf.ok()) {
+          std::fprintf(stderr, "shard reopen failed\n");
+          return 1;
+        }
+        auto reader = TableReader::Open(std::move(*vf));
+        if (!reader.ok()) {
+          std::fprintf(stderr, "shard open failed: %s\n",
+                       reader.status().ToString().c_str());
+          return 1;
+        }
+        DeleteExecutor del(rf->get(), uf->get(), (*reader)->footer());
+        std::vector<uint64_t> doomed;
+        for (uint64_t r = 0; r < (*reader)->num_rows(); r += 3) {
+          doomed.push_back(r);
+        }
+        if (!del.DeleteRows(doomed, ComplianceLevel::kLevel2).ok()) {
+          std::fprintf(stderr, "shard delete failed\n");
+          return 1;
+        }
+      }
+      DatasetCompactor compactor(read_fn, write_fn,
+                                 [](const std::string& name) {
+                                   return std::remove(name.c_str()) == 0
+                                              ? Status::OK()
+                                              : Status::IOError(
+                                                    "unlink " + name);
+                                 });
+      DatasetCompactionOptions copts;
+      copts.min_deleted_fraction = 0.25;
+      copts.threads = 2;
+      copts.cache = &cache;  // drop stale decoded chunks eagerly
+      auto compacted = compactor.Compact(*live, copts);
+      if (!compacted.ok()) {
+        std::fprintf(stderr, "compaction failed: %s\n",
+                     compacted.status().ToString().c_str());
+        return 1;
+      }
+      std::printf(
+          "compacted %zu/%zu shards: %llu rows reclaimed, %llu -> %llu "
+          "bytes, %zu file(s) GC'd, %llu cached chunks invalidated "
+          "(generation %llu)\n",
+          compacted->shards_compacted, compacted->shards_examined,
+          static_cast<unsigned long long>(compacted->rows_reclaimed),
+          static_cast<unsigned long long>(compacted->bytes_before),
+          static_cast<unsigned long long>(compacted->bytes_after),
+          compacted->replaced_files.size(),
+          static_cast<unsigned long long>(cache.invalidations()),
+          static_cast<unsigned long long>(
+              compacted->manifest.generation()));
+      auto evolved = ShardedTableReader::Open(compacted->manifest, read_fn);
+      if (!evolved.ok()) {
+        std::fprintf(stderr, "post-compaction open failed: %s\n",
+                     evolved.status().ToString().c_str());
+        return 1;
+      }
+      auto rescan = DatasetScanBuilder(evolved->get())
+                        .Columns({"score", "clk_seq"})
+                        .Threads(2)
+                        .Cache(&cache)
+                        .Scan();
+      if (!rescan.ok()) {
+        std::fprintf(stderr, "post-compaction scan failed\n");
+        return 1;
+      }
+      std::printf("post-compaction scan: %llu rows (zero deleted left)\n",
+                  static_cast<unsigned long long>(rescan->num_rows()));
     }
   }
 

@@ -75,6 +75,25 @@
 // Output is byte-identical to concatenating per-shard serial scans at
 // any thread/shard count.
 //
+// Datasets are LIVE (dataset/evolution.h): DatasetAppender opens an
+// existing dataset and appends new shards through the same parallel
+// write pipeline, publishing a v2 manifest (per-shard deleted counts +
+// generations) only after the new files are durable; appends may add
+// nullable trailing columns, which older shards back-fill with nulls
+// at scan time. DatasetCompactor reclaims §2.1 tombstones: shards at
+// or above a deleted-fraction threshold are rewritten via CompactTable
+// (page encodes fanned across the shared pool, layout preserved),
+// replaced files are garbage-collected, and the shard generation bump
+// keeps the DecodedChunkCache from ever serving pre-compaction chunks:
+//
+//   auto app = DatasetAppender::Open(manifest, schema, open_rd, open_wr);
+//   (*app)->Append(batch);
+//   ShardManifest m2 = *(*app)->Finish();        // generation + 1
+//
+//   DatasetCompactor compactor(open_rd, open_wr, remove_fn);
+//   DatasetCompactionOptions copts;              // threshold/threads/cache
+//   auto rep = compactor.Compact(m2, copts);     // rewrites + GCs shards
+//
 // Quickstart: see examples/quickstart.cpp.
 
 #pragma once
@@ -85,6 +104,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "dataset/chunk_cache.h"
+#include "dataset/evolution.h"
 #include "dataset/shard_manifest.h"
 #include "dataset/sharded_reader.h"
 #include "dataset/sharded_writer.h"

@@ -11,6 +11,9 @@ size_t ApproxColumnVectorBytes(const ColumnVector& v) {
   for (const auto& level : v.offsets()) {
     bytes += level.size() * sizeof(int64_t);
   }
+  // Nullable columns carry a byte-per-row validity bitmap; without this
+  // term they undercount and the LRU byte budget over-admits.
+  bytes += v.validity().size() * sizeof(uint8_t);
   return bytes;
 }
 
@@ -47,7 +50,11 @@ void DecodedChunkCache::Insert(const ChunkCacheKey& key,
   }
   if (bytes > capacity_bytes_) {
     // Oversized chunk: caching it would immediately evict everything
-    // else and then itself — refuse instead.
+    // else and then itself — refuse, visibly.
+    rejects_.fetch_add(1, std::memory_order_relaxed);
+    if (stats_ != nullptr) {
+      stats_->cache_rejects.fetch_add(1, std::memory_order_relaxed);
+    }
     return;
   }
   lru_.push_front(Entry{key, value, bytes});
@@ -67,6 +74,27 @@ void DecodedChunkCache::EvictToFitLocked() {
       stats_->cache_evictions.fetch_add(1, std::memory_order_relaxed);
     }
   }
+}
+
+size_t DecodedChunkCache::InvalidateShard(uint32_t shard,
+                                          uint32_t live_generation) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t dropped = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->key.shard == shard && it->key.generation != live_generation) {
+      size_bytes_ -= it->bytes;
+      index_.erase(it->key);
+      it = lru_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  invalidations_.fetch_add(dropped, std::memory_order_relaxed);
+  if (stats_ != nullptr && dropped > 0) {
+    stats_->cache_invalidations.fetch_add(dropped, std::memory_order_relaxed);
+  }
+  return dropped;
 }
 
 void DecodedChunkCache::Clear() {

@@ -47,11 +47,24 @@ struct ChunkCacheKey {
   // Decode-affecting ReadOptions bits.
   bool filter_deleted = true;
   bool verify_checksums = false;
+  /// Rewrite generation of the shard file the chunk was decoded from
+  /// (ShardInfo::generation). Compaction bumps the generation, so a
+  /// post-compaction scan can never be served a pre-compaction chunk —
+  /// stale entries simply stop matching and age off the LRU tail (or
+  /// are dropped eagerly via InvalidateShard).
+  uint32_t generation = 0;
+  /// The group's deleted-row count in the footer the chunk was decoded
+  /// under — the delete epoch. In-place deletion (§2.1) changes what a
+  /// decode produces (filtered rows, erased placeholders) WITHOUT
+  /// bumping the shard generation, so a scan whose footer shows more
+  /// tombstones must not be served a pre-delete chunk.
+  uint32_t deleted_rows = 0;
 
   bool operator==(const ChunkCacheKey& o) const {
     return shard == o.shard && row_group == o.row_group &&
            column == o.column && filter_deleted == o.filter_deleted &&
-           verify_checksums == o.verify_checksums;
+           verify_checksums == o.verify_checksums &&
+           generation == o.generation && deleted_rows == o.deleted_rows;
   }
 };
 
@@ -60,6 +73,8 @@ struct ChunkCacheKeyHash {
     uint64_t h = (static_cast<uint64_t>(k.shard) << 33) ^
                  (static_cast<uint64_t>(k.row_group) << 1) ^
                  (static_cast<uint64_t>(k.column) << 17) ^
+                 (static_cast<uint64_t>(k.generation) * 0xD6E8FEB86659FD93ull) ^
+                 (static_cast<uint64_t>(k.deleted_rows) * 0xA24BAED4963EE407ull) ^
                  (k.filter_deleted ? 0x9E3779B97F4A7C15ull : 0) ^
                  (k.verify_checksums ? 0xC2B2AE3D27D4EB4Full : 0);
     h ^= h >> 33;
@@ -91,8 +106,17 @@ class DecodedChunkCache {
   bool Lookup(const ChunkCacheKey& key, ColumnVector* out);
 
   /// Inserts (or replaces) the chunk, evicting cold entries until the
-  /// budget holds. A chunk larger than the whole budget is not cached.
+  /// budget holds. A chunk larger than the whole budget is not cached;
+  /// the refusal is counted (rejects() / IoStats.cache_rejects).
   void Insert(const ChunkCacheKey& key, const ColumnVector& value);
+
+  /// Drops every resident entry of shard `shard` whose generation is
+  /// not `live_generation` — the eager half of compaction-time
+  /// invalidation (the generation in the key already guarantees stale
+  /// entries can't be served; this frees their budget immediately).
+  /// Returns the number of entries dropped (also counted in
+  /// invalidations() / IoStats.cache_invalidations).
+  size_t InvalidateShard(uint32_t shard, uint32_t live_generation);
 
   /// Drops every entry (no eviction counts — this is a reset, not
   /// pressure).
@@ -106,6 +130,12 @@ class DecodedChunkCache {
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
   uint64_t evictions() const {
     return evictions_.load(std::memory_order_relaxed);
+  }
+  /// Inserts refused because the chunk alone exceeds the byte budget.
+  uint64_t rejects() const { return rejects_.load(std::memory_order_relaxed); }
+  /// Entries dropped by InvalidateShard (stale generations).
+  uint64_t invalidations() const {
+    return invalidations_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -132,6 +162,8 @@ class DecodedChunkCache {
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> rejects_{0};
+  std::atomic<uint64_t> invalidations_{0};
 };
 
 }  // namespace bullion

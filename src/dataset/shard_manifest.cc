@@ -8,23 +8,32 @@
 namespace bullion {
 
 namespace {
-// "BSHM" little-endian + format version.
+// "BSHM" little-endian + format versions (see the wire-format comment
+// in shard_manifest.h).
 constexpr uint32_t kManifestMagic = 0x4D485342;
-constexpr uint32_t kManifestVersion = 1;
+constexpr uint32_t kManifestVersionV1 = 1;
+constexpr uint32_t kManifestVersionV2 = 2;
 }  // namespace
 
-ShardManifest::ShardManifest(std::vector<ShardInfo> shards)
-    : shards_(std::move(shards)) {
+ShardManifest::ShardManifest(std::vector<ShardInfo> shards,
+                             uint64_t generation)
+    : shards_(std::move(shards)), generation_(generation) {
   group_begin_.reserve(shards_.size() + 1);
   for (const ShardInfo& s : shards_) {
     group_begin_.push_back(total_row_groups_);
     total_row_groups_ += s.num_row_groups;
     total_rows_ += s.num_rows;
+    total_deleted_ += s.deleted_rows;
   }
   group_begin_.push_back(total_row_groups_);
 }
 
-ShardManifest::GroupRef ShardManifest::group(uint32_t g) const {
+Result<ShardManifest::GroupRef> ShardManifest::group(uint32_t g) const {
+  if (g >= total_row_groups_) {
+    return Status::OutOfRange("global row group " + std::to_string(g) +
+                              " out of range (manifest has " +
+                              std::to_string(total_row_groups_) + ")");
+  }
   // Last shard whose first global group is <= g. upper_bound lands one
   // past it; empty shards (zero-width ranges) are skipped naturally.
   auto it = std::upper_bound(group_begin_.begin(), group_begin_.end(), g);
@@ -35,13 +44,16 @@ ShardManifest::GroupRef ShardManifest::group(uint32_t g) const {
 Buffer ShardManifest::Serialize() const {
   BufferBuilder out;
   out.Append<uint32_t>(kManifestMagic);
-  out.Append<uint32_t>(kManifestVersion);
+  out.Append<uint32_t>(kManifestVersionV2);
+  varint::PutVarint64(&out, generation_);
   varint::PutVarint64(&out, shards_.size());
   for (const ShardInfo& s : shards_) {
     varint::PutVarint64(&out, s.name.size());
     out.AppendBytes(s.name.data(), s.name.size());
     varint::PutVarint64(&out, s.num_rows);
     varint::PutVarint64(&out, s.num_row_groups);
+    varint::PutVarint64(&out, s.deleted_rows);
+    varint::PutVarint64(&out, s.generation);
   }
   return out.Finish();
 }
@@ -54,18 +66,25 @@ Result<ShardManifest> ShardManifest::Parse(Slice data) {
   std::memcpy(&version, data.data() + 4, 4);
   pos = 8;
   if (magic != kManifestMagic) return Status::Corruption("bad manifest magic");
-  if (version != kManifestVersion) {
+  if (version != kManifestVersionV1 && version != kManifestVersionV2) {
     return Status::NotImplemented("manifest version " +
                                   std::to_string(version));
+  }
+  const bool v2 = version == kManifestVersionV2;
+  uint64_t generation = 0;
+  if (v2 && !varint::GetVarint64(data, &pos, &generation)) {
+    return Status::Corruption("manifest generation truncated");
   }
   uint64_t count;
   if (!varint::GetVarint64(data, &pos, &count)) {
     return Status::Corruption("manifest shard count truncated");
   }
-  // Each shard record is at least 3 bytes (empty name + two varints),
-  // so a count the remaining bytes cannot hold is corruption — reject
-  // before reserve() so a hostile count can't throw/OOM.
-  if (count > (data.size() - pos) / 3) {
+  // Each shard record is at least 3 bytes in v1 (empty name + two
+  // varints) and 5 in v2, so a count the remaining bytes cannot hold is
+  // corruption — reject before reserve() so a hostile count can't
+  // throw/OOM.
+  const uint64_t min_record = v2 ? 5 : 3;
+  if (count > (data.size() - pos) / min_record) {
     return Status::Corruption("manifest shard count implausible");
   }
   std::vector<ShardInfo> shards;
@@ -86,9 +105,26 @@ Result<ShardManifest> ShardManifest::Parse(Slice data) {
     }
     if (groups > UINT32_MAX) return Status::Corruption("shard group count");
     s.num_row_groups = static_cast<uint32_t>(groups);
+    if (v2) {
+      uint64_t shard_gen;
+      if (!varint::GetVarint64(data, &pos, &s.deleted_rows) ||
+          !varint::GetVarint64(data, &pos, &shard_gen)) {
+        return Status::Corruption("manifest shard record truncated");
+      }
+      if (shard_gen > UINT32_MAX) {
+        return Status::Corruption("shard generation implausible");
+      }
+      if (s.deleted_rows > s.num_rows) {
+        return Status::Corruption("shard deleted count exceeds rows");
+      }
+      s.generation = static_cast<uint32_t>(shard_gen);
+    }
     shards.push_back(std::move(s));
   }
-  return ShardManifest(std::move(shards));
+  if (pos != data.size()) {
+    return Status::Corruption("manifest has trailing bytes");
+  }
+  return ShardManifest(std::move(shards), generation);
 }
 
 }  // namespace bullion

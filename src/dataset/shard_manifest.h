@@ -3,15 +3,43 @@
 // A logical table at Bullion's target scale is not one file — it is an
 // ordered list of Bullion files ("shards") that together hold the
 // table's row groups. The manifest records, per shard, the file name,
-// row count, and row-group count, and derives from them a *global*
-// row-group index: global group g maps to (shard, shard-local group)
-// so scan code can address the whole table with one flat group range,
-// exactly like a single file.
+// row count, row-group count, deleted-row count, and rewrite
+// generation, and derives from them a *global* row-group index: global
+// group g maps to (shard, shard-local group) so scan code can address
+// the whole table with one flat group range, exactly like a single
+// file.
 //
 // The manifest serializes to a small self-describing blob (magic +
 // version + varint-packed shard records) so it can live next to the
 // shards as `<table>.manifest`; it can also be rebuilt from the shard
 // footers alone (ShardedTableReader::Open validates the two agree).
+//
+// Manifest wire format (little-endian):
+//
+//   magic   u32   0x4D485342 ("BSHM")
+//   version u32   1 or 2
+//   -- v2 only --
+//   generation    varint64   dataset generation (bumped every publish:
+//                            append or compaction)
+//   -- both --
+//   count         varint64   number of shard records
+//   repeated `count` times:
+//     name_len    varint64
+//     name        name_len bytes
+//     num_rows    varint64
+//     num_groups  varint64
+//     -- v2 only --
+//     deleted     varint64   rows tombstoned in this shard at publish
+//                            time (compaction-trigger hint; the shard
+//                            footer's deletion vectors are the ground
+//                            truth and may run ahead of this)
+//     shard_gen   varint64   rewrite generation of this shard file
+//                            (bumped by compaction; keys the decoded-
+//                            chunk cache so pre-rewrite entries can
+//                            never serve a post-rewrite scan)
+//
+// Parse() accepts both versions (v1 records load with deleted = 0 and
+// generation = 0); Serialize() always writes v2.
 
 #pragma once
 
@@ -33,10 +61,24 @@ struct ShardInfo {
   std::string name;
   uint64_t num_rows = 0;
   uint32_t num_row_groups = 0;
+  /// Deleted (tombstoned) rows at publish time; the footer's deletion
+  /// vectors may run ahead of this between publishes.
+  uint64_t deleted_rows = 0;
+  /// Rewrite generation of the shard file (0 = as first written;
+  /// compaction bumps it each time the shard is rewritten in place).
+  uint32_t generation = 0;
+
+  /// Deleted fraction recorded at publish time.
+  double deleted_fraction() const {
+    return num_rows == 0 ? 0.0
+                         : static_cast<double>(deleted_rows) /
+                               static_cast<double>(num_rows);
+  }
 
   bool operator==(const ShardInfo& o) const {
     return name == o.name && num_rows == o.num_rows &&
-           num_row_groups == o.num_row_groups;
+           num_row_groups == o.num_row_groups &&
+           deleted_rows == o.deleted_rows && generation == o.generation;
   }
 };
 
@@ -52,8 +94,10 @@ class ShardManifest {
   ShardManifest() = default;
   /// Builds the manifest (and its global group index) from shard
   /// entries in table order. Empty shards are legal — they contribute
-  /// no global groups.
-  explicit ShardManifest(std::vector<ShardInfo> shards);
+  /// no global groups. `generation` is the dataset generation (bumped
+  /// on every publish by the appender/compactor).
+  explicit ShardManifest(std::vector<ShardInfo> shards,
+                         uint64_t generation = 0);
 
   size_t num_shards() const { return shards_.size(); }
   const ShardInfo& shard(size_t i) const { return shards_[i]; }
@@ -61,22 +105,28 @@ class ShardManifest {
 
   uint64_t total_rows() const { return total_rows_; }
   uint32_t total_row_groups() const { return total_row_groups_; }
+  /// Sum of per-shard deleted-row counts recorded at publish time.
+  uint64_t total_deleted_rows() const { return total_deleted_; }
+  /// Dataset generation this manifest was published at.
+  uint64_t generation() const { return generation_; }
 
-  /// Maps a global row-group index to its shard. `g` must be <
-  /// total_row_groups().
-  GroupRef group(uint32_t g) const;
+  /// Maps a global row-group index to its shard. Out-of-range `g`
+  /// (including any probe of an empty manifest) is OutOfRange, not a
+  /// wild shard index.
+  Result<GroupRef> group(uint32_t g) const;
 
   /// First global row-group index of shard `s` (== total_row_groups()
   /// for an empty trailing shard).
   uint32_t shard_group_begin(uint32_t s) const { return group_begin_[s]; }
 
   bool operator==(const ShardManifest& o) const {
-    return shards_ == o.shards_;
+    return shards_ == o.shards_ && generation_ == o.generation_;
   }
 
-  /// Serializes to the on-disk manifest blob.
+  /// Serializes to the on-disk manifest blob (always version 2).
   Buffer Serialize() const;
-  /// Parses a blob produced by Serialize().
+  /// Parses a blob produced by Serialize() — current (v2) or legacy
+  /// (v1) format.
   static Result<ShardManifest> Parse(Slice data);
 
  private:
@@ -85,7 +135,9 @@ class ShardManifest {
   /// num_shards() + 1 entries (sentinel = total_row_groups()).
   std::vector<uint32_t> group_begin_;
   uint64_t total_rows_ = 0;
+  uint64_t total_deleted_ = 0;
   uint32_t total_row_groups_ = 0;
+  uint64_t generation_ = 0;
 };
 
 }  // namespace bullion

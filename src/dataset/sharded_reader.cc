@@ -52,47 +52,58 @@ Result<std::unique_ptr<ShardedTableReader>> ShardedTableReader::Open(
 Result<std::unique_ptr<ShardedTableReader>> ShardedTableReader::Open(
     std::vector<std::unique_ptr<RandomAccessFile>> files) {
   auto reader = std::unique_ptr<ShardedTableReader>(new ShardedTableReader());
-  std::vector<ShardInfo> infos;
-  infos.reserve(files.size());
   for (size_t s = 0; s < files.size(); ++s) {
     BULLION_ASSIGN_OR_RETURN(auto shard, TableReader::Open(std::move(files[s])));
-    const FooterView& f = shard->footer();
-    // Every shard must carry the same flattened schema — global column
-    // indices are only meaningful if they agree across shards.
-    if (s > 0) {
-      const FooterView& f0 = reader->shards_[0]->footer();
-      if (f.num_columns() != f0.num_columns()) {
-        return Status::InvalidArgument("shard " + std::to_string(s) +
-                                       " column count differs from shard 0");
+    reader->shards_.push_back(std::move(shard));
+  }
+  // Schema-evolution contract: the NEWEST (last) shard carries the
+  // dataset schema; every earlier shard's schema must be an exact
+  // prefix of it, and the columns a shard predates must be nullable so
+  // reads can back-fill nulls. Global column indices therefore mean the
+  // same thing in every shard that has them.
+  std::vector<ShardInfo> infos;
+  infos.reserve(reader->shards_.size());
+  for (size_t s = 0; s < reader->shards_.size(); ++s) {
+    const FooterView& f = reader->shards_[s]->footer();
+    const FooterView& ref = reader->shards_.back()->footer();
+    if (f.num_columns() > ref.num_columns()) {
+      return Status::InvalidArgument("shard " + std::to_string(s) +
+                                     " is wider than the newest shard");
+    }
+    for (uint32_t c = 0; c < f.num_columns(); ++c) {
+      ColumnRecord a = f.column_record(c), b = ref.column_record(c);
+      if (f.column_name(c) != ref.column_name(c) ||
+          a.physical != b.physical || a.list_depth != b.list_depth ||
+          a.logical != b.logical) {
+        return Status::InvalidArgument(
+            "shard " + std::to_string(s) +
+            " schema is not a prefix of the newest shard at column " +
+            std::to_string(c));
       }
-      for (uint32_t c = 0; c < f.num_columns(); ++c) {
-        ColumnRecord a = f.column_record(c), b = f0.column_record(c);
-        if (f.column_name(c) != f0.column_name(c) ||
-            a.physical != b.physical || a.list_depth != b.list_depth ||
-            a.logical != b.logical) {
-          return Status::InvalidArgument("shard " + std::to_string(s) +
-                                         " schema differs from shard 0 at "
-                                         "column " +
-                                         std::to_string(c));
-        }
+    }
+    for (uint32_t c = f.num_columns(); c < ref.num_columns(); ++c) {
+      if ((ref.column_record(c).flags & 2) == 0) {
+        return Status::InvalidArgument(
+            "shard " + std::to_string(s) + " predates non-nullable column '" +
+            std::string(ref.column_name(c)) + "'");
       }
     }
     infos.push_back(ShardInfo{"shard-" + std::to_string(s), f.num_rows(),
-                              f.num_row_groups()});
-    reader->shards_.push_back(std::move(shard));
+                              f.num_row_groups(), f.TotalDeletedCount(),
+                              /*generation=*/0});
   }
   reader->manifest_ = ShardManifest(std::move(infos));
   return reader;
 }
 
 uint32_t ShardedTableReader::num_columns() const {
-  return shards_.empty() ? 0 : shards_[0]->footer().num_columns();
+  return shards_.empty() ? 0 : shards_.back()->footer().num_columns();
 }
 
 Result<std::vector<uint32_t>> ShardedTableReader::ResolveColumns(
     const std::vector<std::string>& names) const {
   if (shards_.empty()) return Status::NotFound("dataset has no shards");
-  return shards_[0]->ResolveColumns(names);
+  return shards_.back()->ResolveColumns(names);
 }
 
 namespace {
@@ -129,7 +140,7 @@ Result<DatasetScanResult> ShardedTableReader::Scan(
   }
   result.column_records_.reserve(result.columns.size());
   for (uint32_t c : result.columns) {
-    result.column_records_.push_back(shards_[0]->footer().column_record(c));
+    result.column_records_.push_back(shards_.back()->footer().column_record(c));
   }
 
   if (spec.group_begin > spec.group_end) {
@@ -160,21 +171,41 @@ Result<DatasetScanResult> ShardedTableReader::Scan(
 
   for (size_t gi = 0; gi < result.groups.size(); ++gi) {
     uint32_t g = result.group_begin + static_cast<uint32_t>(gi);
-    ShardManifest::GroupRef ref = manifest_.group(g);
+    BULLION_ASSIGN_OR_RETURN(ShardManifest::GroupRef ref, manifest_.group(g));
     const TableReader* shard = shards_[ref.shard].get();
+    const uint32_t shard_cols = shard->num_columns();
+    const uint32_t gen = manifest_.shard(ref.shard).generation;
+    // The group's delete epoch: in-place deletes change decode output
+    // without bumping the shard generation, so the count is part of
+    // the cache identity (a fresher footer must never be served a
+    // pre-delete chunk).
+    const uint32_t del = shard->footer().DeletedCount(ref.local_group);
     std::vector<ColumnVector>& out = result.groups[gi];
     out.resize(result.columns.size());
 
     std::vector<size_t> missing;
     for (size_t slot = 0; slot < result.columns.size(); ++slot) {
+      if (result.columns[slot] >= shard_cols) {
+        // The shard predates this (nullable) column: back-fill null
+        // rows, one per surviving row of the group. Generated locally —
+        // no pread, no decode, no cache traffic.
+        uint32_t rows = shard->footer().group_row_count(ref.local_group);
+        if (fd) rows -= del;
+        const ColumnRecord& rec = result.column_records_[slot];
+        ColumnVector null_col(static_cast<PhysicalType>(rec.physical),
+                              rec.list_depth);
+        for (uint32_t r = 0; r < rows; ++r) null_col.AppendNullRow();
+        out[slot] = std::move(null_col);
+        continue;
+      }
       if (cache != nullptr) {
         ChunkCacheKey key{ref.shard, ref.local_group, result.columns[slot],
-                          fd, vc};
+                          fd, vc, gen, del};
         if (cache->Lookup(key, &out[slot])) continue;
       }
       missing.push_back(slot);
     }
-    if (missing.empty()) continue;  // fully cached: zero preads for g
+    if (missing.empty()) continue;  // fully cached/back-filled: zero preads
 
     if (missing.size() == result.columns.size()) {
       // Nothing cached: decode straight into the result group. When a
@@ -183,12 +214,12 @@ Result<DatasetScanResult> ShardedTableReader::Scan(
       std::function<void(const CoalescedRead&, std::vector<ColumnVector>*)>
           publish;
       if (cache != nullptr) {
-        publish = [cache, all_columns, ref, fd, vc](
+        publish = [cache, all_columns, ref, fd, vc, gen, del](
                       const CoalescedRead& read,
                       std::vector<ColumnVector>* done) {
           for (const ChunkRequest& r : read.chunks) {
             ChunkCacheKey key{ref.shard, ref.local_group,
-                              (*all_columns)[r.user_index], fd, vc};
+                              (*all_columns)[r.user_index], fd, vc, gen, del};
             cache->Insert(key, (*done)[r.user_index]);
           }
         };
@@ -199,8 +230,9 @@ Result<DatasetScanResult> ShardedTableReader::Scan(
       continue;
     }
 
-    // Mixed group: some slots came from the cache, the rest read into
-    // a side buffer and land in their result slots after the join.
+    // Mixed group: some slots came from the cache (or were
+    // back-filled), the rest read into a side buffer and land in their
+    // result slots after the join.
     pending.push_back(PendingGroup{gi, std::move(missing), {}});
     PendingGroup& pg = pending.back();
     auto miss_cols = std::make_shared<std::vector<uint32_t>>();
@@ -209,15 +241,18 @@ Result<DatasetScanResult> ShardedTableReader::Scan(
       miss_cols->push_back(result.columns[slot]);
     }
     std::function<void(const CoalescedRead&, std::vector<ColumnVector>*)>
-        publish = [cache, miss_cols, ref, fd, vc](
-                      const CoalescedRead& read,
-                      std::vector<ColumnVector>* done) {
-          for (const ChunkRequest& r : read.chunks) {
-            ChunkCacheKey key{ref.shard, ref.local_group,
-                              (*miss_cols)[r.user_index], fd, vc};
-            cache->Insert(key, (*done)[r.user_index]);
-          }
-        };
+        publish;
+    if (cache != nullptr) {
+      publish = [cache, miss_cols, ref, fd, vc, gen, del](
+                    const CoalescedRead& read,
+                    std::vector<ColumnVector>* done) {
+        for (const ChunkRequest& r : read.chunks) {
+          ChunkCacheKey key{ref.shard, ref.local_group,
+                            (*miss_cols)[r.user_index], fd, vc, gen, del};
+          cache->Insert(key, (*done)[r.user_index]);
+        }
+      };
+    }
     BULLION_RETURN_NOT_OK(SubmitGroupScan(shard, ref.local_group, miss_cols,
                                           spec.read_options, &tasks, &pg.temp,
                                           publish));

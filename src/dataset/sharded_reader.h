@@ -2,9 +2,11 @@
 // spans many Bullion shard files as if it were one file.
 //
 // Open() validates each shard against the manifest (row counts, group
-// counts) and that all shards share one schema, then exposes the
-// dataset through *global* row-group coordinates: groups number
-// 0..total_row_groups() across shards in manifest order.
+// counts) and that every shard's schema is a prefix of the newest
+// (last) shard's schema — schema evolution may append nullable trailing
+// columns, which older shards back-fill with null rows at scan time.
+// The dataset is then exposed through *global* row-group coordinates:
+// groups number 0..total_row_groups() across shards in manifest order.
 //
 // DatasetScanBuilder is the front door. It fans the coalesced reads of
 // every selected row group — across ALL shards — through one shared
@@ -95,7 +97,12 @@ class ShardedTableReader {
       const ShardManifest& manifest, const FileOpener& opener);
 
   /// Opens already-opened shard files in table order, rebuilding the
-  /// manifest from their footers (shard names become "shard-N").
+  /// manifest from their footers (shard names become "shard-N", all
+  /// generations 0 — footers don't record rewrite generations). When
+  /// scans share a DecodedChunkCache across compactions, open via the
+  /// manifest overload instead: only the manifest carries the shard
+  /// generations that keep pre-compaction cache entries from being
+  /// served.
   static Result<std::unique_ptr<ShardedTableReader>> Open(
       std::vector<std::unique_ptr<RandomAccessFile>> files);
 
@@ -108,8 +115,8 @@ class ShardedTableReader {
   /// Leaf column count (0 for a zero-shard dataset).
   uint32_t num_columns() const;
 
-  /// Resolves leaf names via the first shard's footer (schemas are
-  /// validated identical across shards at Open).
+  /// Resolves leaf names via the newest (widest) shard's footer —
+  /// earlier shards are validated prefixes of it at Open.
   Result<std::vector<uint32_t>> ResolveColumns(
       const std::vector<std::string>& names) const;
 

@@ -53,7 +53,8 @@ Status ShardedTableWriter::EnsureShardOpen(size_t shard) {
     }
     return Status::OK();
   }
-  std::string name = ShardName(options_.base_name, shard);
+  std::string name =
+      ShardName(options_.base_name, options_.first_shard_index + shard);
   BULLION_ASSIGN_OR_RETURN(shard_file_, opener_(name));
   shard_writer_ = std::make_unique<TableWriter>(schema_, shard_file_.get(),
                                                 options_.writer);
@@ -133,8 +134,9 @@ Status ShardedTableWriter::DrainOne() {
 Status ShardedTableWriter::CloseShard() {
   BULLION_RETURN_NOT_OK(shard_writer_->Finish());
   BULLION_RETURN_NOT_OK(shard_file_->Flush());
-  shards_.push_back(ShardInfo{ShardName(options_.base_name, open_shard_),
-                              shard_rows_, shard_groups_});
+  shards_.push_back(ShardInfo{
+      ShardName(options_.base_name, options_.first_shard_index + open_shard_),
+      shard_rows_, shard_groups_});
   shard_writer_.reset();
   shard_file_.reset();
   return Status::OK();

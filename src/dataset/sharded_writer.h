@@ -64,6 +64,10 @@ struct ShardedWriterOptions {
   uint32_t rows_per_group = 65536;
   /// Shard file names: "<base_name>.shard-00000", -00001, ...
   std::string base_name = "table";
+  /// First shard number to use in file names — a DatasetAppender
+  /// extending an existing dataset starts numbering after its last
+  /// shard so new files never collide with live ones.
+  size_t first_shard_index = 0;
   /// Per-shard file options (page size, encodings, compliance, ...).
   WriterOptions writer;
   /// Encode worker threads shared across ALL shards (<= 1 encodes
@@ -182,6 +186,11 @@ class ShardedWriteBuilder {
   /// Target rows per shard file (shards roll on group boundaries).
   ShardedWriteBuilder& RowsPerShard(uint64_t rows) {
     options_.target_rows_per_shard = rows;
+    return *this;
+  }
+  /// Number the first new shard file "<base>.shard-<n>" (appends).
+  ShardedWriteBuilder& FirstShardIndex(size_t n) {
+    options_.first_shard_index = n;
     return *this;
   }
   /// Rows per row group inside each shard.

@@ -5,12 +5,42 @@
 
 namespace bullion {
 
+void ColumnVector::EnsureValidity() {
+  if (validity_.empty()) validity_.assign(num_rows(), 1);
+}
+
+bool ColumnVector::SameValidity(const ColumnVector& o) const {
+  if (validity_.empty() && o.validity_.empty()) return true;
+  const size_t n = num_rows();
+  if (n != o.num_rows()) return false;
+  for (size_t i = 0; i < n; ++i) {
+    if (IsNull(i) != o.IsNull(i)) return false;
+  }
+  return true;
+}
+
+void ColumnVector::AppendNullRow() {
+  const size_t rows_before = num_rows();
+  EnsureValidity();
+  AppendRowFrom(*this, -1);  // zero/empty placeholder
+  // EnsureValidity on a zero-row vector leaves the bitmap empty and the
+  // placeholder append then skips it; resize covers both shapes.
+  validity_.resize(rows_before + 1);
+  validity_[rows_before] = 0;
+}
+
 Result<ColumnVector> ColumnVector::Permute(
     const std::vector<uint32_t>& perm) const {
   ColumnVector out(physical_, list_depth_);
   for (uint32_t src : perm) {
     if (src >= num_rows()) {
       return Status::InvalidArgument("gather index out of range");
+    }
+    if (IsNull(src)) {
+      out.EnsureValidity();
+      out.validity_.push_back(0);
+    } else if (!out.validity_.empty()) {
+      out.validity_.push_back(1);
     }
     switch (list_depth_) {
       case 0:
@@ -98,9 +128,18 @@ void ColumnVector::AppendRowFrom(const ColumnVector& src, int64_t src_row) {
         AppendIntListList({});
         break;
     }
+    // Erased-row placeholders are valid zeros (the §2.1 realignment
+    // contract), not nulls.
+    if (!validity_.empty()) validity_.push_back(1);
     return;
   }
   size_t r = static_cast<size_t>(src_row);
+  if (src.IsNull(r)) {
+    EnsureValidity();
+    validity_.push_back(0);
+  } else if (!validity_.empty()) {
+    validity_.push_back(1);
+  }
   switch (list_depth_) {
     case 0:
       switch (domain()) {
@@ -153,6 +192,14 @@ void ColumnVector::AppendAllFrom(const ColumnVector& src) {
   // Bulk-append the value and offset arrays directly: concatenating
   // per-group decodes must not re-copy row by row (ReadFullColumn on a
   // large column would double its allocations otherwise).
+  const size_t rows_before = num_rows();
+  if (!src.validity_.empty()) {
+    if (validity_.empty()) validity_.assign(rows_before, 1);
+    validity_.insert(validity_.end(), src.validity_.begin(),
+                     src.validity_.end());
+  } else if (!validity_.empty()) {
+    validity_.resize(validity_.size() + src.num_rows(), 1);
+  }
   int64_t leaf_base = static_cast<int64_t>(LeafCount());
   int_values_.insert(int_values_.end(), src.int_values_.begin(),
                      src.int_values_.end());

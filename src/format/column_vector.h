@@ -104,6 +104,28 @@ class ColumnVector {
     offsets_[0].push_back(static_cast<int64_t>(offsets_[1].size() - 1));
   }
 
+  /// Appends one null row: a zero/empty placeholder value plus a 0 bit
+  /// in the validity bitmap. Used by schema-evolution back-fill — a
+  /// shard written before a nullable trailing column existed reads that
+  /// column as all-null (dataset/evolution.h). Materializes the bitmap
+  /// on first use, so dense (never-null) vectors pay no storage.
+  void AppendNullRow();
+
+  // -- Validity (nullable columns) -----------------------------------------
+
+  /// Per-row validity, 1 = present. Empty means every row is valid —
+  /// the common dense case stores nothing.
+  const std::vector<uint8_t>& validity() const { return validity_; }
+  bool has_validity() const { return !validity_.empty(); }
+  bool IsNull(size_t row) const {
+    return !validity_.empty() && validity_[row] == 0;
+  }
+  size_t null_count() const {
+    size_t n = 0;
+    for (uint8_t v : validity_) n += v == 0;
+    return n;
+  }
+
   // -- Access (reader side) ------------------------------------------------
 
   const std::vector<int64_t>& int_values() const { return int_values_; }
@@ -151,16 +173,28 @@ class ColumnVector {
   bool operator==(const ColumnVector& o) const {
     return physical_ == o.physical_ && list_depth_ == o.list_depth_ &&
            offsets_ == o.offsets_ && int_values_ == o.int_values_ &&
-           real_values_ == o.real_values_ && bin_values_ == o.bin_values_;
+           real_values_ == o.real_values_ && bin_values_ == o.bin_values_ &&
+           SameValidity(o);
   }
 
  private:
+  /// Row-wise validity equality: an empty bitmap equals an all-ones
+  /// one, so a vector that never saw a null compares equal regardless
+  /// of whether the bitmap was ever materialized.
+  bool SameValidity(const ColumnVector& o) const;
+  /// Materializes validity_ as all-ones for the rows present so far.
+  void EnsureValidity();
+
   PhysicalType physical_ = PhysicalType::kInt64;
   int list_depth_ = 0;
   std::vector<std::vector<int64_t>> offsets_;
   std::vector<int64_t> int_values_;
   std::vector<double> real_values_;
   std::vector<std::string> bin_values_;
+  /// Empty, or one byte per row (1 = valid). Values/offsets of null
+  /// rows hold zero/empty placeholders so every consumer that ignores
+  /// validity still sees well-formed data.
+  std::vector<uint8_t> validity_;
 };
 
 /// Permutation that sorts `scores` descending (highest quality first).

@@ -106,7 +106,8 @@ Result<Buffer> FooterBuilder::Finish(uint64_t data_end, uint64_t num_rows) {
     records[c].physical = static_cast<uint8_t>(leaf.physical);
     records[c].list_depth = static_cast<uint8_t>(leaf.list_depth);
     records[c].logical = static_cast<uint8_t>(leaf.logical);
-    records[c].flags = leaf.deletable ? 1 : 0;
+    records[c].flags = static_cast<uint8_t>((leaf.deletable ? 1 : 0) |
+                                            (leaf.nullable ? 2 : 0));
     records[c].field_index = static_cast<uint16_t>(leaf.field_index);
     name_blob += leaf.name;
   }
@@ -317,6 +318,12 @@ uint32_t FooterView::DeletedCount(uint32_t g) const {
   return n;
 }
 
+uint64_t FooterView::TotalDeletedCount() const {
+  uint64_t deleted = 0;
+  for (uint32_t g = 0; g < num_row_groups_; ++g) deleted += DeletedCount(g);
+  return deleted;
+}
+
 ColumnRecord FooterView::column_record(uint32_t c) const {
   ColumnRecord rec;
   std::memcpy(&rec,
@@ -366,6 +373,7 @@ Schema FooterView::ReconstructSchema() const {
     f.type = std::move(t);
     f.logical = static_cast<LogicalType>(rec.logical);
     f.deletable = (rec.flags & 1) != 0;
+    f.nullable = (rec.flags & 2) != 0;
     fields.push_back(std::move(f));
   }
   return Schema(std::move(fields));

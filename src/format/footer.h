@@ -201,6 +201,9 @@ class FooterView {
   }
   /// Number of deleted rows in group g.
   uint32_t DeletedCount(uint32_t g) const;
+  /// Number of deleted rows across all groups (the compaction-trigger
+  /// ground truth).
+  uint64_t TotalDeletedCount() const;
 
   ColumnRecord column_record(uint32_t c) const;
   std::string_view column_name(uint32_t c) const;

@@ -23,8 +23,12 @@ std::string DataType::ToString() const {
 
 Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields)) {
   for (uint32_t f = 0; f < fields_.size(); ++f) {
+    size_t first_leaf = leaves_.size();
     Flatten(fields_[f].name, fields_[f].type, fields_[f].logical,
             fields_[f].deletable, f, 0);
+    for (size_t l = first_leaf; l < leaves_.size(); ++l) {
+      leaves_[l].nullable = fields_[f].nullable;
+    }
   }
   for (uint32_t i = 0; i < leaves_.size(); ++i) {
     leaf_index_[leaves_[i].name] = i;

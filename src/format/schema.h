@@ -66,6 +66,10 @@ struct Field {
   /// Whether this column participates in in-place deletion (level 2
   /// compliance restricts its page encodings to maskable ones, §2.1).
   bool deletable = false;
+  /// Whether rows may be absent in this column. Only nullable columns
+  /// may be added by schema evolution: shards written before the column
+  /// existed back-fill null rows at read time (dataset/evolution.h).
+  bool nullable = false;
 };
 
 /// \brief One physical leaf stream after flattening.
@@ -76,6 +80,7 @@ struct LeafColumn {
   LogicalType logical;
   bool deletable;
   uint32_t field_index;  // owning logical field
+  bool nullable = false;
 };
 
 /// \brief Logical schema plus its flattened physical view.
@@ -109,7 +114,7 @@ class Schema {
 
 inline bool operator==(const Field& a, const Field& b) {
   return a.name == b.name && a.type == b.type && a.logical == b.logical &&
-         a.deletable == b.deletable;
+         a.deletable == b.deletable && a.nullable == b.nullable;
 }
 
 }  // namespace bullion

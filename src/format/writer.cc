@@ -59,6 +59,13 @@ Result<StagedRowGroup> StageValidatedRowGroup(
     if (col.num_rows() != rows) {
       return Status::InvalidArgument("row group columns disagree on rows");
     }
+    // Null rows exist only as read-side back-fill for columns a shard
+    // predates (dataset/evolution.h); pages have no validity stream, so
+    // writing them would silently turn nulls into zeros.
+    if (col.null_count() > 0) {
+      return Status::NotImplemented(
+          "batch contains null rows; pages cannot encode validity");
+    }
   }
   if (rows == 0) return Status::InvalidArgument("empty row group");
 

@@ -40,6 +40,11 @@ struct IoStats {
   std::atomic<uint64_t> cache_hits{0};
   std::atomic<uint64_t> cache_misses{0};
   std::atomic<uint64_t> cache_evictions{0};
+  /// Inserts the cache refused because one chunk exceeded the whole
+  /// byte budget, and entries dropped because shard compaction made
+  /// their generation stale (DecodedChunkCache::InvalidateShard).
+  std::atomic<uint64_t> cache_rejects{0};
+  std::atomic<uint64_t> cache_invalidations{0};
 
   IoStats() = default;
   IoStats(const IoStats& o) { *this = o; }
@@ -64,6 +69,11 @@ struct IoStats {
                        std::memory_order_relaxed);
     cache_evictions.store(o.cache_evictions.load(std::memory_order_relaxed),
                           std::memory_order_relaxed);
+    cache_rejects.store(o.cache_rejects.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    cache_invalidations.store(
+        o.cache_invalidations.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
     return *this;
   }
 
@@ -83,6 +93,8 @@ struct IoStats {
     cache_hits += o.cache_hits.load(std::memory_order_relaxed);
     cache_misses += o.cache_misses.load(std::memory_order_relaxed);
     cache_evictions += o.cache_evictions.load(std::memory_order_relaxed);
+    cache_rejects += o.cache_rejects.load(std::memory_order_relaxed);
+    cache_invalidations += o.cache_invalidations.load(std::memory_order_relaxed);
     return *this;
   }
 };

@@ -68,9 +68,22 @@ TEST(ShardManifest, GlobalGroupIndexSkipsEmptyShards) {
   } wants[] = {{0, 0}, {0, 1}, {2, 0}, {2, 1}, {2, 2}};
   for (uint32_t g = 0; g < 5; ++g) {
     auto ref = m.group(g);
-    EXPECT_EQ(ref.shard, wants[g].shard) << "g=" << g;
-    EXPECT_EQ(ref.local_group, wants[g].local) << "g=" << g;
+    ASSERT_TRUE(ref.ok()) << "g=" << g;
+    EXPECT_EQ(ref->shard, wants[g].shard) << "g=" << g;
+    EXPECT_EQ(ref->local_group, wants[g].local) << "g=" << g;
   }
+}
+
+TEST(ShardManifest, GroupLookupIsBoundsChecked) {
+  // Out-of-range probes must fail, not fabricate a shard index.
+  ShardManifest empty;
+  EXPECT_FALSE(empty.group(0).ok());
+  ShardManifest one_empty({{"e", 0, 0}});
+  EXPECT_FALSE(one_empty.group(0).ok());
+  ShardManifest m({{"a", 10, 2}});
+  ASSERT_TRUE(m.group(1).ok());
+  EXPECT_FALSE(m.group(2).ok());
+  EXPECT_FALSE(m.group(UINT32_MAX).ok());
 }
 
 TEST(ShardManifest, SerializeRoundTrips) {
@@ -81,7 +94,92 @@ TEST(ShardManifest, SerializeRoundTrips) {
   ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
   EXPECT_EQ(*parsed, m);
   EXPECT_EQ(parsed->total_rows(), m.total_rows());
-  EXPECT_EQ(parsed->group(17).shard, 1u);
+  EXPECT_EQ(parsed->group(17)->shard, 1u);
+}
+
+TEST(ShardManifest, V2CarriesDeletedCountsAndGenerations) {
+  ShardManifest m({{"t.shard-00000", 1000, 4, 300, 0},
+                   {"t.shard-00001.g2", 700, 2, 0, 2}},
+                  /*generation=*/5);
+  EXPECT_EQ(m.generation(), 5u);
+  EXPECT_EQ(m.total_deleted_rows(), 300u);
+  EXPECT_NEAR(m.shard(0).deleted_fraction(), 0.3, 1e-12);
+  Buffer blob = m.Serialize();
+  auto parsed = ShardManifest::Parse(blob.AsSlice());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(*parsed, m);
+  EXPECT_EQ(parsed->shard(0).deleted_rows, 300u);
+  EXPECT_EQ(parsed->shard(1).generation, 2u);
+  EXPECT_EQ(parsed->generation(), 5u);
+}
+
+TEST(ShardManifest, ParsesLegacyV1Blobs) {
+  // Hand-built v1 blob: magic, version 1, count, then (name_len, name,
+  // rows, groups) records without deleted/generation fields.
+  std::vector<uint8_t> blob = {0x42, 0x53, 0x48, 0x4D, 1, 0, 0, 0};
+  blob.push_back(2);  // count
+  auto rec = [&](const std::string& name, uint8_t rows, uint8_t groups) {
+    blob.push_back(static_cast<uint8_t>(name.size()));
+    blob.insert(blob.end(), name.begin(), name.end());
+    blob.push_back(rows);
+    blob.push_back(groups);
+  };
+  rec("a", 100, 2);
+  rec("b", 50, 1);
+  auto parsed = ShardManifest::Parse(Slice(blob.data(), blob.size()));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->num_shards(), 2u);
+  EXPECT_EQ(parsed->total_rows(), 150u);
+  EXPECT_EQ(parsed->generation(), 0u);
+  EXPECT_EQ(parsed->shard(0).deleted_rows, 0u);
+  EXPECT_EQ(parsed->shard(0).generation, 0u);
+  EXPECT_EQ(parsed->shard(1).name, "b");
+}
+
+TEST(ShardManifest, ParseCorruptionMatrix) {
+  // Truncate a valid v2 blob at EVERY byte boundary: each prefix must
+  // come back as a clean error, never a crash or a bogus manifest.
+  ShardManifest m({{"shard-a", 1000, 4, 250, 1}, {"shard-b", 500, 2, 0, 0}},
+                  /*generation=*/3);
+  Buffer blob = m.Serialize();
+  for (size_t len = 0; len < blob.size(); ++len) {
+    auto truncated = ShardManifest::Parse(Slice(blob.data(), len));
+    EXPECT_FALSE(truncated.ok()) << "truncation at byte " << len;
+  }
+  // Trailing garbage after a complete manifest is corruption too.
+  std::vector<uint8_t> padded(blob.data(), blob.data() + blob.size());
+  padded.push_back(0x00);
+  EXPECT_FALSE(ShardManifest::Parse(Slice(padded.data(), padded.size())).ok());
+
+  // Implausible counts: deleted > rows, groups > u32, generation >
+  // u32. Records are hand-built so the hostile varints are exact.
+  auto v2_record = [](uint64_t rows, uint64_t groups, uint64_t deleted,
+                      uint64_t gen) {
+    std::vector<uint8_t> blob = {0x42, 0x53, 0x48, 0x4D, 2, 0, 0, 0};
+    auto put = [&](uint64_t v) {
+      while (v >= 0x80) {
+        blob.push_back(static_cast<uint8_t>(v) | 0x80);
+        v >>= 7;
+      }
+      blob.push_back(static_cast<uint8_t>(v));
+    };
+    put(0);  // dataset generation
+    put(1);  // shard count
+    put(1);  // name_len
+    blob.push_back('s');
+    put(rows);
+    put(groups);
+    put(deleted);
+    put(gen);
+    return blob;
+  };
+  auto parse = [&](const std::vector<uint8_t>& blob) {
+    return ShardManifest::Parse(Slice(blob.data(), blob.size()));
+  };
+  ASSERT_TRUE(parse(v2_record(10, 1, 2, 1)).ok());  // the template is sane
+  EXPECT_FALSE(parse(v2_record(10, 1, 200, 1)).ok());       // deleted > rows
+  EXPECT_FALSE(parse(v2_record(10, 1ull << 33, 2, 1)).ok());  // groups > u32
+  EXPECT_FALSE(parse(v2_record(10, 1, 2, 1ull << 33)).ok());  // gen > u32
 }
 
 TEST(ShardManifest, ParseRejectsGarbage) {

@@ -192,7 +192,7 @@ TEST(Robustness, DeleteThenCompactThenDeleteAgain) {
     auto reader2 = *TableReader::Open(*fs.NewReadableFile(cur));
     std::string next = "t" + std::to_string(round + 1);
     auto dest = *fs.NewWritableFile(next);
-    auto rep = CompactTable(reader2.get(), dest.get(), {});
+    auto rep = CompactTable(reader2.get(), dest.get());
     ASSERT_TRUE(rep.ok()) << rep.status().ToString();
     ASSERT_EQ(rep->rows_after, expected);
     cur = next;

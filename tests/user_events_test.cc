@@ -147,7 +147,7 @@ TEST(Compaction, ReclaimsDeletedRows) {
   EXPECT_NEAR(DeletedFraction(*reader), 0.3, 1e-9);
 
   auto dest = *fs.NewWritableFile("t.compacted");
-  auto report = CompactTable(reader.get(), dest.get(), {});
+  auto report = CompactTable(reader.get(), dest.get());
   ASSERT_TRUE(report.ok()) << report.status().ToString();
   EXPECT_EQ(report->rows_before, 10000u);
   EXPECT_EQ(report->rows_after, 7000u);
@@ -181,7 +181,7 @@ TEST(Compaction, NoopOnCleanTable) {
   auto reader = *TableReader::Open(*fs.NewReadableFile("t"));
   EXPECT_EQ(DeletedFraction(*reader), 0.0);
   auto dest = *fs.NewWritableFile("t2");
-  auto report = CompactTable(reader.get(), dest.get(), {});
+  auto report = CompactTable(reader.get(), dest.get());
   ASSERT_TRUE(report.ok());
   EXPECT_EQ(report->rows_after, 500u);
   auto r2 = *TableReader::Open(*fs.NewReadableFile("t2"));
