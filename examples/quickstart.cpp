@@ -1,8 +1,15 @@
-// Quickstart: define a schema, write a Bullion file to disk, read a
-// projection back with the parallel ScanBuilder, shard the same table
-// across multiple files and re-scan it warm through the decoded-chunk
-// cache, append to the live dataset, tombstone + compact a shard (with
-// GC and cache invalidation), and delete a user's rows in place.
+// Quickstart: define a schema, write a Bullion file to disk, stream a
+// filtered projection back through the unified bullion::Scan front
+// door (filter → stream → batch loop, with zone-map pruning skipping
+// row groups before any pread), shard the same table across multiple
+// files and stream THAT through the identical API, re-scan warm
+// through the decoded-chunk cache, append to the live dataset,
+// tombstone + compact a shard (with GC and cache invalidation), and
+// delete a user's rows in place.
+//
+// The legacy materializing front doors (ScanBuilder /
+// DatasetScanBuilder) are thin wrappers that drain the same stream —
+// equivalent output, just fully buffered; both appear below.
 //
 //   ./build/quickstart [/tmp/quickstart.bullion]
 
@@ -43,7 +50,8 @@ int main(int argc, char** argv) {
     cols[2].AppendIntList(window);
   }
 
-  // 3. Write.
+  // 3. Write — four row groups, so the footer records four sets of
+  //    per-chunk zone maps for the filtered scan below to prune with.
   {
     auto file = OpenPosixWritableFile(path, /*truncate=*/true);
     if (!file.ok()) {
@@ -51,9 +59,22 @@ int main(int argc, char** argv) {
                    file.status().ToString().c_str());
       return 1;
     }
+    std::vector<std::vector<ColumnVector>> groups;
+    for (size_t begin = 0; begin < 10000; begin += 2500) {
+      std::vector<ColumnVector> g;
+      for (const LeafColumn& leaf : schema.leaves()) {
+        g.push_back(ColumnVector::ForLeaf(leaf));
+      }
+      for (size_t r = begin; r < begin + 2500; ++r) {
+        for (size_t c = 0; c < g.size(); ++c) {
+          g[c].AppendRowFrom(cols[c], static_cast<int64_t>(r));
+        }
+      }
+      groups.push_back(std::move(g));
+    }
     WriterOptions options;
     options.rows_per_page = 1024;
-    Status st = WriteTableFile(file->get(), schema, {cols}, options);
+    Status st = WriteTableFile(file->get(), schema, groups, options);
     if (!st.ok()) {
       std::fprintf(stderr, "write failed: %s\n", st.ToString().c_str());
       return 1;
@@ -61,10 +82,13 @@ int main(int argc, char** argv) {
   }
   std::printf("wrote %s\n", path.c_str());
 
-  // 4. Open (two preads: trailer + flat footer) and scan a projection
-  //    through the exec layer: plan coalesced reads, then fan fetch +
-  //    decode across two worker threads. Output is byte-identical to
-  //    the serial path at any thread count.
+  // 4. Open (two preads: trailer + flat footer) and STREAM a filtered
+  //    projection through the unified front door: filter → stream →
+  //    batch loop. The writer recorded per-chunk min/max zone maps in
+  //    the footer, so row groups the filter provably misses are pruned
+  //    before a single pread; surviving groups decode across two
+  //    worker threads and arrive as bounded RowBatches — a terabyte
+  //    table streams through the same fixed memory footprint.
   auto reader = TableReader::Open(*OpenPosixReadableFile(path));
   if (!reader.ok()) {
     std::fprintf(stderr, "open failed: %s\n",
@@ -75,6 +99,44 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>((*reader)->num_rows()),
               (*reader)->num_columns(), (*reader)->num_row_groups());
 
+  {
+    IoStats scan_stats;
+    auto stream = Scan(reader->get())
+                      .Columns({"uid", "score"})
+                      .Filter("uid", CompareOp::kGe, 2000)  // skips groups
+                      .Threads(2)
+                      .BatchRows(1024)  // bounded memory
+                      .Stats(&scan_stats)
+                      .Stream();
+    if (!stream.ok()) {
+      std::fprintf(stderr, "stream failed: %s\n",
+                   stream.status().ToString().c_str());
+      return 1;
+    }
+    uint64_t rows = 0, batches = 0;
+    RowBatch batch;
+    for (;;) {
+      auto more = (*stream)->Next(&batch);
+      if (!more.ok()) {
+        std::fprintf(stderr, "stream failed: %s\n",
+                     more.status().ToString().c_str());
+        return 1;
+      }
+      if (!*more) break;
+      rows += batch.num_rows();  // train / aggregate here, batch by batch
+      ++batches;
+    }
+    std::printf(
+        "streamed uid >= 2000: %llu rows in %llu bounded batches, "
+        "%llu row groups pruned by zone maps before any pread\n",
+        static_cast<unsigned long long>(rows),
+        static_cast<unsigned long long>(batches),
+        static_cast<unsigned long long>(scan_stats.groups_pruned.load()));
+  }
+
+  // 4b. The legacy materializing scan is a wrapper that drains the same
+  //     stream (no filters, one batch per row group) — equivalent
+  //     output, fully buffered.
   auto scan = ScanBuilder(reader->get())
                   .Columns({"score", "clk_seq"})
                   .Threads(2)
@@ -163,6 +225,44 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(warm_hits),
           static_cast<unsigned long long>(warm_probes),
           warm->groups == cold->groups ? "yes" : "NO");
+
+      // 5a. The SAME streaming front door works over the dataset: the
+      //     manifest's aggregated zone maps prune whole shards before
+      //     they are touched, and surviving groups stream through the
+      //     shared cache.
+      {
+        IoStats scan_stats;
+        auto stream = Scan(ds->get())
+                          .Columns({"uid", "score"})
+                          .Filter("uid", CompareOp::kLt, 1000)
+                          .Threads(2)
+                          .Cache(&cache)
+                          .Stats(&scan_stats)
+                          .Stream();
+        if (!stream.ok()) {
+          std::fprintf(stderr, "dataset stream failed: %s\n",
+                       stream.status().ToString().c_str());
+          return 1;
+        }
+        uint64_t rows = 0;
+        RowBatch batch;
+        for (;;) {
+          auto more = (*stream)->Next(&batch);
+          if (!more.ok()) {
+            std::fprintf(stderr, "dataset stream failed: %s\n",
+                         more.status().ToString().c_str());
+            return 1;
+          }
+          if (!*more) break;
+          rows += batch.num_rows();
+        }
+        std::printf(
+            "streamed dataset uid < 1000: %llu rows, %llu shard(s) + "
+            "%llu group(s) pruned before any pread\n",
+            static_cast<unsigned long long>(rows),
+            static_cast<unsigned long long>(scan_stats.shards_pruned.load()),
+            static_cast<unsigned long long>(scan_stats.groups_pruned.load()));
+      }
 
       // 5b. The dataset is LIVE: append more rows through the same
       //     parallel pipeline. The appender continues the shard

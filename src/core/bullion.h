@@ -5,6 +5,8 @@
 //   Schema / ColumnVector      -- format/schema.h, format/column_vector.h
 //   TableWriter / TableReader  -- format/writer.h, format/reader.h
 //   Read planning              -- io/read_planner.h (coalesced pread plans)
+//   Unified streaming scan     -- core/scan.h (bullion::Scan front door),
+//                                 exec/batch_stream.h, io/predicate.h
 //   Parallel scan layer        -- exec/scanner.h, exec/thread_pool.h
 //   Sharded datasets           -- dataset/* (multi-file logical tables)
 //   DeleteExecutor             -- format/deletion.h (§2.1)
@@ -18,9 +20,25 @@
 // The read stack is layered plan → fetch → decode: TableReader plans a
 // projection into coalesced preads (io/read_planner.h), fetches each
 // range, and decodes the covered chunks. The exec/ layer drives those
-// same stages concurrently — ScanBuilder is the front door:
+// same stages concurrently behind ONE unified streaming front door —
+// bullion::Scan works identically over a single file and a sharded
+// dataset, returns a pull-based BatchStream of bounded RowBatches, and
+// pushes Filter predicates down to footer/manifest zone maps so
+// irrelevant row groups and shards never cost a pread:
 //
 //   auto reader = TableReader::Open(std::move(file));
+//   auto stream = Scan(reader->get())           // or Scan(dataset.get())
+//                     .Columns({"uid", "score"})
+//                     .Filter("score", CompareOp::kGt, 0.9)
+//                     .Threads(8)
+//                     .BatchRows(65536)         // bounded memory
+//                     .Stream();
+//   RowBatch batch;
+//   while (*(*stream)->Next(&batch)) Consume(batch.columns);
+//
+// The legacy materializing ScanBuilder drains exactly that stream (no
+// filters, one batch per row group):
+//
 //   auto scan = ScanBuilder(reader->get())
 //                   .Columns({"uid", "score"})  // default: all leaves
 //                   .RowGroups(0, (*reader)->num_row_groups())
@@ -103,6 +121,7 @@
 #include "common/random.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "core/scan.h"
 #include "dataset/chunk_cache.h"
 #include "dataset/evolution.h"
 #include "dataset/shard_manifest.h"

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/varint.h"
+#include "format/footer.h"
 
 namespace bullion {
 
@@ -13,6 +14,7 @@ namespace {
 constexpr uint32_t kManifestMagic = 0x4D485342;
 constexpr uint32_t kManifestVersionV1 = 1;
 constexpr uint32_t kManifestVersionV2 = 2;
+constexpr uint32_t kManifestVersionV3 = 3;
 }  // namespace
 
 ShardManifest::ShardManifest(std::vector<ShardInfo> shards,
@@ -44,7 +46,7 @@ Result<ShardManifest::GroupRef> ShardManifest::group(uint32_t g) const {
 Buffer ShardManifest::Serialize() const {
   BufferBuilder out;
   out.Append<uint32_t>(kManifestMagic);
-  out.Append<uint32_t>(kManifestVersionV2);
+  out.Append<uint32_t>(kManifestVersionV3);
   varint::PutVarint64(&out, generation_);
   varint::PutVarint64(&out, shards_.size());
   for (const ShardInfo& s : shards_) {
@@ -54,6 +56,17 @@ Buffer ShardManifest::Serialize() const {
     varint::PutVarint64(&out, s.num_row_groups);
     varint::PutVarint64(&out, s.deleted_rows);
     varint::PutVarint64(&out, s.generation);
+    varint::PutVarint64(&out, s.column_stats.size());
+    for (const ShardColumnStats& stat : s.column_stats) {
+      // Same flag bits + raw-64-bit-pattern encoding as the footer's
+      // chunk-statistics records (format/footer.h) — one conversion,
+      // two serializations.
+      ChunkStatsRecord rec = RecordFromZoneMap(stat.zone);
+      varint::PutVarint64(&out, stat.column);
+      out.Append<uint8_t>(static_cast<uint8_t>(rec.flags));
+      varint::PutVarint64(&out, rec.min_bits);
+      varint::PutVarint64(&out, rec.max_bits);
+    }
   }
   return out.Finish();
 }
@@ -66,11 +79,13 @@ Result<ShardManifest> ShardManifest::Parse(Slice data) {
   std::memcpy(&version, data.data() + 4, 4);
   pos = 8;
   if (magic != kManifestMagic) return Status::Corruption("bad manifest magic");
-  if (version != kManifestVersionV1 && version != kManifestVersionV2) {
+  if (version != kManifestVersionV1 && version != kManifestVersionV2 &&
+      version != kManifestVersionV3) {
     return Status::NotImplemented("manifest version " +
                                   std::to_string(version));
   }
-  const bool v2 = version == kManifestVersionV2;
+  const bool v2 = version >= kManifestVersionV2;
+  const bool v3 = version >= kManifestVersionV3;
   uint64_t generation = 0;
   if (v2 && !varint::GetVarint64(data, &pos, &generation)) {
     return Status::Corruption("manifest generation truncated");
@@ -80,10 +95,10 @@ Result<ShardManifest> ShardManifest::Parse(Slice data) {
     return Status::Corruption("manifest shard count truncated");
   }
   // Each shard record is at least 3 bytes in v1 (empty name + two
-  // varints) and 5 in v2, so a count the remaining bytes cannot hold is
-  // corruption — reject before reserve() so a hostile count can't
-  // throw/OOM.
-  const uint64_t min_record = v2 ? 5 : 3;
+  // varints), 5 in v2, and 6 in v3 (+ the stats count), so a count the
+  // remaining bytes cannot hold is corruption — reject before
+  // reserve() so a hostile count can't throw/OOM.
+  const uint64_t min_record = v3 ? 6 : (v2 ? 5 : 3);
   if (count > (data.size() - pos) / min_record) {
     return Status::Corruption("manifest shard count implausible");
   }
@@ -118,6 +133,37 @@ Result<ShardManifest> ShardManifest::Parse(Slice data) {
         return Status::Corruption("shard deleted count exceeds rows");
       }
       s.generation = static_cast<uint32_t>(shard_gen);
+    }
+    if (v3) {
+      uint64_t stat_count;
+      if (!varint::GetVarint64(data, &pos, &stat_count)) {
+        return Status::Corruption("manifest shard stats truncated");
+      }
+      // Each stats record is at least 4 bytes (3 varints + flags).
+      if (stat_count > (data.size() - pos) / 4) {
+        return Status::Corruption("manifest shard stats count implausible");
+      }
+      s.column_stats.reserve(stat_count);
+      for (uint64_t j = 0; j < stat_count; ++j) {
+        uint64_t column, min_bits, max_bits;
+        if (!varint::GetVarint64(data, &pos, &column) || pos >= data.size()) {
+          return Status::Corruption("manifest shard stats truncated");
+        }
+        uint8_t flags = data[pos++];
+        if (!varint::GetVarint64(data, &pos, &min_bits) ||
+            !varint::GetVarint64(data, &pos, &max_bits)) {
+          return Status::Corruption("manifest shard stats truncated");
+        }
+        if (column > UINT32_MAX) {
+          return Status::Corruption("manifest stats column implausible");
+        }
+        ChunkStatsRecord rec;
+        rec.flags = flags;
+        rec.min_bits = min_bits;
+        rec.max_bits = max_bits;
+        s.column_stats.push_back(ShardColumnStats{
+            static_cast<uint32_t>(column), ZoneMapFromRecord(rec)});
+      }
     }
     shards.push_back(std::move(s));
   }

@@ -17,18 +17,18 @@
 // Manifest wire format (little-endian):
 //
 //   magic   u32   0x4D485342 ("BSHM")
-//   version u32   1 or 2
-//   -- v2 only --
+//   version u32   1, 2, or 3
+//   -- v2+ only --
 //   generation    varint64   dataset generation (bumped every publish:
 //                            append or compaction)
-//   -- both --
+//   -- all --
 //   count         varint64   number of shard records
 //   repeated `count` times:
 //     name_len    varint64
 //     name        name_len bytes
 //     num_rows    varint64
 //     num_groups  varint64
-//     -- v2 only --
+//     -- v2+ only --
 //     deleted     varint64   rows tombstoned in this shard at publish
 //                            time (compaction-trigger hint; the shard
 //                            footer's deletion vectors are the ground
@@ -37,9 +37,22 @@
 //                            (bumped by compaction; keys the decoded-
 //                            chunk cache so pre-rewrite entries can
 //                            never serve a post-rewrite scan)
+//     -- v3 only --
+//     stats_count varint64   aggregated per-column zone maps recorded
+//                            at publish time; filtered scans prune
+//                            whole shards against them before opening
+//                            a single row group. In-place deletes
+//                            after publish only remove rows, so the
+//                            recorded bounds stay a superset of the
+//                            live values (pruning stays sound).
+//     repeated `stats_count` times:
+//       column    varint64   leaf column index
+//       flags     u8         bit 0: min/max present, bit 1: real
+//       min_bits  varint64   raw 64-bit pattern (int64 or double)
+//       max_bits  varint64
 //
-// Parse() accepts both versions (v1 records load with deleted = 0 and
-// generation = 0); Serialize() always writes v2.
+// Parse() accepts every version (older records load with deleted = 0,
+// generation = 0, and no stats); Serialize() always writes v3.
 
 #pragma once
 
@@ -51,8 +64,21 @@
 #include "common/result.h"
 #include "common/slice.h"
 #include "common/status.h"
+#include "io/predicate.h"
 
 namespace bullion {
+
+/// \brief Aggregated min/max of one leaf column across a whole shard —
+/// the manifest-level zone map filtered scans prune entire shards
+/// against (io/predicate.h).
+struct ShardColumnStats {
+  uint32_t column = 0;
+  ZoneMap zone;
+
+  bool operator==(const ShardColumnStats& o) const {
+    return column == o.column && zone == o.zone;
+  }
+};
 
 /// \brief One shard's entry in the manifest.
 struct ShardInfo {
@@ -67,6 +93,10 @@ struct ShardInfo {
   /// Rewrite generation of the shard file (0 = as first written;
   /// compaction bumps it each time the shard is rewritten in place).
   uint32_t generation = 0;
+  /// Aggregated per-column zone maps at publish time (empty = unknown;
+  /// scans then fall back to aggregating the shard footer's chunk
+  /// stats). Only columns with a valid min/max are listed.
+  std::vector<ShardColumnStats> column_stats;
 
   /// Deleted fraction recorded at publish time.
   double deleted_fraction() const {
@@ -75,10 +105,19 @@ struct ShardInfo {
                                static_cast<double>(num_rows);
   }
 
+  /// Aggregated zone map of `column`, or invalid if not recorded.
+  ZoneMap column_zone(uint32_t column) const {
+    for (const ShardColumnStats& s : column_stats) {
+      if (s.column == column) return s.zone;
+    }
+    return ZoneMap{};
+  }
+
   bool operator==(const ShardInfo& o) const {
     return name == o.name && num_rows == o.num_rows &&
            num_row_groups == o.num_row_groups &&
-           deleted_rows == o.deleted_rows && generation == o.generation;
+           deleted_rows == o.deleted_rows && generation == o.generation &&
+           column_stats == o.column_stats;
   }
 };
 

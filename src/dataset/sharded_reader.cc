@@ -5,26 +5,6 @@
 
 namespace bullion {
 
-uint64_t DatasetScanResult::num_rows() const {
-  uint64_t rows = 0;
-  for (const auto& group : groups) {
-    if (!group.empty()) rows += group[0].num_rows();
-  }
-  return rows;
-}
-
-Result<ColumnVector> DatasetScanResult::ConcatColumn(size_t slot) const {
-  if (slot >= columns.size()) {
-    return Status::InvalidArgument("projection slot out of range");
-  }
-  ColumnVector out(static_cast<PhysicalType>(column_records_[slot].physical),
-                   column_records_[slot].list_depth);
-  for (const auto& group : groups) {
-    out.AppendAllFrom(group[slot]);
-  }
-  return out;
-}
-
 Result<std::unique_ptr<ShardedTableReader>> ShardedTableReader::Open(
     const ShardManifest& manifest, const FileOpener& opener) {
   std::vector<std::unique_ptr<RandomAccessFile>> files;
@@ -90,10 +70,20 @@ Result<std::unique_ptr<ShardedTableReader>> ShardedTableReader::Open(
     }
     infos.push_back(ShardInfo{"shard-" + std::to_string(s), f.num_rows(),
                               f.num_row_groups(), f.TotalDeletedCount(),
-                              /*generation=*/0});
+                              /*generation=*/0, AggregateShardStats(f)});
   }
   reader->manifest_ = ShardManifest(std::move(infos));
   return reader;
+}
+
+std::vector<ShardColumnStats> AggregateShardStats(const FooterView& footer) {
+  std::vector<ShardColumnStats> stats;
+  if (!footer.has_chunk_stats()) return stats;
+  for (uint32_t c = 0; c < footer.num_columns(); ++c) {
+    ZoneMap zone = footer.column_zone_map(c);
+    if (zone.valid) stats.push_back(ShardColumnStats{c, zone});
+  }
+  return stats;
 }
 
 uint32_t ShardedTableReader::num_columns() const {
@@ -108,163 +98,188 @@ Result<std::vector<uint32_t>> ShardedTableReader::ResolveColumns(
 
 namespace {
 
-/// One row group whose cache-missing slots are being read into a
-/// side buffer (so SubmitGroupScan's clear+resize cannot wipe slots
-/// already filled from the cache).
-struct PendingGroup {
-  size_t result_index = 0;
-  /// missing_slots[j] = result slot that temp[j] lands in.
-  std::vector<size_t> missing_slots;
-  std::vector<ColumnVector> temp;
-};
+/// Shard-level zone map for `column`: the manifest's published
+/// aggregate when recorded, else aggregated live from the shard footer
+/// (v1/v2 manifests, or columns the publish skipped).
+ZoneMap ShardZone(const ShardInfo& info, const FooterView& footer,
+                  uint32_t column) {
+  ZoneMap zone = info.column_zone(column);
+  if (zone.valid) return zone;
+  return footer.column_zone_map(column);
+}
 
 }  // namespace
 
-Result<DatasetScanResult> ShardedTableReader::Scan(
-    const DatasetScanSpec& spec, ThreadPool* external_pool,
-    DecodedChunkCache* cache) const {
-  DatasetScanResult result;
-  if (!spec.columns.empty()) {
-    result.columns = spec.columns;
-    for (uint32_t c : result.columns) {
-      if (c >= num_columns()) {
-        return Status::InvalidArgument("column out of range");
-      }
-    }
-  } else if (!spec.column_names.empty()) {
-    BULLION_ASSIGN_OR_RETURN(result.columns,
-                             ResolveColumns(spec.column_names));
-  } else {
-    result.columns.resize(num_columns());
-    for (uint32_t c = 0; c < num_columns(); ++c) result.columns[c] = c;
-  }
-  result.column_records_.reserve(result.columns.size());
-  for (uint32_t c : result.columns) {
-    result.column_records_.push_back(shards_.back()->footer().column_record(c));
-  }
-
+Result<std::unique_ptr<BatchStream>> OpenScanStream(
+    const ShardedTableReader* dataset, const ScanStreamSpec& spec,
+    DecodedChunkCache* cache) {
+  const ShardManifest& manifest = dataset->manifest();
   if (spec.group_begin > spec.group_end) {
     return Status::InvalidArgument("row-group range begin past end");
   }
-  uint32_t group_end = std::min(spec.group_end, num_row_groups());
-  result.group_begin = std::min(spec.group_begin, group_end);
-  result.groups.resize(group_end - result.group_begin);
 
-  std::unique_ptr<ThreadPool> owned_pool;
-  ThreadPool* pool = external_pool;
-  if (pool == nullptr && spec.threads > 1) {
-    owned_pool = std::make_unique<ThreadPool>(spec.threads);
-    pool = owned_pool.get();
+  BatchStreamOptions options;
+  options.batch_rows = spec.batch_rows;
+  options.threads = spec.threads;
+  options.prefetch_depth = spec.prefetch_depth;
+  options.read_options = spec.read_options;
+  options.pool = spec.pool;
+  options.stats = spec.stats;
+
+  if (dataset->num_shards() == 0) {
+    if (!spec.columns.empty()) {
+      // Explicit indices take precedence over names (as everywhere),
+      // and a zero-shard dataset has zero leaf columns.
+      return Status::InvalidArgument(
+          "column index out of range (dataset has no shards)");
+    }
+    if (!spec.column_names.empty() || !spec.filters.empty()) {
+      return Status::NotFound("dataset has no shards");
+    }
+    return BatchStream::Create({}, std::move(options));
   }
-  size_t workers = pool != nullptr ? std::max<size_t>(1, pool->num_threads())
-                                   : 1;
 
-  // All shards share ONE pool and ONE in-flight window: a scan over N
-  // shards at T threads keeps T*(1+prefetch) reads in flight total.
+  // The newest (last) shard carries the dataset schema; earlier shards
+  // are validated prefixes of it (Open).
+  const FooterView& ref =
+      dataset->shard_reader(dataset->num_shards() - 1)->footer();
+  BULLION_ASSIGN_OR_RETURN(StreamColumnPlan plan,
+                           PlanStreamColumns(ref, spec));
+  uint32_t group_end = std::min(spec.group_end, dataset->num_row_groups());
+  uint32_t group_begin = std::min(spec.group_begin, group_end);
+  options.group_begin = group_begin;
+  options.num_projected = plan.num_projected;
+  options.residual = plan.residual;
+  options.fetch_records.reserve(plan.fetch_columns.size());
+  for (uint32_t c : plan.fetch_columns) {
+    options.fetch_records.push_back(ref.column_record(c));
+  }
+
+  // Shared by every unit's prepare/publish closure.
+  auto fetch_cols =
+      std::make_shared<const std::vector<uint32_t>>(plan.fetch_columns);
+  auto fetch_recs = std::make_shared<const std::vector<ColumnRecord>>(
+      options.fetch_records);
   const bool fd = spec.read_options.filter_deleted;
   const bool vc = spec.read_options.verify_checksums;
-  auto all_columns =
-      std::make_shared<const std::vector<uint32_t>>(result.columns);
-  std::vector<PendingGroup> pending;
-  pending.reserve(result.groups.size());  // stable temp addresses
-  TaskGroup tasks(pool, workers * (1 + spec.prefetch_depth));
 
-  for (size_t gi = 0; gi < result.groups.size(); ++gi) {
-    uint32_t g = result.group_begin + static_cast<uint32_t>(gi);
-    BULLION_ASSIGN_OR_RETURN(ShardManifest::GroupRef ref, manifest_.group(g));
-    const TableReader* shard = shards_[ref.shard].get();
-    const uint32_t shard_cols = shard->num_columns();
-    const uint32_t gen = manifest_.shard(ref.shard).generation;
+  // -1 = not yet decided; shard-level pruning is decided once per
+  // shard, against the manifest's aggregated stats, and counted once.
+  std::vector<int8_t> shard_pruned(dataset->num_shards(), -1);
+
+  std::vector<StreamUnit> units;
+  units.reserve(group_end - group_begin);
+  for (uint32_t g = group_begin; g < group_end; ++g) {
+    BULLION_ASSIGN_OR_RETURN(ShardManifest::GroupRef gref, manifest.group(g));
+    const uint32_t s = gref.shard;
+    const TableReader* shard = dataset->shard_reader(s);
+    const FooterView& sf = shard->footer();
+    const uint32_t shard_cols = sf.num_columns();
+
+    if (shard_pruned[s] < 0) {
+      bool pruned = false;
+      for (const ResolvedFilter& f : plan.residual) {
+        uint32_t col = plan.fetch_columns[f.fetch_slot];
+        if (col >= shard_cols) {
+          // Every row of this shard is null for the filtered column
+          // (schema-evolution back-fill) and null matches no
+          // predicate: the whole shard is provably empty.
+          pruned = true;
+          break;
+        }
+        if (fd && !ZoneMapMayMatch(ShardZone(manifest.shard(s), sf, col),
+                                   f.op, f.value)) {
+          pruned = true;
+          break;
+        }
+      }
+      shard_pruned[s] = pruned ? 1 : 0;
+      if (pruned && spec.stats != nullptr) spec.stats->shards_pruned += 1;
+    }
+    if (shard_pruned[s] == 1) continue;
+
+    if (!plan.residual.empty() &&
+        GroupProvablyEmpty(sf, gref.local_group, plan, spec.read_options)) {
+      if (spec.stats != nullptr) spec.stats->groups_pruned += 1;
+      continue;
+    }
+
+    StreamUnit unit;
+    unit.reader = shard;
+    unit.local_group = gref.local_group;
+    unit.global_group = g;
+    const uint32_t gen = manifest.shard(s).generation;
     // The group's delete epoch: in-place deletes change decode output
     // without bumping the shard generation, so the count is part of
     // the cache identity (a fresher footer must never be served a
     // pre-delete chunk).
-    const uint32_t del = shard->footer().DeletedCount(ref.local_group);
-    std::vector<ColumnVector>& out = result.groups[gi];
-    out.resize(result.columns.size());
+    const uint32_t del = sf.DeletedCount(gref.local_group);
+    uint32_t rows = sf.group_row_count(gref.local_group);
+    if (fd) rows -= del;
+    const uint32_t local = gref.local_group;
 
-    std::vector<size_t> missing;
-    for (size_t slot = 0; slot < result.columns.size(); ++slot) {
-      if (result.columns[slot] >= shard_cols) {
-        // The shard predates this (nullable) column: back-fill null
-        // rows, one per surviving row of the group. Generated locally —
-        // no pread, no decode, no cache traffic.
-        uint32_t rows = shard->footer().group_row_count(ref.local_group);
-        if (fd) rows -= del;
-        const ColumnRecord& rec = result.column_records_[slot];
-        ColumnVector null_col(static_cast<PhysicalType>(rec.physical),
-                              rec.list_depth);
-        for (uint32_t r = 0; r < rows; ++r) null_col.AppendNullRow();
-        out[slot] = std::move(null_col);
-        continue;
+    unit.prepare = [cache, fetch_cols, fetch_recs, s, local, gen, del, fd, vc,
+                    shard_cols, rows](std::vector<ColumnVector>* out,
+                                      std::vector<uint8_t>* preset) {
+      for (size_t slot = 0; slot < fetch_cols->size(); ++slot) {
+        uint32_t col = (*fetch_cols)[slot];
+        if (col >= shard_cols) {
+          // The shard predates this (nullable) column: back-fill null
+          // rows, one per surviving row of the group. Generated
+          // locally — no pread, no decode, no cache traffic.
+          const ColumnRecord& rec = (*fetch_recs)[slot];
+          ColumnVector null_col(static_cast<PhysicalType>(rec.physical),
+                                rec.list_depth);
+          for (uint32_t r = 0; r < rows; ++r) null_col.AppendNullRow();
+          (*out)[slot] = std::move(null_col);
+          (*preset)[slot] = 1;
+          continue;
+        }
+        if (cache != nullptr) {
+          ChunkCacheKey key{s, local, col, fd, vc, gen, del};
+          if (cache->Lookup(key, &(*out)[slot])) (*preset)[slot] = 1;
+        }
       }
-      if (cache != nullptr) {
-        ChunkCacheKey key{ref.shard, ref.local_group, result.columns[slot],
-                          fd, vc, gen, del};
-        if (cache->Lookup(key, &out[slot])) continue;
-      }
-      missing.push_back(slot);
-    }
-    if (missing.empty()) continue;  // fully cached/back-filled: zero preads
-
-    if (missing.size() == result.columns.size()) {
-      // Nothing cached: decode straight into the result group. When a
-      // cache is attached, workers publish each read's freshly decoded
-      // chunks as they complete (user_index == result slot here).
-      std::function<void(const CoalescedRead&, std::vector<ColumnVector>*)>
-          publish;
-      if (cache != nullptr) {
-        publish = [cache, all_columns, ref, fd, vc, gen, del](
-                      const CoalescedRead& read,
-                      std::vector<ColumnVector>* done) {
-          for (const ChunkRequest& r : read.chunks) {
-            ChunkCacheKey key{ref.shard, ref.local_group,
-                              (*all_columns)[r.user_index], fd, vc, gen, del};
-            cache->Insert(key, (*done)[r.user_index]);
-          }
-        };
-      }
-      BULLION_RETURN_NOT_OK(SubmitGroupScan(shard, ref.local_group,
-                                            all_columns, spec.read_options,
-                                            &tasks, &out, publish));
-      continue;
-    }
-
-    // Mixed group: some slots came from the cache (or were
-    // back-filled), the rest read into a side buffer and land in their
-    // result slots after the join.
-    pending.push_back(PendingGroup{gi, std::move(missing), {}});
-    PendingGroup& pg = pending.back();
-    auto miss_cols = std::make_shared<std::vector<uint32_t>>();
-    miss_cols->reserve(pg.missing_slots.size());
-    for (size_t slot : pg.missing_slots) {
-      miss_cols->push_back(result.columns[slot]);
-    }
-    std::function<void(const CoalescedRead&, std::vector<ColumnVector>*)>
-        publish;
+    };
     if (cache != nullptr) {
-      publish = [cache, miss_cols, ref, fd, vc, gen, del](
-                    const CoalescedRead& read,
-                    std::vector<ColumnVector>* done) {
+      // Freshly decoded chunks are published from the worker threads
+      // while the stream is still in flight, exactly like the
+      // materializing path always did.
+      unit.publish = [cache, s, local, gen, del, fd, vc](
+                         const std::vector<uint32_t>& missing,
+                         const CoalescedRead& read,
+                         std::vector<ColumnVector>* done) {
         for (const ChunkRequest& r : read.chunks) {
-          ChunkCacheKey key{ref.shard, ref.local_group,
-                            (*miss_cols)[r.user_index], fd, vc, gen, del};
+          ChunkCacheKey key{s, local, missing[r.user_index], fd, vc, gen,
+                            del};
           cache->Insert(key, (*done)[r.user_index]);
         }
       };
     }
-    BULLION_RETURN_NOT_OK(SubmitGroupScan(shard, ref.local_group, miss_cols,
-                                          spec.read_options, &tasks, &pg.temp,
-                                          publish));
+    units.push_back(std::move(unit));
   }
-  BULLION_RETURN_NOT_OK(tasks.Wait());
+  options.fetch_columns = std::move(plan.fetch_columns);
+  return BatchStream::Create(std::move(units), std::move(options));
+}
 
-  for (PendingGroup& pg : pending) {
-    std::vector<ColumnVector>& out = result.groups[pg.result_index];
-    for (size_t j = 0; j < pg.missing_slots.size(); ++j) {
-      out[pg.missing_slots[j]] = std::move(pg.temp[j]);
-    }
-  }
+Result<DatasetScanResult> ShardedTableReader::Scan(
+    const DatasetScanSpec& spec, ThreadPool* external_pool,
+    DecodedChunkCache* cache) const {
+  ScanStreamSpec sspec;
+  sspec.column_names = spec.column_names;
+  sspec.columns = spec.columns;
+  sspec.group_begin = spec.group_begin;
+  sspec.group_end = spec.group_end;
+  sspec.threads = spec.threads;
+  sspec.prefetch_depth = spec.prefetch_depth;
+  sspec.read_options = spec.read_options;
+  sspec.pool = external_pool;
+  // No filters and batch_rows == 0: one batch per global row group,
+  // byte-identical to the historical materializing dataset scan.
+  BULLION_ASSIGN_OR_RETURN(std::unique_ptr<BatchStream> stream,
+                           OpenScanStream(this, sspec, cache));
+  DatasetScanResult result;
+  BULLION_RETURN_NOT_OK(result.DrainStream(stream.get()));
   return result;
 }
 

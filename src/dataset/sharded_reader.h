@@ -21,6 +21,11 @@
 // (watch IoStats.read_ops / cache_hits), and freshly decoded chunks
 // are published to the cache from the worker threads as the scan runs.
 //
+// Since the streaming redesign both entry points sit on one engine:
+// OpenScanStream() (below) builds the pull-based BatchStream — with
+// manifest/footer zone-map pruning and cache integration — and
+// DatasetScanBuilder::Scan() drains it at row-group granularity.
+//
 //   auto ds = ShardedTableReader::Open(manifest, open_fn);
 //   DecodedChunkCache cache(256 << 20, &fs.stats());
 //   auto scan = DatasetScanBuilder(ds->get())
@@ -66,24 +71,11 @@ struct DatasetScanSpec {
 };
 
 /// \brief Decoded output of a dataset scan: one vector of ColumnVectors
-/// per selected global row group, columns in projection order.
-struct DatasetScanResult {
-  std::vector<uint32_t> columns;
-  uint32_t group_begin = 0;
-  /// groups[g - group_begin][slot], g a global row-group index.
-  std::vector<std::vector<ColumnVector>> groups;
-
-  size_t num_groups() const { return groups.size(); }
-  uint64_t num_rows() const;
-
-  /// Concatenates column `slot` across all scanned groups — identical
-  /// content to concatenating per-shard serial scans in shard order.
-  Result<ColumnVector> ConcatColumn(size_t slot) const;
-
- private:
-  friend class ShardedTableReader;
-  std::vector<ColumnRecord> column_records_;
-};
+/// per selected global row group, columns in projection order —
+/// identical content to concatenating per-shard serial scans in shard
+/// order (shape shared with the single-file ScanResult, see
+/// exec/scanner.h).
+struct DatasetScanResult : MaterializedScanResult {};
 
 /// \brief Read handle over a sharded logical table.
 class ShardedTableReader {
@@ -120,7 +112,10 @@ class ShardedTableReader {
   Result<std::vector<uint32_t>> ResolveColumns(
       const std::vector<std::string>& names) const;
 
-  /// Executes a dataset scan; used by DatasetScanBuilder::Scan().
+  /// Executes a materializing dataset scan; used by
+  /// DatasetScanBuilder::Scan(). Since the streaming redesign this
+  /// drains an OpenScanStream at row-group batch granularity —
+  /// byte-identical to the historical behavior at any thread count.
   Result<DatasetScanResult> Scan(const DatasetScanSpec& spec,
                                  ThreadPool* pool,
                                  DecodedChunkCache* cache) const;
@@ -131,6 +126,25 @@ class ShardedTableReader {
   ShardManifest manifest_;
   std::vector<std::unique_ptr<TableReader>> shards_;
 };
+
+/// Opens a streaming scan over a sharded dataset (the engine behind
+/// the unified bullion::Scan front door, core/scan.h). One shared
+/// ThreadPool and in-flight window serve every shard; filters prune
+/// whole shards against the manifest's aggregated zone maps (footer
+/// aggregation when the manifest predates stats), then row groups
+/// against footer chunk stats, before any pread. A shard that predates
+/// a filtered column is pruned outright — its rows are all null there.
+/// With `cache`, preset slots come from (and fresh decodes are
+/// published to) the DecodedChunkCache exactly like the materializing
+/// path. The dataset (and cache) must outlive the stream.
+Result<std::unique_ptr<BatchStream>> OpenScanStream(
+    const ShardedTableReader* dataset, const ScanStreamSpec& spec,
+    DecodedChunkCache* cache = nullptr);
+
+/// Aggregated per-column zone maps of one shard footer — what
+/// ShardedTableWriter records in the manifest and scans fall back to
+/// when the manifest carries no stats. Only valid columns are listed.
+std::vector<ShardColumnStats> AggregateShardStats(const FooterView& footer);
 
 /// \brief Fluent builder for scans over a sharded dataset.
 class DatasetScanBuilder {

@@ -1,0 +1,363 @@
+#include "exec/batch_stream.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace bullion {
+
+// ---------------------------------------------------------------- planning
+
+Result<std::vector<uint32_t>> ResolveProjection(
+    const FooterView& footer, const std::vector<uint32_t>& indices,
+    const std::vector<std::string>& names) {
+  std::vector<uint32_t> out;
+  if (!indices.empty()) {
+    for (uint32_t c : indices) {
+      if (c >= footer.num_columns()) {
+        return Status::InvalidArgument(
+            "column index " + std::to_string(c) + " out of range (table has " +
+            std::to_string(footer.num_columns()) + " leaf columns)");
+      }
+    }
+    return indices;
+  }
+  if (!names.empty()) {
+    out.reserve(names.size());
+    for (const std::string& name : names) {
+      BULLION_ASSIGN_OR_RETURN(uint32_t c, footer.FindColumn(name));
+      out.push_back(c);
+    }
+    return out;
+  }
+  out.resize(footer.num_columns());
+  for (uint32_t c = 0; c < footer.num_columns(); ++c) out[c] = c;
+  return out;
+}
+
+Result<StreamColumnPlan> PlanStreamColumns(const FooterView& footer,
+                                           const ScanStreamSpec& spec) {
+  StreamColumnPlan plan;
+  BULLION_ASSIGN_OR_RETURN(
+      plan.fetch_columns,
+      ResolveProjection(footer, spec.columns, spec.column_names));
+  plan.num_projected = plan.fetch_columns.size();
+  plan.residual.reserve(spec.filters.size());
+  for (const Filter& f : spec.filters) {
+    BULLION_ASSIGN_OR_RETURN(uint32_t c, footer.FindColumn(f.column));
+    ColumnRecord rec = footer.column_record(c);
+    if (rec.list_depth != 0 ||
+        !HasPredicateOrder(static_cast<PhysicalType>(rec.physical))) {
+      return Status::InvalidArgument(
+          "predicate on column '" + f.column +
+          "': only scalar integer and float32/64 columns support filters");
+    }
+    // Bind to an existing fetch slot when the column is already
+    // projected (or filtered twice); append a filter-only slot
+    // otherwise.
+    size_t slot = plan.fetch_columns.size();
+    for (size_t i = 0; i < plan.fetch_columns.size(); ++i) {
+      if (plan.fetch_columns[i] == c) {
+        slot = i;
+        break;
+      }
+    }
+    if (slot == plan.fetch_columns.size()) plan.fetch_columns.push_back(c);
+    plan.residual.push_back(ResolvedFilter{slot, f.op, f.value});
+  }
+  return plan;
+}
+
+bool GroupProvablyEmpty(const FooterView& footer, uint32_t local_group,
+                        const StreamColumnPlan& plan,
+                        const ReadOptions& read_options) {
+  // Scans that keep deleted rows see zero/empty placeholders for
+  // physically erased values; the recorded bounds don't cover those,
+  // so pruning would be unsound.
+  if (!read_options.filter_deleted) return false;
+  for (const ResolvedFilter& f : plan.residual) {
+    uint32_t col = plan.fetch_columns[f.fetch_slot];
+    // Columns this footer predates (schema-evolution back-fill) are
+    // decided by the shard-level pass, not per group.
+    if (col >= footer.num_columns()) continue;
+    ZoneMap zone = footer.chunk_zone_map(local_group, col);
+    if (!ZoneMapMayMatch(zone, f.op, f.value)) return true;
+  }
+  return false;
+}
+
+Result<std::unique_ptr<BatchStream>> OpenScanStream(
+    const TableReader* reader, const ScanStreamSpec& spec) {
+  const FooterView& f = reader->footer();
+  BULLION_ASSIGN_OR_RETURN(StreamColumnPlan plan,
+                           PlanStreamColumns(f, spec));
+  if (spec.group_begin > spec.group_end) {
+    return Status::InvalidArgument("row-group range begin past end");
+  }
+  uint32_t group_end = std::min(spec.group_end, f.num_row_groups());
+  uint32_t group_begin = std::min(spec.group_begin, group_end);
+
+  std::vector<StreamUnit> units;
+  units.reserve(group_end - group_begin);
+  for (uint32_t g = group_begin; g < group_end; ++g) {
+    if (!plan.residual.empty() &&
+        GroupProvablyEmpty(f, g, plan, spec.read_options)) {
+      if (spec.stats != nullptr) spec.stats->groups_pruned += 1;
+      continue;
+    }
+    StreamUnit unit;
+    unit.reader = reader;
+    unit.local_group = g;
+    unit.global_group = g;
+    units.push_back(std::move(unit));
+  }
+
+  BatchStreamOptions options;
+  options.fetch_columns = std::move(plan.fetch_columns);
+  options.num_projected = plan.num_projected;
+  options.fetch_records.reserve(options.fetch_columns.size());
+  for (uint32_t c : options.fetch_columns) {
+    options.fetch_records.push_back(f.column_record(c));
+  }
+  options.residual = std::move(plan.residual);
+  options.batch_rows = spec.batch_rows;
+  options.threads = spec.threads;
+  options.prefetch_depth = spec.prefetch_depth;
+  options.group_begin = group_begin;
+  options.read_options = spec.read_options;
+  options.pool = spec.pool;
+  options.stats = spec.stats;
+  return BatchStream::Create(std::move(units), std::move(options));
+}
+
+// ------------------------------------------------------------- the stream
+
+/// One row group inside the in-flight window.
+struct BatchStream::InFlight {
+  const StreamUnit* unit = nullptr;
+  /// Fetch-slot outputs; preset slots are filled at submission, missing
+  /// slots receive their decode after the join.
+  std::vector<ColumnVector> out;
+  std::vector<uint8_t> preset;
+  /// Leaf columns actually fetched (missing from the preset) and the
+  /// fetch slots they land in. Shared because read tasks outlive the
+  /// submission frame.
+  std::shared_ptr<const std::vector<uint32_t>> missing_cols;
+  std::vector<size_t> missing_slots;
+  /// Decode target of the missing columns (user_index coordinates).
+  std::vector<ColumnVector> temp;
+
+  // Guarded by the stream's mu_:
+  size_t pending = 0;
+  size_t first_error_read = SIZE_MAX;
+  Status error;
+};
+
+Result<std::unique_ptr<BatchStream>> BatchStream::Create(
+    std::vector<StreamUnit> units, BatchStreamOptions options) {
+  if (options.num_projected > options.fetch_columns.size() ||
+      options.fetch_records.size() != options.fetch_columns.size()) {
+    return Status::InvalidArgument("batch stream fetch set inconsistent");
+  }
+  for (const ResolvedFilter& f : options.residual) {
+    if (f.fetch_slot >= options.fetch_columns.size()) {
+      return Status::InvalidArgument("residual filter slot out of range");
+    }
+  }
+  for (const StreamUnit& u : units) {
+    if (u.reader == nullptr) {
+      return Status::InvalidArgument("stream unit has no reader");
+    }
+  }
+  return std::unique_ptr<BatchStream>(
+      new BatchStream(std::move(units), std::move(options)));
+}
+
+BatchStream::BatchStream(std::vector<StreamUnit> units,
+                         BatchStreamOptions options)
+    : options_(std::move(options)), units_(std::move(units)) {
+  projected_columns_.assign(
+      options_.fetch_columns.begin(),
+      options_.fetch_columns.begin() + options_.num_projected);
+  projected_records_.assign(
+      options_.fetch_records.begin(),
+      options_.fetch_records.begin() + options_.num_projected);
+
+  ThreadPool* pool = options_.pool;
+  if (pool == nullptr && options_.threads > 1) {
+    owned_pool_ = std::make_unique<ThreadPool>(options_.threads);
+    pool = owned_pool_.get();
+  }
+  size_t workers =
+      pool != nullptr ? std::max<size_t>(1, pool->num_threads()) : 1;
+  // Serial streams hold one group at a time; parallel streams decode
+  // ahead by the prefetch window so consumers never starve the pool.
+  group_window_ = (pool == nullptr || pool->num_threads() <= 1)
+                      ? 1
+                      : workers + options_.prefetch_depth;
+  tasks_ = std::make_unique<TaskGroup>(
+      pool, workers * (1 + options_.prefetch_depth));
+}
+
+BatchStream::~BatchStream() {
+  // tasks_ (declared last) joins first, so no read task can touch an
+  // InFlight slot while the deque tears down.
+}
+
+Status BatchStream::SubmitNext() {
+  const StreamUnit& unit = units_[next_submit_];
+  auto fl = std::make_unique<InFlight>();
+  fl->unit = &unit;
+  const size_t nfetch = options_.fetch_columns.size();
+  fl->out.resize(nfetch);
+  fl->preset.assign(nfetch, 0);
+  if (unit.prepare) unit.prepare(&fl->out, &fl->preset);
+
+  auto missing = std::make_shared<std::vector<uint32_t>>();
+  for (size_t slot = 0; slot < nfetch; ++slot) {
+    if (fl->preset[slot]) continue;
+    fl->missing_slots.push_back(slot);
+    missing->push_back(options_.fetch_columns[slot]);
+  }
+  fl->missing_cols = missing;
+  if (missing->empty()) {
+    // Fully served from cache/back-fill: no I/O at all.
+    in_flight_.push_back(std::move(fl));
+    return Status::OK();
+  }
+
+  BULLION_ASSIGN_OR_RETURN(
+      ReadPlan plan, unit.reader->PlanProjection(unit.local_group, *missing,
+                                                 options_.read_options));
+  fl->temp.resize(missing->size());
+  auto shared_plan = std::make_shared<const ReadPlan>(std::move(plan));
+  fl->pending = shared_plan->reads.size();
+  InFlight* p = fl.get();
+  in_flight_.push_back(std::move(fl));
+  const StreamUnit* u = &unit;
+  const ReadOptions& ropts = options_.read_options;
+  for (size_t i = 0; i < shared_plan->reads.size(); ++i) {
+    // Submit may block while the read window is full — that is the
+    // byte-level backpressure bounding the stream's outstanding I/O.
+    tasks_->Submit([this, p, u, missing, shared_plan, ropts, i] {
+      const CoalescedRead& read = shared_plan->reads[i];
+      Status st = u->reader->ExecuteCoalescedRead(u->local_group, *missing,
+                                                  read, ropts, &p->temp);
+      if (st.ok() && u->publish) u->publish(*missing, read, &p->temp);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!st.ok() && i < p->first_error_read) {
+          p->first_error_read = i;
+          p->error = st;
+        }
+        --p->pending;
+      }
+      cv_.notify_all();
+      return st;
+    });
+  }
+  return Status::OK();
+}
+
+Status BatchStream::EmitBatches(InFlight* fl) {
+  // Hand the fetched slots their decodes (preset slots already hold
+  // theirs).
+  for (size_t j = 0; j < fl->missing_slots.size(); ++j) {
+    fl->out[fl->missing_slots[j]] = std::move(fl->temp[j]);
+  }
+  const size_t rows = fl->out.empty() ? 0 : fl->out[0].num_rows();
+
+  std::vector<uint32_t> selection;
+  bool filtered = false;
+  if (!options_.residual.empty()) {
+    std::vector<uint8_t> mask(rows, 1);
+    for (const ResolvedFilter& f : options_.residual) {
+      BULLION_RETURN_NOT_OK(
+          UpdatePredicateMask(fl->out[f.fetch_slot], f.op, f.value, &mask));
+    }
+    selection = SelectionFromMask(mask);
+    filtered = selection.size() != rows;
+  }
+
+  // Project the surviving rows.
+  std::vector<ColumnVector> proj;
+  proj.reserve(options_.num_projected);
+  for (size_t slot = 0; slot < options_.num_projected; ++slot) {
+    if (filtered) {
+      BULLION_ASSIGN_OR_RETURN(ColumnVector kept,
+                               fl->out[slot].Permute(selection));
+      proj.push_back(std::move(kept));
+    } else {
+      proj.push_back(std::move(fl->out[slot]));
+    }
+  }
+  const size_t out_rows = filtered ? selection.size() : rows;
+
+  if (options_.batch_rows == 0 || out_rows <= options_.batch_rows) {
+    // One batch covers the group (batch_rows == 0 is the one-batch-
+    // per-row-group contract the materializing wrappers reconstruct
+    // their group arrays from, emitted even at zero rows; a bounded
+    // batch that fits is the same thing): hand the columns over
+    // without re-copying. Exception: bounded streams drop empty
+    // groups — only the unbounded wrapper contract needs them.
+    if (options_.batch_rows != 0 && out_rows == 0) return Status::OK();
+    RowBatch batch;
+    batch.group = fl->unit->global_group;
+    batch.columns = std::move(proj);
+    ready_.push_back(std::move(batch));
+    return Status::OK();
+  }
+  // Bounded batches: slice the group's survivors.
+  for (size_t b = 0; b < out_rows; b += options_.batch_rows) {
+    size_t e = std::min(out_rows, b + static_cast<size_t>(options_.batch_rows));
+    std::vector<uint32_t> slice(e - b);
+    for (size_t r = b; r < e; ++r) slice[r - b] = static_cast<uint32_t>(r);
+    RowBatch batch;
+    batch.group = fl->unit->global_group;
+    batch.columns.reserve(proj.size());
+    for (const ColumnVector& col : proj) {
+      BULLION_ASSIGN_OR_RETURN(ColumnVector part, col.Permute(slice));
+      batch.columns.push_back(std::move(part));
+    }
+    ready_.push_back(std::move(batch));
+  }
+  return Status::OK();
+}
+
+Result<bool> BatchStream::Next(RowBatch* out) {
+  BULLION_RETURN_NOT_OK(status_);
+  for (;;) {
+    if (!ready_.empty()) {
+      *out = std::move(ready_.front());
+      ready_.pop_front();
+      if (options_.stats != nullptr) options_.stats->batches_emitted += 1;
+      return true;
+    }
+    // Keep the group window full before blocking on the head.
+    while (next_submit_ < units_.size() &&
+           in_flight_.size() < group_window_) {
+      Status st = SubmitNext();
+      ++next_submit_;
+      if (!st.ok()) {
+        status_ = st;
+        return st;
+      }
+    }
+    if (in_flight_.empty()) return false;  // fully drained
+
+    InFlight* head = in_flight_.front().get();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return head->pending == 0; });
+      if (!head->error.ok()) status_ = head->error;
+    }
+    if (!status_.ok()) return status_;
+    Status st = EmitBatches(head);
+    in_flight_.pop_front();
+    if (!st.ok()) {
+      status_ = st;
+      return st;
+    }
+  }
+}
+
+}  // namespace bullion

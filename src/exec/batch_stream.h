@@ -1,0 +1,254 @@
+// BatchStream: the pull-based streaming scan engine behind the unified
+// bullion::Scan() front door (core/scan.h).
+//
+// A scan is a sequence of StreamUnits — one per surviving row group, in
+// table order. The stream keeps a bounded window of units in flight:
+// each unit's coalesced reads fan out across the shared ThreadPool
+// through one TaskGroup (the existing exec in-flight window, so a
+// stream at T threads keeps at most T*(1+prefetch) reads outstanding no
+// matter how many groups remain), decoded groups are handed off
+// strictly in submission order, residual predicates are applied
+// post-decode, and Next() yields bounded RowBatches. Memory is bounded
+// by the group window — a terabyte table streams through a fixed
+// footprint instead of materializing the whole projection.
+//
+// Predicate pushdown happens in two places:
+//   prune    before a unit is ever created, the scan planner tests each
+//            row group's footer zone maps (and each shard's aggregated
+//            manifest stats) against the filters; groups that provably
+//            match nothing are skipped before any pread
+//            (IoStats.groups_pruned / shards_pruned).
+//   residual surviving groups are decoded and filtered row-by-row
+//            (format/column_vector.h), so results are exact even when
+//            zone maps are absent (version-1 footers) or imprecise.
+//
+// With no filters and batch_rows == 0 the stream emits exactly one
+// batch per row group, each the untouched decode of that group — the
+// legacy materializing front doors (exec::ScanBuilder,
+// dataset::DatasetScanBuilder) drain exactly that stream and are
+// byte-identical to their pre-streaming behavior at any thread count.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "exec/thread_pool.h"
+#include "format/column_vector.h"
+#include "format/reader.h"
+#include "io/io_stats.h"
+#include "io/predicate.h"
+
+namespace bullion {
+
+/// \brief One bounded unit of scan output: the projected columns of a
+/// run of rows from a single row group.
+struct RowBatch {
+  /// Global row-group index the rows came from (dataset coordinates
+  /// for sharded scans).
+  uint32_t group = 0;
+  /// One ColumnVector per projected column, in projection order.
+  std::vector<ColumnVector> columns;
+
+  size_t num_rows() const {
+    return columns.empty() ? 0 : columns[0].num_rows();
+  }
+};
+
+/// \brief A filter bound to a slot of the stream's fetch set.
+struct ResolvedFilter {
+  size_t fetch_slot = 0;
+  CompareOp op = CompareOp::kEq;
+  FilterValue value;
+};
+
+/// \brief One row group's worth of streamable work, prepared by the
+/// scan planner (exec::OpenScanStream / dataset::OpenScanStream).
+struct StreamUnit {
+  const TableReader* reader = nullptr;
+  /// Row group on `reader` (shard-local for dataset scans).
+  uint32_t local_group = 0;
+  /// The group's index in the source's global numbering (stamped on
+  /// emitted batches).
+  uint32_t global_group = 0;
+  /// Runs on the consumer thread as the unit enters the in-flight
+  /// window. May fill `(*out)[slot]` (fetch coordinates) and mark
+  /// `(*preset)[slot] = 1` for slots served without I/O — decoded-chunk
+  /// cache hits and schema-evolution null back-fill. Both vectors are
+  /// pre-sized to the fetch set.
+  std::function<void(std::vector<ColumnVector>* out,
+                     std::vector<uint8_t>* preset)>
+      prepare;
+  /// Runs on a worker thread after one coalesced read fetched and
+  /// decoded successfully. `missing` are the fetched leaf columns
+  /// (indexed by the read's chunk user_index values), `done` their
+  /// decode slots; the hook may only touch slots named by
+  /// `read.chunks[].user_index`. The dataset layer publishes freshly
+  /// decoded chunks into its cache here, mid-stream.
+  std::function<void(const std::vector<uint32_t>& missing,
+                     const CoalescedRead& read,
+                     std::vector<ColumnVector>* done)>
+      publish;
+};
+
+/// \brief Everything a BatchStream needs beyond its units.
+struct BatchStreamOptions {
+  /// Leaf columns to fetch per group: the projection first, then any
+  /// filter-only columns (fetched for evaluation, never emitted).
+  std::vector<uint32_t> fetch_columns;
+  /// How many leading fetch slots are the projection.
+  size_t num_projected = 0;
+  /// Leaf type of each fetch slot (schema of the stream even when no
+  /// unit survives pruning).
+  std::vector<ColumnRecord> fetch_records;
+  /// Residual predicates, ANDed row-wise after decode.
+  std::vector<ResolvedFilter> residual;
+  /// Max rows per emitted batch; 0 = one batch per row group (the
+  /// materializing wrappers rely on this 1:1 mapping).
+  uint64_t batch_rows = 0;
+  /// Worker threads when no external pool is given (<= 1 streams
+  /// serially on the consumer thread).
+  size_t threads = 1;
+  /// Extra coalesced reads in flight per worker.
+  size_t prefetch_depth = 2;
+  /// First selected global row group after clamping (reporting only).
+  uint32_t group_begin = 0;
+  ReadOptions read_options;
+  /// External pool to share; null spins up `threads` private workers
+  /// for the stream's lifetime.
+  ThreadPool* pool = nullptr;
+  /// Receives batches_emitted (pruning counters are bumped by the scan
+  /// planner that builds the units).
+  IoStats* stats = nullptr;
+};
+
+/// \brief Pull-based stream of RowBatches over a prepared unit list.
+///
+/// Not thread-safe: one consumer pulls. The readers behind the units
+/// must outlive the stream. Dropping the stream early joins its
+/// in-flight work before returning.
+class BatchStream {
+ public:
+  static Result<std::unique_ptr<BatchStream>> Create(
+      std::vector<StreamUnit> units, BatchStreamOptions options);
+
+  ~BatchStream();
+  BatchStream(const BatchStream&) = delete;
+  BatchStream& operator=(const BatchStream&) = delete;
+
+  /// Pulls the next batch into `*out`. Returns true on a batch, false
+  /// at end of stream, or the first error any unit hit (in unit order;
+  /// subsequent calls repeat it).
+  Result<bool> Next(RowBatch* out);
+
+  /// Projected leaf column indices (what emitted batches contain).
+  const std::vector<uint32_t>& columns() const { return projected_columns_; }
+  /// Leaf type of each projected slot.
+  const std::vector<ColumnRecord>& column_records() const {
+    return projected_records_;
+  }
+  /// First selected global row group (after range clamping).
+  uint32_t group_begin() const { return options_.group_begin; }
+  /// Units (surviving row groups) this stream will scan in total.
+  size_t num_units() const { return units_.size(); }
+
+ private:
+  struct InFlight;
+
+  BatchStream(std::vector<StreamUnit> units, BatchStreamOptions options);
+
+  /// Moves units_[next_submit_] into the in-flight window: runs its
+  /// prepare hook, plans its missing columns, and fans the reads out.
+  /// May block on the read window (backpressure).
+  Status SubmitNext();
+  /// Applies residual filters to a completed group and appends its
+  /// batches to ready_.
+  Status EmitBatches(InFlight* fl);
+
+  BatchStreamOptions options_;
+  std::vector<StreamUnit> units_;
+  std::vector<uint32_t> projected_columns_;
+  std::vector<ColumnRecord> projected_records_;
+  size_t group_window_ = 1;
+  size_t next_submit_ = 0;
+  Status status_;  // sticky first failure
+
+  std::unique_ptr<ThreadPool> owned_pool_;
+
+  std::mutex mu_;  // guards every InFlight's pending/error fields
+  std::condition_variable cv_;
+  std::deque<RowBatch> ready_;
+  std::deque<std::unique_ptr<InFlight>> in_flight_;
+  /// Last member: its destructor joins outstanding tasks before the
+  /// InFlight slots (and the owned pool) go away.
+  std::unique_ptr<TaskGroup> tasks_;
+};
+
+/// \brief Spec for a streaming scan — the superset of the legacy
+/// ScanSpec / DatasetScanSpec shapes plus filters and batch sizing.
+struct ScanStreamSpec {
+  /// Leaf columns to project, by name (resolved against the footer) or
+  /// by index (takes precedence). Both empty = every leaf.
+  std::vector<std::string> column_names;
+  std::vector<uint32_t> columns;
+  /// Predicates, ANDed. Pruning uses footer/manifest zone maps;
+  /// residual evaluation makes the rows exact.
+  std::vector<Filter> filters;
+  /// Row-group range [group_begin, group_end), clamped to the source.
+  uint32_t group_begin = 0;
+  uint32_t group_end = UINT32_MAX;
+  size_t threads = 1;
+  size_t prefetch_depth = 2;
+  /// Max rows per emitted batch (0 = one batch per row group).
+  uint64_t batch_rows = 0;
+  ReadOptions read_options;
+  /// Shared pool (overrides `threads`); null = private workers.
+  ThreadPool* pool = nullptr;
+  /// Receives groups_pruned / shards_pruned / batches_emitted.
+  IoStats* stats = nullptr;
+};
+
+/// Resolves a projection spec against a footer: explicit indices win,
+/// then names (clear NotFound for unknown ones), then all leaves.
+/// Shared by every scan front door so their validation agrees.
+Result<std::vector<uint32_t>> ResolveProjection(
+    const FooterView& footer, const std::vector<uint32_t>& indices,
+    const std::vector<std::string>& names);
+
+/// \brief Projection + filters resolved into the stream's fetch set.
+struct StreamColumnPlan {
+  std::vector<uint32_t> fetch_columns;
+  size_t num_projected = 0;
+  std::vector<ResolvedFilter> residual;
+};
+
+/// Resolves spec.columns/column_names/filters against `footer`:
+/// projection first, filter-only columns appended, filters bound to
+/// fetch slots. Rejects predicates on unknown names and on column
+/// types without an order (binary, lists, raw-bit-pattern floats).
+Result<StreamColumnPlan> PlanStreamColumns(const FooterView& footer,
+                                           const ScanStreamSpec& spec);
+
+/// True if `footer`'s zone maps prove no row of group `local_group`
+/// can satisfy every residual filter. Never prunes scans that keep
+/// deleted rows (their placeholder values are not covered by the
+/// recorded bounds).
+bool GroupProvablyEmpty(const FooterView& footer, uint32_t local_group,
+                        const StreamColumnPlan& plan,
+                        const ReadOptions& read_options);
+
+/// Opens a streaming scan over one Bullion file: resolves the spec,
+/// prunes row groups against footer zone maps, and returns the stream.
+/// The reader must outlive it.
+Result<std::unique_ptr<BatchStream>> OpenScanStream(
+    const TableReader* reader, const ScanStreamSpec& spec);
+
+}  // namespace bullion

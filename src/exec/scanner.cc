@@ -5,35 +5,7 @@
 
 namespace bullion {
 
-Status SubmitGroupScan(
-    const TableReader* reader, uint32_t g,
-    std::shared_ptr<const std::vector<uint32_t>> columns,
-    const ReadOptions& options, TaskGroup* tasks,
-    std::vector<ColumnVector>* out,
-    std::function<void(const CoalescedRead&, std::vector<ColumnVector>*)>
-        on_read_done) {
-  // Plan stage runs on the calling thread: pure footer arithmetic.
-  BULLION_ASSIGN_OR_RETURN(ReadPlan plan,
-                           reader->PlanProjection(g, *columns, options));
-  out->clear();
-  out->resize(columns->size());
-  // The plan is shared by the read tasks, which may still be running
-  // after this frame returns (the caller joins via tasks->Wait()).
-  auto shared_plan = std::make_shared<const ReadPlan>(std::move(plan));
-  for (size_t i = 0; i < shared_plan->reads.size(); ++i) {
-    tasks->Submit([reader, g, columns, options, shared_plan, i, out,
-                   on_read_done] {
-      const CoalescedRead& read = shared_plan->reads[i];
-      BULLION_RETURN_NOT_OK(
-          reader->ExecuteCoalescedRead(g, *columns, read, options, out));
-      if (on_read_done) on_read_done(read, out);
-      return Status::OK();
-    });
-  }
-  return Status::OK();
-}
-
-uint64_t ScanResult::num_rows() const {
+uint64_t MaterializedScanResult::num_rows() const {
   uint64_t rows = 0;
   for (const auto& group : groups) {
     if (!group.empty()) rows += group[0].num_rows();
@@ -41,89 +13,50 @@ uint64_t ScanResult::num_rows() const {
   return rows;
 }
 
-Result<ColumnVector> ScanResult::ConcatColumn(size_t slot) const {
+Result<ColumnVector> MaterializedScanResult::ConcatColumn(size_t slot) const {
   if (slot >= columns.size()) {
     return Status::InvalidArgument("projection slot out of range");
   }
-  ColumnVector out(static_cast<PhysicalType>(column_records_[slot].physical),
-                   column_records_[slot].list_depth);
+  ColumnVector out(static_cast<PhysicalType>(column_records[slot].physical),
+                   column_records[slot].list_depth);
   for (const auto& group : groups) {
     out.AppendAllFrom(group[slot]);
   }
   return out;
 }
 
-Result<ScanResult> ParallelTableScanner::Execute() const {
-  const FooterView& f = reader_->footer();
-
-  ScanResult result;
-  if (!spec_.columns.empty()) {
-    result.columns = spec_.columns;
-    for (uint32_t c : result.columns) {
-      if (c >= f.num_columns()) {
-        return Status::InvalidArgument("column out of range");
-      }
-    }
-  } else if (!spec_.column_names.empty()) {
-    BULLION_ASSIGN_OR_RETURN(result.columns,
-                             reader_->ResolveColumns(spec_.column_names));
-  } else {
-    result.columns.resize(f.num_columns());
-    for (uint32_t c = 0; c < f.num_columns(); ++c) result.columns[c] = c;
-  }
-  result.column_records_.reserve(result.columns.size());
-  for (uint32_t c : result.columns) {
-    result.column_records_.push_back(f.column_record(c));
-  }
-
-  if (spec_.group_begin > spec_.group_end) {
-    return Status::InvalidArgument("row-group range begin past end");
-  }
-  // Both ends clamp to the file's group count, so a well-formed range
-  // that lies past the last group is an empty scan, not an error.
-  uint32_t group_end = std::min(spec_.group_end, f.num_row_groups());
-  result.group_begin = std::min(spec_.group_begin, group_end);
-  result.groups.resize(group_end - result.group_begin);
-
-  Status st;
-  if (pool_ != nullptr) {
-    st = pool_->num_threads() > 1 ? ExecuteParallel(pool_, &result)
-                                  : ExecuteSerial(&result);
-  } else if (spec_.threads > 1) {
-    ThreadPool pool(spec_.threads);
-    st = ExecuteParallel(&pool, &result);
-  } else {
-    st = ExecuteSerial(&result);
-  }
-  BULLION_RETURN_NOT_OK(st);
-  return result;
-}
-
-Status ParallelTableScanner::ExecuteSerial(ScanResult* result) const {
-  for (size_t gi = 0; gi < result->groups.size(); ++gi) {
-    uint32_t g = result->group_begin + static_cast<uint32_t>(gi);
-    BULLION_RETURN_NOT_OK(reader_->ReadProjection(
-        g, result->columns, spec_.read_options, &result->groups[gi]));
+Status MaterializedScanResult::DrainStream(BatchStream* stream) {
+  columns = stream->columns();
+  column_records = stream->column_records();
+  group_begin = stream->group_begin();
+  groups.clear();
+  groups.reserve(stream->num_units());
+  RowBatch batch;
+  for (;;) {
+    BULLION_ASSIGN_OR_RETURN(bool more, stream->Next(&batch));
+    if (!more) break;
+    groups.push_back(std::move(batch.columns));
   }
   return Status::OK();
 }
 
-Status ParallelTableScanner::ExecuteParallel(ThreadPool* pool,
-                                             ScanResult* result) const {
-  // Fetch + decode stages, parallel: one task per coalesced read.
-  // Tasks write disjoint (group, slot) cells, so no locking is needed
-  // on the output and the result is deterministic.
-  auto columns =
-      std::make_shared<const std::vector<uint32_t>>(result->columns);
-  size_t window = pool->num_threads() * (1 + spec_.prefetch_depth);
-  TaskGroup tasks(pool, window);
-  for (size_t gi = 0; gi < result->groups.size(); ++gi) {
-    uint32_t g = result->group_begin + static_cast<uint32_t>(gi);
-    BULLION_RETURN_NOT_OK(SubmitGroupScan(reader_, g, columns,
-                                          spec_.read_options, &tasks,
-                                          &result->groups[gi]));
-  }
-  return tasks.Wait();
+Result<ScanResult> ParallelTableScanner::Execute() const {
+  ScanStreamSpec sspec;
+  sspec.column_names = spec_.column_names;
+  sspec.columns = spec_.columns;
+  sspec.group_begin = spec_.group_begin;
+  sspec.group_end = spec_.group_end;
+  sspec.threads = spec_.threads;
+  sspec.prefetch_depth = spec_.prefetch_depth;
+  sspec.read_options = spec_.read_options;
+  sspec.pool = pool_;
+  // No filters and batch_rows == 0: the stream emits exactly one batch
+  // per row group, byte-identical to the historical materializing scan.
+  BULLION_ASSIGN_OR_RETURN(std::unique_ptr<BatchStream> stream,
+                           OpenScanStream(reader_, sspec));
+  ScanResult result;
+  BULLION_RETURN_NOT_OK(result.DrainStream(stream.get()));
+  return result;
 }
 
 }  // namespace bullion

@@ -1,13 +1,14 @@
-// ParallelTableScanner / ScanBuilder: the parallel scan execution
-// layer over TableReader's plan → fetch → decode stages.
+// ParallelTableScanner / ScanBuilder: the legacy materializing front
+// door over the streaming scan engine (exec/batch_stream.h).
 //
-// The scanner plans every selected row group up front (pure metadata
-// work against the flat footer), then fans the planned coalesced reads
-// out across a ThreadPool — each task preads one coalesced range and
-// decodes the chunks it covers into that group's projection slots.
-// Tasks touch disjoint output slots, so the result is byte-identical
-// to the serial TableReader path regardless of scheduling; with
-// threads <= 1 the scanner literally runs the serial path.
+// Scan() opens a BatchStream at row-group batch granularity and drains
+// it into a ScanResult — the stream fans each group's coalesced reads
+// across a ThreadPool behind one in-flight window, tasks touch
+// disjoint output slots, and the drained result is byte-identical to
+// the serial TableReader path regardless of scheduling; with
+// threads <= 1 the stream runs reads inline on the calling thread.
+// New code that wants bounded memory or predicate pushdown should use
+// the unified streaming front door (core/scan.h) directly.
 //
 // Fluent entry point:
 //
@@ -30,37 +31,12 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "exec/batch_stream.h"
 #include "exec/thread_pool.h"
 #include "format/column_vector.h"
 #include "format/reader.h"
 
 namespace bullion {
-
-/// Plans row group `g`'s projection and fans its coalesced reads out as
-/// tasks on `tasks` — the shared-pool scan entry point. Multiple calls
-/// (for different groups, or different readers/shards) may target one
-/// TaskGroup, so a whole dataset shares a single in-flight window and
-/// thread pool.
-///
-/// `columns` is shared because the submitted tasks outlive this call's
-/// frame. `out` is resized to one slot per projection column and must
-/// stay valid until `tasks->Wait()` returns; distinct reads write
-/// distinct slots, so the decoded output is byte-identical to the
-/// serial path regardless of scheduling.
-///
-/// `on_read_done` (optional) runs on the worker thread after one
-/// coalesced read has fetched and decoded successfully. It may only
-/// touch the output slots named by that read's `chunks[].user_index` —
-/// other slots may still be written concurrently by sibling tasks. The
-/// dataset layer uses this hook to publish freshly decoded chunks into
-/// the DecodedChunkCache while the scan is still in flight.
-Status SubmitGroupScan(
-    const TableReader* reader, uint32_t g,
-    std::shared_ptr<const std::vector<uint32_t>> columns,
-    const ReadOptions& options, TaskGroup* tasks,
-    std::vector<ColumnVector>* out,
-    std::function<void(const CoalescedRead&, std::vector<ColumnVector>*)>
-        on_read_done = nullptr);
 
 /// \brief Everything a scan needs; filled in by ScanBuilder.
 struct ScanSpec {
@@ -81,14 +57,21 @@ struct ScanSpec {
   ReadOptions read_options;
 };
 
-/// \brief Decoded output of a scan: one vector of ColumnVectors per
-/// selected row group, columns in projection order.
-struct ScanResult {
+/// \brief Fully-materialized output of a scan: one vector of
+/// ColumnVectors per selected row group, columns in projection order.
+///
+/// Shared shape of the single-file ScanResult and the dataset
+/// DatasetScanResult — both are produced by draining a BatchStream
+/// (exec/batch_stream.h) at row-group batch granularity.
+struct MaterializedScanResult {
   /// Resolved leaf indices, in projection order.
   std::vector<uint32_t> columns;
   uint32_t group_begin = 0;
   /// groups[g - group_begin][slot] — decoded chunk of columns[slot].
   std::vector<std::vector<ColumnVector>> groups;
+  /// Leaf type of each projection slot (valid even with zero groups);
+  /// filled by the executor.
+  std::vector<ColumnRecord> column_records;
 
   size_t num_groups() const { return groups.size(); }
   uint64_t num_rows() const;
@@ -97,17 +80,22 @@ struct ScanResult {
   /// order — identical content to the serial whole-column read.
   Result<ColumnVector> ConcatColumn(size_t slot) const;
 
- private:
-  friend class ParallelTableScanner;
-  /// Leaf type of each projection slot (valid even with zero groups).
-  std::vector<ColumnRecord> column_records_;
+  /// Drains `stream` into this result, one row group per batch. The
+  /// legacy materializing front doors are this loop.
+  Status DrainStream(BatchStream* stream);
 };
+
+/// \brief Decoded output of a single-file scan (see the base).
+struct ScanResult : MaterializedScanResult {};
 
 /// \brief Executes a ScanSpec against a TableReader.
 ///
-/// The reader must outlive the scanner. An external pool can be shared
-/// across scans (e.g. one pool per process); otherwise the scanner
-/// spins up its own `spec.threads` workers for the call.
+/// Since the streaming redesign this is a thin wrapper: it opens a
+/// BatchStream over the same spec (no filters, row-group batches) and
+/// drains it — byte-identical to the historical materializing scan at
+/// any thread count. The reader must outlive the scanner. An external
+/// pool can be shared across scans; otherwise the stream spins up
+/// `spec.threads` workers for the call.
 class ParallelTableScanner {
  public:
   ParallelTableScanner(const TableReader* reader, ScanSpec spec,
@@ -117,9 +105,6 @@ class ParallelTableScanner {
   Result<ScanResult> Execute() const;
 
  private:
-  Status ExecuteSerial(ScanResult* result) const;
-  Status ExecuteParallel(ThreadPool* pool, ScanResult* result) const;
-
   const TableReader* reader_;
   ScanSpec spec_;
   ThreadPool* pool_;

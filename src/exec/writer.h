@@ -44,7 +44,8 @@
 namespace bullion {
 
 /// Fans the encode tasks of one staged row group out on `tasks` — the
-/// shared-pool write entry point, mirroring SubmitGroupScan. Multiple
+/// shared-pool write entry point, the write-side twin of the streaming
+/// scan's per-group read fan-out (exec/batch_stream.cc). Multiple
 /// calls (for different groups, or different writers/shards) may
 /// target one TaskGroup or pool, so a whole sharded ingest shares a
 /// single thread pool.
@@ -93,6 +94,11 @@ class ParallelTableWriter {
   uint64_t num_rows() const { return writer_.num_rows(); }
   /// Row groups currently staged or encoding, not yet committed.
   size_t pending_groups() const { return pending_.size(); }
+  /// Per-column zone maps aggregated over the committed groups (see
+  /// TableWriter::AggregatedColumnStats).
+  std::vector<ZoneMap> AggregatedColumnStats() const {
+    return writer_.AggregatedColumnStats();
+  }
 
  private:
   struct PendingGroup {

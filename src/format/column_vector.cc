@@ -224,6 +224,72 @@ void ColumnVector::AppendAllFrom(const ColumnVector& src) {
   }
 }
 
+namespace {
+
+template <typename T>
+bool CompareRow(T a, CompareOp op, T b) {
+  switch (op) {
+    case CompareOp::kEq:
+      return a == b;
+    case CompareOp::kNe:
+      return a != b;
+    case CompareOp::kLt:
+      return a < b;
+    case CompareOp::kLe:
+      return a <= b;
+    case CompareOp::kGt:
+      return a > b;
+    case CompareOp::kGe:
+      return a >= b;
+  }
+  return false;
+}
+
+}  // namespace
+
+Status UpdatePredicateMask(const ColumnVector& col, CompareOp op,
+                           const FilterValue& value,
+                           std::vector<uint8_t>* mask) {
+  if (col.list_depth() != 0) {
+    return Status::InvalidArgument("predicate on a list column");
+  }
+  if (mask->size() != col.num_rows()) {
+    return Status::InvalidArgument("predicate mask size mismatch");
+  }
+  if (!HasPredicateOrder(col.physical())) {
+    return Status::InvalidArgument(
+        "predicate on unsupported column type (binary or raw-bit float)");
+  }
+  const bool col_is_int = col.domain() == ValueDomain::kInt;
+  const size_t n = mask->size();
+  if (col_is_int && !value.is_real) {
+    const std::vector<int64_t>& v = col.int_values();
+    for (size_t r = 0; r < n; ++r) {
+      if (!(*mask)[r]) continue;
+      if (col.IsNull(r) || !CompareRow<int64_t>(v[r], op, value.i)) {
+        (*mask)[r] = 0;
+      }
+    }
+    return Status::OK();
+  }
+  const double c = value.AsReal();
+  for (size_t r = 0; r < n; ++r) {
+    if (!(*mask)[r]) continue;
+    double x = col_is_int ? static_cast<double>(col.int_values()[r])
+                          : col.real_values()[r];
+    if (col.IsNull(r) || !CompareRow<double>(x, op, c)) (*mask)[r] = 0;
+  }
+  return Status::OK();
+}
+
+std::vector<uint32_t> SelectionFromMask(const std::vector<uint8_t>& mask) {
+  std::vector<uint32_t> sel;
+  for (size_t r = 0; r < mask.size(); ++r) {
+    if (mask[r]) sel.push_back(static_cast<uint32_t>(r));
+  }
+  return sel;
+}
+
 std::vector<uint32_t> SortPermutationDescending(
     const std::vector<double>& scores) {
   std::vector<uint32_t> perm(scores.size());

@@ -13,6 +13,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "format/schema.h"
+#include "io/predicate.h"
 
 namespace bullion {
 
@@ -200,5 +201,24 @@ class ColumnVector {
 /// Permutation that sorts `scores` descending (highest quality first).
 std::vector<uint32_t> SortPermutationDescending(
     const std::vector<double>& scores);
+
+// -- Residual predicate evaluation (exec/batch_stream.h) -------------------
+//
+// Zone maps prune whole extents; these make the surviving rows exact.
+// The comparison semantics match ZoneMapMayMatch: int column vs int
+// constant compares as int64, anything involving a real promotes to
+// double, and a null row never matches any predicate.
+
+/// ANDs `mask` (one byte per row, 1 = still selected) with
+/// `col <op> value` evaluated per row. `mask->size()` must equal
+/// `col.num_rows()`. Only scalar true-integer and float32/64 columns
+/// are supported — the same set that gets zone maps.
+Status UpdatePredicateMask(const ColumnVector& col, CompareOp op,
+                           const FilterValue& value,
+                           std::vector<uint8_t>* mask);
+
+/// Row indices whose mask byte is 1, in row order — feed to
+/// ColumnVector::Permute to materialize the surviving rows.
+std::vector<uint32_t> SelectionFromMask(const std::vector<uint8_t>& mask);
 
 }  // namespace bullion

@@ -32,6 +32,11 @@ struct CompactionReport {
   uint64_t rows_after = 0;
   uint32_t row_groups_after = 0;
   uint64_t bytes_written = 0;
+  /// Per-column zone maps aggregated over the rewritten file (one per
+  /// leaf; invalid = no stats for that column). Taken from the
+  /// writer's running aggregate so publishers (the dataset compactor)
+  /// need not re-open the file they just wrote.
+  std::vector<ZoneMap> column_stats;
 };
 
 /// Derives WriterOptions matching the source file's physical layout:

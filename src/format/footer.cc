@@ -27,10 +27,11 @@ static_assert(sizeof(FooterHeader) == 40);
 }  // namespace
 
 FooterBuilder::FooterBuilder(const Schema& schema, uint32_t rows_per_page,
-                             ComplianceLevel compliance)
+                             ComplianceLevel compliance, bool with_stats)
     : schema_(schema),
       rows_per_page_(rows_per_page),
-      compliance_(compliance) {}
+      compliance_(compliance),
+      with_stats_(with_stats) {}
 
 void FooterBuilder::BeginRowGroup(uint32_t row_count) {
   uint64_t first =
@@ -43,6 +44,9 @@ void FooterBuilder::BeginRowGroup(uint32_t row_count) {
   size_t num_cols = schema_.num_leaves();
   chunk_offsets_.resize(chunk_offsets_.size() + num_cols, 0);
   chunk_page_start_.resize(chunk_page_start_.size() + num_cols, 0);
+  if (with_stats_) {
+    chunk_stats_.resize(chunk_stats_.size() + num_cols, ChunkStatsRecord{});
+  }
 }
 
 void FooterBuilder::SetChunk(uint32_t group, uint32_t column,
@@ -50,6 +54,13 @@ void FooterBuilder::SetChunk(uint32_t group, uint32_t column,
   size_t idx = static_cast<size_t>(group) * schema_.num_leaves() + column;
   chunk_offsets_[idx] = file_offset;
   chunk_page_start_[idx] = first_page;
+}
+
+void FooterBuilder::SetChunkStats(uint32_t group, uint32_t column,
+                                  const ChunkStatsRecord& stats) {
+  if (!with_stats_) return;
+  size_t idx = static_cast<size_t>(group) * schema_.num_leaves() + column;
+  chunk_stats_[idx] = stats;
 }
 
 uint32_t FooterBuilder::AddPage(uint64_t file_offset, uint32_t row_count,
@@ -118,7 +129,10 @@ Result<Buffer> FooterBuilder::Finish(uint64_t data_end, uint64_t num_rows) {
               return schema_.leaves()[a].name < schema_.leaves()[b].name;
             });
 
-  // Section sizes.
+  // Section sizes. Version-1 footers (stats disabled) stop at the
+  // sorted-name index; version 2 appends the chunk-statistics section.
+  const uint32_t num_sections =
+      with_stats_ ? kNumFooterSections : kNumFooterSectionsV1;
   uint64_t sizes[kNumFooterSections];
   sizes[kSecGroupRowCounts] = 4ull * num_groups;
   sizes[kSecGroupFirstRow] = 8ull * num_groups;
@@ -135,12 +149,15 @@ Result<Buffer> FooterBuilder::Finish(uint64_t data_end, uint64_t num_rows) {
   sizes[kSecColumnRecords] = sizeof(ColumnRecord) * 1ull * num_cols;
   sizes[kSecNameBlob] = name_blob.size();
   sizes[kSecNameSortedIdx] = 4ull * num_cols;
+  if (with_stats_) {
+    sizes[kSecChunkStats] = sizeof(ChunkStatsRecord) * chunk_stats_.size();
+  }
 
   uint64_t dir_offset = sizeof(FooterHeader);
-  uint64_t payload_offset = dir_offset + 8ull * kNumFooterSections;
+  uint64_t payload_offset = dir_offset + 8ull * num_sections;
   uint64_t section_offsets[kNumFooterSections];
   uint64_t cur = payload_offset;
-  for (uint32_t s = 0; s < kNumFooterSections; ++s) {
+  for (uint32_t s = 0; s < num_sections; ++s) {
     // 8-byte alignment so u64 loads are aligned.
     cur = (cur + 7) & ~7ull;
     section_offsets[s] = cur;
@@ -153,7 +170,7 @@ Result<Buffer> FooterBuilder::Finish(uint64_t data_end, uint64_t num_rows) {
   std::memset(base, 0, footer_size);
 
   FooterHeader header{};
-  header.version = kFooterVersion;
+  header.version = with_stats_ ? kFooterVersion : kFooterVersionV1;
   header.num_columns = num_cols;
   header.num_row_groups = num_groups;
   header.total_pages = total_pages;
@@ -162,9 +179,10 @@ Result<Buffer> FooterBuilder::Finish(uint64_t data_end, uint64_t num_rows) {
   header.num_rows = num_rows;
   header.data_end = data_end;
   std::memcpy(base, &header, sizeof(header));
-  std::memcpy(base + dir_offset, section_offsets, sizeof(section_offsets));
+  std::memcpy(base + dir_offset, section_offsets, 8ull * num_sections);
 
   auto write_section = [&](uint32_t s, const void* src, uint64_t bytes) {
+    if (bytes == 0) return;  // empty vectors may hand a null data()
     std::memcpy(base + section_offsets[s], src, bytes);
   };
   write_section(kSecGroupRowCounts, group_row_counts_.data(),
@@ -196,19 +214,32 @@ Result<Buffer> FooterBuilder::Finish(uint64_t data_end, uint64_t num_rows) {
   write_section(kSecNameBlob, name_blob.data(), sizes[kSecNameBlob]);
   write_section(kSecNameSortedIdx, sorted_idx.data(),
                 sizes[kSecNameSortedIdx]);
+  if (with_stats_) {
+    write_section(kSecChunkStats, chunk_stats_.data(),
+                  sizes[kSecChunkStats]);
+  }
   return buf;
 }
 
 Result<FooterView> FooterView::Parse(Slice footer,
                                      uint64_t footer_file_offset) {
-  if (footer.size() < sizeof(FooterHeader) + 8 * kNumFooterSections) {
+  if (footer.size() < sizeof(FooterHeader) + 8 * kNumFooterSectionsV1) {
     return Status::Corruption("footer too small");
   }
   FooterHeader header;
   std::memcpy(&header, footer.data(), sizeof(header));
-  if (header.version != kFooterVersion) {
+  if (header.version != kFooterVersionV1 &&
+      header.version != kFooterVersion) {
     return Status::Corruption("unsupported footer version " +
                               std::to_string(header.version));
+  }
+  // Version 1 predates the chunk-statistics section: its directory is
+  // one entry shorter and chunk_zone_map() reports unknown everywhere.
+  const bool has_stats = header.version == kFooterVersion;
+  const uint32_t num_sections =
+      has_stats ? kNumFooterSections : kNumFooterSectionsV1;
+  if (footer.size() < sizeof(FooterHeader) + 8ull * num_sections) {
+    return Status::Corruption("footer too small");
   }
   FooterView view;
   view.footer_ = footer;
@@ -220,8 +251,9 @@ Result<FooterView> FooterView::Parse(Slice footer,
   view.num_rows_ = header.num_rows;
   view.data_end_ = header.data_end;
   view.compliance_ = static_cast<ComplianceLevel>(header.compliance);
+  view.has_chunk_stats_ = has_stats;
   std::memcpy(view.section_offset_, footer.data() + sizeof(FooterHeader),
-              sizeof(view.section_offset_));
+              8ull * num_sections);
 
   // Validate the directory and every section's extent against the
   // footer size, so corrupted headers cannot cause out-of-bounds reads
@@ -231,8 +263,8 @@ Result<FooterView> FooterView::Parse(Slice footer,
       header.total_pages > kSanityCap || header.rows_per_page == 0) {
     return Status::Corruption("footer header counts implausible");
   }
-  uint64_t prev = sizeof(FooterHeader) + 8ull * kNumFooterSections;
-  for (uint32_t s = 0; s < kNumFooterSections; ++s) {
+  uint64_t prev = sizeof(FooterHeader) + 8ull * num_sections;
+  for (uint32_t s = 0; s < num_sections; ++s) {
     if (view.section_offset_[s] > footer.size() ||
         view.section_offset_[s] < prev) {
       return Status::Corruption("footer section offsets out of order");
@@ -258,7 +290,9 @@ Result<FooterView> FooterView::Parse(Slice footer,
   expected[kSecColumnRecords] = sizeof(ColumnRecord) * n_cols;
   expected[kSecNameBlob] = 0;  // validated per record below
   expected[kSecNameSortedIdx] = 4 * n_cols;
-  for (uint32_t s = 0; s < kNumFooterSections; ++s) {
+  expected[kSecChunkStats] =
+      sizeof(ChunkStatsRecord) * n_groups * n_cols;  // ignored for v1
+  for (uint32_t s = 0; s < num_sections; ++s) {
     if (view.section_offset_[s] + expected[s] > footer.size()) {
       return Status::Corruption("footer section exceeds footer size");
     }
@@ -322,6 +356,55 @@ uint64_t FooterView::TotalDeletedCount() const {
   uint64_t deleted = 0;
   for (uint32_t g = 0; g < num_row_groups_; ++g) deleted += DeletedCount(g);
   return deleted;
+}
+
+ZoneMap ZoneMapFromRecord(const ChunkStatsRecord& rec) {
+  ZoneMap zone;
+  if ((rec.flags & ChunkStatsRecord::kHasMinMax) == 0) return zone;
+  zone.valid = true;
+  zone.is_real = (rec.flags & ChunkStatsRecord::kIsReal) != 0;
+  if (zone.is_real) {
+    std::memcpy(&zone.min_r, &rec.min_bits, 8);
+    std::memcpy(&zone.max_r, &rec.max_bits, 8);
+  } else {
+    std::memcpy(&zone.min_i, &rec.min_bits, 8);
+    std::memcpy(&zone.max_i, &rec.max_bits, 8);
+  }
+  return zone;
+}
+
+ChunkStatsRecord RecordFromZoneMap(const ZoneMap& zone) {
+  ChunkStatsRecord rec;
+  if (!zone.valid) return rec;
+  rec.flags = ChunkStatsRecord::kHasMinMax;
+  if (zone.is_real) {
+    rec.flags |= ChunkStatsRecord::kIsReal;
+    std::memcpy(&rec.min_bits, &zone.min_r, 8);
+    std::memcpy(&rec.max_bits, &zone.max_r, 8);
+  } else {
+    std::memcpy(&rec.min_bits, &zone.min_i, 8);
+    std::memcpy(&rec.max_bits, &zone.max_i, 8);
+  }
+  return rec;
+}
+
+ChunkStatsRecord FooterView::chunk_stats(uint32_t g, uint32_t c) const {
+  ChunkStatsRecord rec;
+  size_t idx = static_cast<size_t>(g) * num_columns_ + c;
+  std::memcpy(&rec,
+              footer_.data() + section_offset_[kSecChunkStats] +
+                  sizeof(ChunkStatsRecord) * idx,
+              sizeof(rec));
+  return rec;
+}
+
+ZoneMap FooterView::column_zone_map(uint32_t c) const {
+  if (!has_chunk_stats_ || num_row_groups_ == 0) return ZoneMap{};
+  ZoneMap agg = chunk_zone_map(0, c);
+  for (uint32_t g = 1; g < num_row_groups_ && agg.valid; ++g) {
+    agg.Merge(chunk_zone_map(g, c));
+  }
+  return agg;
 }
 
 ColumnRecord FooterView::column_record(uint32_t c) const {

@@ -17,7 +17,15 @@
 //   page_compression_types), group/page/root checksums (Merkle),
 //   deletion vectors (fixed full-bitmap slots so level-2 deletes can
 //   update them in place), column records + name blob + sorted index
-//   (= paper's column_sizes/column_offsets/schema).
+//   (= paper's column_sizes/column_offsets/schema), and — footer
+//   version 2 — per-chunk min/max statistics (zone maps) that let a
+//   filtered scan prove a row group irrelevant before issuing a pread.
+//
+// Versioning: version-1 footers (written before the stats section
+// existed, or with WriterOptions::write_chunk_stats = false) parse
+// fine — they simply report has_chunk_stats() == false and every
+// chunk_zone_map() as unknown, so scans over them fetch everything and
+// stay exact via residual predicate evaluation.
 
 #pragma once
 
@@ -32,6 +40,7 @@
 #include "common/slice.h"
 #include "common/status.h"
 #include "format/schema.h"
+#include "io/predicate.h"
 
 namespace bullion {
 
@@ -45,11 +54,16 @@ enum class ComplianceLevel : uint8_t {
 };
 
 constexpr uint32_t kFooterMagic = 0x4C4C5542;  // "BULL"
-constexpr uint32_t kFooterVersion = 1;
+/// Legacy footer layout: no chunk-statistics section.
+constexpr uint32_t kFooterVersionV1 = 1;
+/// Current footer layout: v1 + the kSecChunkStats zone-map section.
+constexpr uint32_t kFooterVersion = 2;
 /// Trailer appended after the footer: [footer_size:u32][magic:u32].
 constexpr size_t kTrailerSize = 8;
 
-/// Section ids in the footer directory.
+/// Section ids in the footer directory. Version-1 footers end at
+/// kSecNameSortedIdx (15 directory entries); version 2 appends
+/// kSecChunkStats.
 enum FooterSection : uint32_t {
   kSecGroupRowCounts = 0,   // u32[num_groups]
   kSecGroupFirstRow = 1,    // u64[num_groups]
@@ -66,7 +80,9 @@ enum FooterSection : uint32_t {
   kSecColumnRecords = 12,   // ColumnRecord[num_cols]
   kSecNameBlob = 13,        // bytes
   kSecNameSortedIdx = 14,   // u32[num_cols]
-  kNumFooterSections = 15,
+  kSecChunkStats = 15,      // ChunkStatsRecord[num_groups*num_cols] (v2)
+  kNumFooterSections = 16,
+  kNumFooterSectionsV1 = 15,
 };
 
 /// Fixed-width per-column record in kSecColumnRecords.
@@ -81,12 +97,41 @@ struct ColumnRecord {
 };
 static_assert(sizeof(ColumnRecord) == 12);
 
+/// Fixed-width per-chunk statistics record in kSecChunkStats: the
+/// min/max of chunk (group, column)'s values at write time. min_bits /
+/// max_bits hold the raw 64-bit pattern of an int64 or a double,
+/// selected by flag bit 1. A record with bit 0 clear means "no
+/// statistics" — binary, list, and raw-bit-pattern float columns never
+/// get one, and scans treat the chunk as possibly matching anything.
+/// In-place deletion only removes rows, so recorded bounds stay a
+/// superset of the live values — pruning against them remains sound.
+struct ChunkStatsRecord {
+  uint64_t min_bits = 0;
+  uint64_t max_bits = 0;
+  uint32_t flags = 0;  // bit 0: min/max present; bit 1: values are real
+  uint32_t pad = 0;
+
+  static constexpr uint32_t kHasMinMax = 1;
+  static constexpr uint32_t kIsReal = 2;
+};
+static_assert(sizeof(ChunkStatsRecord) == 24);
+
+/// Decodes a stats record into the io-layer zone map (invalid when the
+/// record has no min/max).
+ZoneMap ZoneMapFromRecord(const ChunkStatsRecord& rec);
+/// Encodes a zone map as a stats record (an invalid map becomes a
+/// "no statistics" record).
+ChunkStatsRecord RecordFromZoneMap(const ZoneMap& zone);
+
 /// \brief Accumulates footer contents during a write and serializes the
 /// flat layout.
 class FooterBuilder {
  public:
+  /// `with_stats` selects the footer version: true writes version 2
+  /// with the chunk-statistics section, false the legacy version-1
+  /// layout (no stats; readers then skip no data but stay exact).
   FooterBuilder(const Schema& schema, uint32_t rows_per_page,
-                ComplianceLevel compliance);
+                ComplianceLevel compliance, bool with_stats = true);
 
   /// Called once per row group, before its chunks are recorded.
   void BeginRowGroup(uint32_t row_count);
@@ -104,6 +149,12 @@ class FooterBuilder {
   void SetChunk(uint32_t group, uint32_t column, uint64_t file_offset,
                 uint32_t first_page);
 
+  /// Records chunk (group, logical column)'s min/max statistics.
+  /// Chunks never given one serialize as "no statistics". Ignored when
+  /// the builder was constructed without stats.
+  void SetChunkStats(uint32_t group, uint32_t column,
+                     const ChunkStatsRecord& stats);
+
   /// Serializes the footer given the end of the data region.
   Result<Buffer> Finish(uint64_t data_end, uint64_t num_rows);
 
@@ -111,6 +162,7 @@ class FooterBuilder {
   const Schema& schema_;
   uint32_t rows_per_page_;
   ComplianceLevel compliance_;
+  bool with_stats_;
   std::vector<uint32_t> group_row_counts_;
   std::vector<uint64_t> group_first_row_;
   std::vector<uint32_t> group_first_page_;
@@ -120,6 +172,7 @@ class FooterBuilder {
   std::vector<uint32_t> page_row_counts_;
   std::vector<uint8_t> page_encodings_;
   std::vector<uint64_t> page_hashes_;
+  std::vector<ChunkStatsRecord> chunk_stats_;
 };
 
 /// \brief Zero-copy view over a serialized footer.
@@ -208,6 +261,23 @@ class FooterView {
   ColumnRecord column_record(uint32_t c) const;
   std::string_view column_name(uint32_t c) const;
 
+  /// True if this footer carries the version-2 chunk-statistics
+  /// section.
+  bool has_chunk_stats() const { return has_chunk_stats_; }
+  /// Raw stats record of chunk (g, c). Only valid when
+  /// has_chunk_stats().
+  ChunkStatsRecord chunk_stats(uint32_t g, uint32_t c) const;
+  /// Zone map of chunk (g, c) — invalid (prune-nothing) when the footer
+  /// predates statistics or the column type has none.
+  ZoneMap chunk_zone_map(uint32_t g, uint32_t c) const {
+    if (!has_chunk_stats_) return ZoneMap{};
+    return ZoneMapFromRecord(chunk_stats(g, c));
+  }
+  /// Zone map of column `c` across every row group — the shard-level
+  /// aggregate the dataset manifest records. Invalid if any chunk of
+  /// the column lacks statistics (or the file has zero groups).
+  ZoneMap column_zone_map(uint32_t c) const;
+
   /// Binary search over the sorted-name index ("binary map scan").
   Result<uint32_t> FindColumn(std::string_view name) const;
 
@@ -253,6 +323,7 @@ class FooterView {
   uint64_t num_rows_ = 0;
   uint64_t data_end_ = 0;
   ComplianceLevel compliance_ = ComplianceLevel::kLevel0;
+  bool has_chunk_stats_ = false;
   uint64_t section_offset_[kNumFooterSections] = {};
 };
 

@@ -47,6 +47,11 @@ struct EncodedPage {
   uint32_t row_count;
   /// Top-level values-block encoding tag (footer page_compression_types).
   uint8_t encoding;
+  /// Min/max of the page's rows (invalid for types without zone maps).
+  /// Computed by the encode stage — which runs in parallel — and merged
+  /// per chunk at commit into the footer's statistics section; min/max
+  /// merging is schedule-independent, so the footer stays deterministic.
+  ZoneMap zone;
 };
 
 /// Encodes rows [row_begin, row_end) of `col` into one page.

@@ -1,8 +1,37 @@
 #include "format/writer.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "format/merkle.h"
 
 namespace bullion {
+
+ZoneMap ComputeZoneMap(const ColumnVector& column, size_t row_begin,
+                       size_t row_end) {
+  // Only scalar columns whose type has a predicate order
+  // (io/predicate.h: true ints and float32/64) get stats; everything
+  // else stays "unknown" and is never pruned. Scalar columns hold one
+  // value per row, so the row range indexes the value arrays directly.
+  if (column.list_depth() != 0 || row_begin >= row_end ||
+      !HasPredicateOrder(column.physical())) {
+    return ZoneMap{};
+  }
+  if (column.domain() == ValueDomain::kInt) {
+    const std::vector<int64_t>& v = column.int_values();
+    auto [lo, hi] =
+        std::minmax_element(v.begin() + row_begin, v.begin() + row_end);
+    return ZoneMap::OfInts(*lo, *hi);
+  }
+  const std::vector<double>& v = column.real_values();
+  double lo = v[row_begin], hi = v[row_begin];
+  for (size_t r = row_begin; r < row_end; ++r) {
+    if (std::isnan(v[r])) return ZoneMap{};  // NaN breaks ordering
+    lo = std::min(lo, v[r]);
+    hi = std::max(hi, v[r]);
+  }
+  return ZoneMap::OfReals(lo, hi);
+}
 
 Status ValidateWriterOptions(const WriterOptions& options,
                              const Schema& schema) {
@@ -89,6 +118,7 @@ Result<StagedRowGroup> StageValidatedRowGroup(
   StagedRowGroup staged;
   staged.columns = std::move(columns);
   staged.row_count = static_cast<uint32_t>(rows);
+  staged.compute_page_stats = options.write_chunk_stats;
   if (options.column_order.empty()) {
     staged.order.resize(schema.num_leaves());
     for (uint32_t c = 0; c < staged.order.size(); ++c) staged.order[c] = c;
@@ -128,8 +158,15 @@ Result<EncodedPage> EncodeStagedPage(const StagedRowGroup& staged,
     return Status::InvalidArgument("staged task index out of range");
   }
   const PageEncodeTask& t = staged.tasks[task];
-  return EncodePage((*staged.columns)[t.column], t.row_begin, t.row_end,
-                    t.options);
+  const ColumnVector& col = (*staged.columns)[t.column];
+  BULLION_ASSIGN_OR_RETURN(EncodedPage page,
+                           EncodePage(col, t.row_begin, t.row_end, t.options));
+  // Zone maps ride the parallel encode stage so the ordered commit
+  // stage stays I/O-only.
+  if (staged.compute_page_stats) {
+    page.zone = ComputeZoneMap(col, t.row_begin, t.row_end);
+  }
+  return page;
 }
 
 TableWriter::TableWriter(Schema schema, WritableFile* file,
@@ -138,7 +175,8 @@ TableWriter::TableWriter(Schema schema, WritableFile* file,
       file_(file),
       options_(std::move(options)),
       init_status_(ValidateWriterOptions(options_, schema_)),
-      footer_(schema_, options_.rows_per_page, options_.compliance) {}
+      footer_(schema_, options_.rows_per_page, options_.compliance,
+              options_.write_chunk_stats) {}
 
 Result<StagedRowGroup> TableWriter::StageRowGroup(
     std::shared_ptr<const std::vector<ColumnVector>> columns) const {
@@ -174,11 +212,18 @@ Status TableWriter::CommitEncodedGroup(const StagedRowGroup& staged,
     return Status::InvalidArgument("encoded page count disagrees with stage");
   }
   footer_.BeginRowGroup(staged.row_count);
+  if (options_.write_chunk_stats && column_stats_.empty()) {
+    column_stats_.resize(schema_.num_leaves());
+  }
   for (size_t oi = 0; oi < staged.order.size(); ++oi) {
     uint32_t c = staged.order[oi];
     uint64_t chunk_offset = offset_;
     uint32_t first_page = 0;
     bool first = true;
+    // The chunk's zone map is the merge of its pages' zones — each was
+    // computed by the (parallel) encode stage; min/max merging is
+    // schedule-independent, so the footer stays deterministic.
+    ZoneMap chunk_zone;
     for (size_t t = staged.column_task_begin[oi];
          t < staged.column_task_begin[oi + 1]; ++t) {
       const EncodedPage& page = pages[t];
@@ -188,16 +233,32 @@ Status TableWriter::CommitEncodedGroup(const StagedRowGroup& staged,
       if (first) {
         first_page = page_idx;
         first = false;
+        chunk_zone = page.zone;
+      } else {
+        chunk_zone.Merge(page.zone);
       }
       BULLION_RETURN_NOT_OK(file_->Append(page.data.AsSlice()));
       offset_ += page.data.size();
       if (options_.stats != nullptr) options_.stats->pages_encoded += 1;
     }
     footer_.SetChunk(group_index_, c, chunk_offset, first_page);
+    if (options_.write_chunk_stats) {
+      footer_.SetChunkStats(group_index_, c, RecordFromZoneMap(chunk_zone));
+      if (group_index_ == 0) {
+        column_stats_[c] = chunk_zone;
+      } else {
+        column_stats_[c].Merge(chunk_zone);
+      }
+    }
   }
   num_rows_ += staged.row_count;
   ++group_index_;
   return Status::OK();
+}
+
+std::vector<ZoneMap> TableWriter::AggregatedColumnStats() const {
+  if (!column_stats_.empty()) return column_stats_;
+  return std::vector<ZoneMap>(schema_.num_leaves());
 }
 
 Status TableWriter::Finish() {

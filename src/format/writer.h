@@ -68,6 +68,10 @@ struct WriterOptions {
   /// Sort each row group's rows by this leaf column's value descending
   /// before writing (quality-aware layout, §2.5). -1 disables.
   int32_t quality_sort_column = -1;
+  /// Record per-chunk min/max statistics (zone maps) in the footer so
+  /// filtered scans can prune row groups before fetching them. False
+  /// emits the legacy version-1 footer layout with no stats section.
+  bool write_chunk_stats = true;
   /// Optional write-side accounting: commits bump pages_encoded here
   /// (bytes_written / write_ops are counted by the WritableFile).
   IoStats* stats = nullptr;
@@ -106,6 +110,10 @@ struct StagedRowGroup {
   std::vector<PageEncodeTask> tasks;
   /// order.size() + 1 offsets into `tasks`.
   std::vector<size_t> column_task_begin;
+  /// Whether the encode stage computes per-page zone maps
+  /// (WriterOptions::write_chunk_stats); false makes the stats opt-out
+  /// actually free.
+  bool compute_page_stats = true;
 
   size_t num_tasks() const { return tasks.size(); }
 };
@@ -161,6 +169,12 @@ class TableWriter {
   const Schema& schema() const { return schema_; }
   const WriterOptions& options() const { return options_; }
 
+  /// Per-column zone maps aggregated across every committed row group —
+  /// what a sharded writer records in the manifest as shard-level
+  /// statistics. Invalid entries mean the column has no stats (type
+  /// without min/max, stats disabled, or nothing committed yet).
+  std::vector<ZoneMap> AggregatedColumnStats() const;
+
  private:
   Schema schema_;
   WritableFile* file_;
@@ -171,6 +185,17 @@ class TableWriter {
   uint64_t num_rows_ = 0;
   uint32_t group_index_ = 0;
   bool finished_ = false;
+  /// Running per-column aggregate of the committed chunk stats; becomes
+  /// invalid for a column as soon as one committed chunk lacks stats.
+  std::vector<ZoneMap> column_stats_;
 };
+
+/// Min/max of rows [row_begin, row_end) of `column`, or an invalid map
+/// for types that have none (binary, lists, raw-bit-pattern floats) or
+/// real ranges containing NaN. The encode stage computes this per page
+/// (in parallel); commit merges a chunk's page zones into the footer's
+/// statistics section.
+ZoneMap ComputeZoneMap(const ColumnVector& column, size_t row_begin,
+                       size_t row_end);
 
 }  // namespace bullion

@@ -45,6 +45,16 @@ struct IoStats {
   /// their generation stale (DecodedChunkCache::InvalidateShard).
   std::atomic<uint64_t> cache_rejects{0};
   std::atomic<uint64_t> cache_invalidations{0};
+  /// Predicate-pushdown accounting (exec/batch_stream.h): row groups
+  /// and whole shards a scan skipped because zone maps proved no row
+  /// could match, and RowBatches handed to the consumer. A selective
+  /// scan shows groups_pruned rising while read_ops stays below the
+  /// unfiltered scan's count — the pruned groups issued no preads.
+  /// Shard-level skips count once in shards_pruned; their groups are
+  /// not additionally counted in groups_pruned.
+  std::atomic<uint64_t> groups_pruned{0};
+  std::atomic<uint64_t> shards_pruned{0};
+  std::atomic<uint64_t> batches_emitted{0};
 
   IoStats() = default;
   IoStats(const IoStats& o) { *this = o; }
@@ -74,6 +84,12 @@ struct IoStats {
     cache_invalidations.store(
         o.cache_invalidations.load(std::memory_order_relaxed),
         std::memory_order_relaxed);
+    groups_pruned.store(o.groups_pruned.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    shards_pruned.store(o.shards_pruned.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    batches_emitted.store(o.batches_emitted.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
     return *this;
   }
 
@@ -95,6 +111,9 @@ struct IoStats {
     cache_evictions += o.cache_evictions.load(std::memory_order_relaxed);
     cache_rejects += o.cache_rejects.load(std::memory_order_relaxed);
     cache_invalidations += o.cache_invalidations.load(std::memory_order_relaxed);
+    groups_pruned += o.groups_pruned.load(std::memory_order_relaxed);
+    shards_pruned += o.shards_pruned.load(std::memory_order_relaxed);
+    batches_emitted += o.batches_emitted.load(std::memory_order_relaxed);
     return *this;
   }
 };

@@ -1,0 +1,80 @@
+#include "io/predicate.h"
+
+#include <algorithm>
+
+namespace bullion {
+
+void ZoneMap::Merge(const ZoneMap& o) {
+  if (!valid || !o.valid || is_real != o.is_real) {
+    valid = false;
+    return;
+  }
+  if (is_real) {
+    min_r = std::min(min_r, o.min_r);
+    max_r = std::max(max_r, o.max_r);
+  } else {
+    min_i = std::min(min_i, o.min_i);
+    max_i = std::max(max_i, o.max_i);
+  }
+}
+
+namespace {
+
+/// May any v in [min_v, max_v] satisfy `v <op> c`? Works for any
+/// totally ordered T.
+template <typename T>
+bool RangeMayMatch(T min_v, T max_v, CompareOp op, T c) {
+  switch (op) {
+    case CompareOp::kEq:
+      return min_v <= c && c <= max_v;
+    case CompareOp::kNe:
+      // Only a constant extent equal to c has no non-matching row.
+      return !(min_v == c && max_v == c);
+    case CompareOp::kLt:
+      return min_v < c;
+    case CompareOp::kLe:
+      return min_v <= c;
+    case CompareOp::kGt:
+      return max_v > c;
+    case CompareOp::kGe:
+      return max_v >= c;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ZoneMapMayMatch(const ZoneMap& zone, CompareOp op,
+                     const FilterValue& value) {
+  if (!zone.valid) return true;  // unknown extent: cannot prune
+  if (!zone.is_real && !value.is_real) {
+    return RangeMayMatch<int64_t>(zone.min_i, zone.max_i, op, value.i);
+  }
+  // Mixed or real comparison promotes to double. An int64 too large for
+  // exact double representation rounds here; rounding can only widen
+  // the may-match answer for range ops, and kEq/kNe stay conservative
+  // because both sides round the same way.
+  double min_v = zone.is_real ? zone.min_r : static_cast<double>(zone.min_i);
+  double max_v = zone.is_real ? zone.max_r : static_cast<double>(zone.max_i);
+  return RangeMayMatch<double>(min_v, max_v, op, value.AsReal());
+}
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "==";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+}  // namespace bullion

@@ -1,0 +1,139 @@
+// Scan predicates and zone maps: the pure policy half of predicate
+// pushdown.
+//
+// A Filter is one `column <op> value` comparison; a scan's filter list
+// is an implicit AND. A ZoneMap is the min/max summary of one column
+// over some extent (a column chunk, or a whole shard when aggregated),
+// and ZoneMapMayMatch answers the only question pruning needs: "could
+// ANY value inside this extent satisfy the predicate?" A `false`
+// answer is a proof — the extent is skipped before any pread is
+// issued; a `true` answer means fetch + decode and let the residual
+// row-level evaluation (format/column_vector.h) make the result exact.
+//
+// Like io/read_planner.h, nothing here touches a file or a footer:
+// the format layer extracts ZoneMaps from footer statistics, the exec
+// and dataset layers decide what to prune, and this header stays a
+// dependency-free leaf that is testable with plain values.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/types.h"
+
+namespace bullion {
+
+/// Does this physical type have the natural value order predicates and
+/// zone maps rely on? True integers (the int domain minus fp16/bf16/
+/// fp8 bit patterns) and float32/float64. The single source of truth
+/// for the writer's stats computation, the planner's filter
+/// validation, and the residual mask evaluator — they must agree or
+/// pruning desynchronizes from evaluation.
+inline bool HasPredicateOrder(PhysicalType t) {
+  switch (t) {
+    case PhysicalType::kInt8:
+    case PhysicalType::kInt16:
+    case PhysicalType::kInt32:
+    case PhysicalType::kInt64:
+    case PhysicalType::kBool:
+    case PhysicalType::kFloat32:
+    case PhysicalType::kFloat64:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Comparison operator of a scan predicate.
+enum class CompareOp : uint8_t {
+  kEq = 0,  // ==
+  kNe = 1,  // !=
+  kLt = 2,  // <
+  kLe = 3,  // <=
+  kGt = 4,  // >
+  kGe = 5,  // >=
+};
+
+/// \brief A typed comparison constant: either an int64 or a double.
+///
+/// Comparisons between an int column and a real constant (and vice
+/// versa) promote to double, so `Filter("uid", kLt, 3.5)` means what it
+/// says.
+struct FilterValue {
+  bool is_real = false;
+  int64_t i = 0;
+  double r = 0.0;
+
+  FilterValue() = default;
+  FilterValue(int64_t v) : is_real(false), i(v) {}      // NOLINT(runtime/explicit)
+  FilterValue(int v) : is_real(false), i(v) {}          // NOLINT(runtime/explicit)
+  FilterValue(double v) : is_real(true), r(v) {}        // NOLINT(runtime/explicit)
+
+  double AsReal() const { return is_real ? r : static_cast<double>(i); }
+};
+
+/// \brief One pushed-down predicate: `column <op> value`.
+///
+/// `column` names a scalar (non-list) integer or float leaf; predicates
+/// on binary, list, or raw-bit-pattern float columns (fp16/bf16/fp8)
+/// are rejected at scan build with a clear Status.
+struct Filter {
+  std::string column;
+  CompareOp op = CompareOp::kEq;
+  FilterValue value;
+
+  Filter() = default;
+  Filter(std::string column, CompareOp op, FilterValue value)
+      : column(std::move(column)), op(op), value(value) {}
+};
+
+/// \brief Min/max summary of one column over one extent.
+///
+/// `valid == false` means "unknown" (no statistics recorded — e.g. a
+/// footer written before the stats section existed); pruning must then
+/// assume the extent may match.
+struct ZoneMap {
+  bool valid = false;
+  bool is_real = false;  // which min/max pair is meaningful
+  int64_t min_i = 0;
+  int64_t max_i = 0;
+  double min_r = 0.0;
+  double max_r = 0.0;
+
+  static ZoneMap OfInts(int64_t min_v, int64_t max_v) {
+    ZoneMap z;
+    z.valid = true;
+    z.min_i = min_v;
+    z.max_i = max_v;
+    return z;
+  }
+  static ZoneMap OfReals(double min_v, double max_v) {
+    ZoneMap z;
+    z.valid = true;
+    z.is_real = true;
+    z.min_r = min_v;
+    z.max_r = max_v;
+    return z;
+  }
+
+  /// Widens this zone map to also cover `o` (aggregation across chunks
+  /// of a shard). Either side being invalid poisons the result: an
+  /// extent with an unknown part has an unknown whole.
+  void Merge(const ZoneMap& o);
+
+  bool operator==(const ZoneMap& o) const = default;
+};
+
+/// Could any value in `zone` satisfy `<op> value`? Conservative: an
+/// invalid zone map (or any doubt) answers true. Never answers false
+/// for an extent that contains a matching row — that is the pruning
+/// soundness contract the scan tests pin down.
+bool ZoneMapMayMatch(const ZoneMap& zone, CompareOp op,
+                     const FilterValue& value);
+
+/// Printable operator ("==", "<", ...) for error messages.
+const char* CompareOpName(CompareOp op);
+
+}  // namespace bullion
