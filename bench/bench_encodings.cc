@@ -1,15 +1,23 @@
 // E11 — per-codec encode/decode micro-throughput across the Table 2
 // catalog (supports §2.6's discussion of decoding overhead of
-// lightweight vs general-purpose compression).
+// lightweight vs general-purpose compression), plus a kernel-tier
+// section comparing the scalar reference against the runtime-dispatched
+// block kernels (encoding/block_codec.h). The tier section asserts the
+// encoded bytes are identical across tiers and writes
+// BENCH_encodings.json next to the binary.
 
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <cstdio>
 
 #include "bench/bench_common.h"
 #include "common/logging.h"
 #include "common/random.h"
+#include "encoding/block_codec.h"
 #include "encoding/cascade.h"
+#include "encoding/cpu_dispatch.h"
+#include "quant/quantize.h"
 #include "workload/zipf.h"
 
 namespace bullion {
@@ -173,7 +181,160 @@ void BM_BoolRoaringEncode(benchmark::State& state) {
 }
 BENCHMARK(BM_BoolRoaringEncode);
 
+// ---------------------------------------------------------------------------
+// Kernel-tier section: per-codec encode/decode GB/s, scalar reference
+// vs the dispatched block kernels, with byte-identity asserted between
+// tiers. Results go to stdout and BENCH_encodings.json.
+// ---------------------------------------------------------------------------
+
+struct TierRow {
+  std::string name;
+  std::string op;      // "encode" | "decode"
+  std::string kernel;  // simd::SimdTierName of the tier measured
+  double bytes_per_sec = 0;
+};
+
+double ToBytesPerSec(size_t bytes, double mean_us) {
+  return mean_us > 0 ? static_cast<double>(bytes) / (mean_us * 1e-6) : 0;
+}
+
+void RunIntKernelTier(EncodingType type, const std::vector<int64_t>& data,
+                      std::vector<TierRow>* rows) {
+  auto encode = [&] {
+    CascadeOptions opts;
+    CascadeContext ctx(opts, 0);
+    BufferBuilder out;
+    BULLION_CHECK_OK(EncodeIntBlockAs(type, data, &ctx, &out));
+    return out.Finish();
+  };
+
+  Buffer scalar_block, active_block;
+  {
+    simd::ScopedSimdTierCap cap(simd::SimdTier::kScalar);
+    scalar_block = encode();
+  }
+  active_block = encode();
+  // On-disk bytes must not depend on which kernel tier ran.
+  BULLION_CHECK(scalar_block.AsSlice() == active_block.AsSlice());
+
+  std::vector<int64_t> decoded(data.size());
+  auto decode = [&] {
+    SliceReader reader(active_block.AsSlice());
+    BULLION_CHECK_OK(DecodeIntBlock(&reader, &decoded));
+  };
+
+  const size_t bytes = data.size() * sizeof(int64_t);
+  const simd::SimdTier tiers[2] = {simd::SimdTier::kScalar,
+                                   simd::ActiveSimdTier()};
+  double dec_us[2] = {0, 0};
+  for (int t = 0; t < 2; ++t) {
+    simd::ScopedSimdTierCap cap(tiers[t]);
+    std::string kernel(simd::SimdTierName(simd::ActiveSimdTier()));
+    double enc_us = bench::TimeUsAveraged([&] {
+      Buffer b = encode();
+      benchmark::DoNotOptimize(b);
+    });
+    dec_us[t] = bench::TimeUsAveraged(decode);
+    BULLION_CHECK(decoded == data);
+    rows->push_back({std::string(EncodingTypeName(type)), "encode", kernel,
+                     ToBytesPerSec(bytes, enc_us)});
+    rows->push_back({std::string(EncodingTypeName(type)), "decode", kernel,
+                     ToBytesPerSec(bytes, dec_us[t])});
+  }
+  std::printf("  %-14s decode %7.2f -> %7.2f GB/s (%5.2fx %s over scalar)\n",
+              std::string(EncodingTypeName(type)).c_str(),
+              ToBytesPerSec(bytes, dec_us[0]) / 1e9,
+              ToBytesPerSec(bytes, dec_us[1]) / 1e9,
+              dec_us[1] > 0 ? dec_us[0] / dec_us[1] : 0,
+              std::string(simd::SimdTierName(tiers[1])).c_str());
+}
+
+void RunFp16KernelTier(std::vector<TierRow>* rows) {
+  Random rng(11);
+  std::vector<float> data(kN);
+  for (auto& x : data) x = static_cast<float>(rng.NextGaussian());
+  const size_t bytes = data.size() * sizeof(float);
+
+  std::vector<int64_t> q_scalar;
+  {
+    simd::ScopedSimdTierCap cap(simd::SimdTier::kScalar);
+    q_scalar = QuantizeFloats(data, FloatPrecision::kFp16);
+  }
+  std::vector<int64_t> q_active = QuantizeFloats(data, FloatPrecision::kFp16);
+  BULLION_CHECK(q_scalar == q_active);
+
+  const simd::SimdTier tiers[2] = {simd::SimdTier::kScalar,
+                                   simd::ActiveSimdTier()};
+  double dec_us[2] = {0, 0};
+  for (int t = 0; t < 2; ++t) {
+    simd::ScopedSimdTierCap cap(tiers[t]);
+    std::string kernel(simd::SimdTierName(simd::ActiveSimdTier()));
+    double enc_us = bench::TimeUsAveraged([&] {
+      std::vector<int64_t> q = QuantizeFloats(data, FloatPrecision::kFp16);
+      benchmark::DoNotOptimize(q);
+    });
+    dec_us[t] = bench::TimeUsAveraged([&] {
+      std::vector<float> back = DequantizeFloats(q_active,
+                                                 FloatPrecision::kFp16);
+      benchmark::DoNotOptimize(back);
+    });
+    rows->push_back({"Fp16Quantize", "encode", kernel,
+                     ToBytesPerSec(bytes, enc_us)});
+    rows->push_back({"Fp16Quantize", "decode", kernel,
+                     ToBytesPerSec(bytes, dec_us[t])});
+  }
+  std::printf("  %-14s decode %7.2f -> %7.2f GB/s (%5.2fx %s over scalar)\n",
+              "Fp16Quantize", ToBytesPerSec(bytes, dec_us[0]) / 1e9,
+              ToBytesPerSec(bytes, dec_us[1]) / 1e9,
+              dec_us[1] > 0 ? dec_us[0] / dec_us[1] : 0,
+              std::string(simd::SimdTierName(tiers[1])).c_str());
+}
+
+void RunKernelTierReport() {
+  bench::PrintHeader("block kernel tiers: scalar vs dispatched");
+  std::printf("  dispatched tier: %s\n",
+              std::string(simd::SimdTierName(simd::ActiveSimdTier())).c_str());
+
+  std::vector<TierRow> rows;
+  std::vector<int64_t> data = IntData();
+  const EncodingType kTierCodecs[] = {
+      EncodingType::kTrivial,     EncodingType::kVarint,
+      EncodingType::kZigZag,      EncodingType::kFixedBitWidth,
+      EncodingType::kForDelta,    EncodingType::kDelta,
+      EncodingType::kRle,         EncodingType::kDictionary,
+      EncodingType::kFastPFor,    EncodingType::kFastBP128,
+      EncodingType::kBitShuffle,  EncodingType::kChunked,
+  };
+  for (EncodingType type : kTierCodecs) RunIntKernelTier(type, data, &rows);
+  RunFp16KernelTier(&rows);
+
+  std::FILE* f = std::fopen("BENCH_encodings.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_encodings.json\n");
+    return;
+  }
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(f,
+                 "  {\"name\": \"%s\", \"op\": \"%s\", \"kernel\": \"%s\", "
+                 "\"block_values\": %zu, \"bytes_per_sec\": %.0f}%s\n",
+                 rows[i].name.c_str(), rows[i].op.c_str(),
+                 rows[i].kernel.c_str(), blockcodec::kBlockValues,
+                 rows[i].bytes_per_sec, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("  wrote BENCH_encodings.json (%zu rows)\n", rows.size());
+}
+
 }  // namespace
 }  // namespace bullion
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bullion::RunKernelTierReport();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,35 +1,20 @@
 #include "common/bit_util.h"
 
+#include "encoding/block_codec.h"
+
 namespace bullion {
 namespace bit_util {
 
 void PackBits(const uint64_t* values, size_t n, int width,
               std::vector<uint8_t>* out) {
   out->assign(RoundUpToBytes(n * static_cast<size_t>(width)), 0);
-  size_t bit_pos = 0;
-  for (size_t i = 0; i < n; ++i) {
-    uint64_t v = values[i];
-    for (int b = 0; b < width; ++b) {
-      if ((v >> b) & 1) {
-        (*out)[bit_pos >> 3] |= static_cast<uint8_t>(1u << (bit_pos & 7));
-      }
-      ++bit_pos;
-    }
-  }
+  blockcodec::ActiveKernels().pack_bits(values, n, width, out->data());
 }
 
 void UnpackBits(Slice data, size_t n, int width, std::vector<uint64_t>* out) {
-  out->assign(n, 0);
-  size_t bit_pos = 0;
-  for (size_t i = 0; i < n; ++i) {
-    uint64_t v = 0;
-    for (int b = 0; b < width; ++b) {
-      uint64_t bit = (data[bit_pos >> 3] >> (bit_pos & 7)) & 1;
-      v |= bit << b;
-      ++bit_pos;
-    }
-    (*out)[i] = v;
-  }
+  out->resize(n);
+  blockcodec::ActiveKernels().unpack_bits(data.data(), data.size(), n, width,
+                                          out->data());
 }
 
 uint64_t GetPacked(Slice data, size_t idx, int width) {

@@ -75,6 +75,15 @@ class BufferBuilder {
     for (size_t i = 0; i < len; ++i) buf_.Append(&byte, 1);
   }
 
+  /// Appends `len` zero bytes and returns a pointer to them, so block
+  /// kernels can pack straight into the buffer without a temp vector.
+  /// The pointer is invalidated by any subsequent append.
+  uint8_t* AppendZeros(size_t len) {
+    size_t offset = buf_.size();
+    buf_.Resize(offset + len);
+    return buf_.mutable_data() + offset;
+  }
+
   size_t size() const { return buf_.size(); }
   uint8_t* mutable_data() { return buf_.mutable_data(); }
 

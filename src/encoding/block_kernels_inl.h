@@ -1,0 +1,228 @@
+// Internal: inline scalar and SWAR kernel bodies shared by the dispatch
+// tables (block_codec.cc) and the AVX2 kernels (simd_kernels.cc), which
+// reuse the SWAR range variants for block tails. Not part of the public
+// encoding API — include block_codec.h instead.
+//
+// Preconditions common to the packing kernels:
+//   - 0 <= width <= 64 (width 0 means every value is 0)
+//   - unpack: in_bytes >= RoundUpToBytes(n * width); no byte at or
+//     beyond in + in_bytes is ever read
+//   - pack: out holds RoundUpToBytes(n * width) pre-zeroed bytes
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+
+#include "common/float16.h"
+
+namespace bullion {
+namespace blockcodec {
+namespace detail {
+
+inline uint64_t WidthMask(int width) {
+  return width >= 64 ? ~0ull : ((1ull << width) - 1);
+}
+
+inline uint64_t LoadLE64(const uint8_t* p) {
+  uint64_t w;
+  std::memcpy(&w, p, 8);
+  return w;
+}
+
+/// Loads the final `avail` (< 8) bytes of a buffer, zero-extended.
+inline uint64_t LoadLETail(const uint8_t* p, size_t avail) {
+  uint64_t w = 0;
+  std::memcpy(&w, p, avail);
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// Scalar tier: bit-at-a-time reference loops (the pre-rework code from
+// common/bit_util.cc, kept verbatim as the always-correct baseline all
+// other tiers are cross-checked against).
+// ---------------------------------------------------------------------------
+
+inline void UnpackBitsScalar(const uint8_t* in, size_t /*in_bytes*/,
+                             size_t n, int width, uint64_t* out) {
+  size_t bit_pos = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t v = 0;
+    for (int b = 0; b < width; ++b) {
+      uint64_t bit = (in[bit_pos >> 3] >> (bit_pos & 7)) & 1;
+      v |= bit << b;
+      ++bit_pos;
+    }
+    out[i] = v;
+  }
+}
+
+inline void PackBitsScalar(const uint64_t* values, size_t n, int width,
+                           uint8_t* out) {
+  size_t bit_pos = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t v = values[i];
+    for (int b = 0; b < width; ++b) {
+      if ((v >> b) & 1) {
+        out[bit_pos >> 3] |= static_cast<uint8_t>(1u << (bit_pos & 7));
+      }
+      ++bit_pos;
+    }
+  }
+}
+
+inline size_t VarintDecodeScalar(const uint8_t* in, size_t in_bytes,
+                                 size_t n, uint64_t* out) {
+  size_t pos = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      if (pos >= in_bytes || shift >= 70) return SIZE_MAX;
+      uint8_t byte = in[pos++];
+      v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) break;
+      shift += 7;
+    }
+    out[i] = v;
+  }
+  return pos;
+}
+
+inline void AddBaseScalar(int64_t base, size_t n, int64_t* inout) {
+  for (size_t i = 0; i < n; ++i) {
+    inout[i] = static_cast<int64_t>(static_cast<uint64_t>(base) +
+                                    static_cast<uint64_t>(inout[i]));
+  }
+}
+
+inline void SubBaseScalar(const int64_t* in, int64_t base, size_t n,
+                          uint64_t* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<uint64_t>(in[i]) - static_cast<uint64_t>(base);
+  }
+}
+
+inline void ZigZagEncodeScalar(const int64_t* in, size_t n, uint64_t* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = (static_cast<uint64_t>(in[i]) << 1) ^
+             static_cast<uint64_t>(in[i] >> 63);
+  }
+}
+
+inline void ZigZagDecodeScalar(const uint64_t* in, size_t n, int64_t* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<int64_t>((in[i] >> 1) ^ (~(in[i] & 1) + 1));
+  }
+}
+
+inline void F16EncodeScalar(const float* in, size_t n, uint16_t* out) {
+  for (size_t i = 0; i < n; ++i) out[i] = Float16::FromFloat(in[i]).bits();
+}
+
+inline void F16DecodeScalar(const uint16_t* in, size_t n, float* out) {
+  for (size_t i = 0; i < n; ++i) out[i] = Float16::FromBits(in[i]).ToFloat();
+}
+
+// ---------------------------------------------------------------------------
+// SWAR tier: portable word-at-a-time kernels. The range variants take a
+// first-value index so a vector kernel can hand its unaligned tail off
+// mid-stream.
+// ---------------------------------------------------------------------------
+
+inline void UnpackBitsSwarRange(const uint8_t* in, size_t in_bytes,
+                                size_t first, size_t n, int width,
+                                uint64_t* out) {
+  if (width == 0) {
+    std::fill(out, out + n, 0);
+    return;
+  }
+  const uint64_t mask = WidthMask(width);
+  size_t bit = first * static_cast<size_t>(width);
+  for (size_t i = 0; i < n; ++i, bit += static_cast<size_t>(width)) {
+    size_t byte = bit >> 3;
+    unsigned shift = static_cast<unsigned>(bit & 7);
+    uint64_t v;
+    if (byte + 8 <= in_bytes) {
+      v = LoadLE64(in + byte) >> shift;
+      unsigned got = 64 - shift;
+      if (got < static_cast<unsigned>(width)) {
+        uint64_t next = (byte + 16 <= in_bytes)
+                            ? LoadLE64(in + byte + 8)
+                            : LoadLETail(in + byte + 8, in_bytes - byte - 8);
+        v |= next << got;
+      }
+    } else {
+      // Final bytes: the layout precondition guarantees they cover the
+      // remaining widths.
+      v = LoadLETail(in + byte, in_bytes - byte) >> shift;
+    }
+    out[i] = v & mask;
+  }
+}
+
+inline void UnpackBitsSwar(const uint8_t* in, size_t in_bytes, size_t n,
+                           int width, uint64_t* out) {
+  UnpackBitsSwarRange(in, in_bytes, 0, n, width, out);
+}
+
+inline void PackBitsSwar(const uint64_t* values, size_t n, int width,
+                         uint8_t* out) {
+  if (width == 0) return;
+  const uint64_t mask = WidthMask(width);
+  const size_t out_bytes = (n * static_cast<size_t>(width) + 7) / 8;
+  size_t bit = 0;
+  for (size_t i = 0; i < n; ++i, bit += static_cast<size_t>(width)) {
+    uint64_t v = values[i] & mask;
+    size_t byte = bit >> 3;
+    unsigned shift = static_cast<unsigned>(bit & 7);
+    uint64_t lo = v << shift;
+    uint64_t hi = shift == 0 ? 0 : (v >> (64 - shift));
+    if (byte + 16 <= out_bytes) {
+      uint64_t w = LoadLE64(out + byte) | lo;
+      std::memcpy(out + byte, &w, 8);
+      w = LoadLE64(out + byte + 8) | hi;
+      std::memcpy(out + byte + 8, &w, 8);
+    } else {
+      uint8_t tmp[16];
+      std::memcpy(tmp, &lo, 8);
+      std::memcpy(tmp + 8, &hi, 8);
+      size_t lim = std::min<size_t>(out_bytes - byte, 16);
+      for (size_t b = 0; b < lim; ++b) out[byte + b] |= tmp[b];
+    }
+  }
+}
+
+inline size_t VarintDecodeSwar(const uint8_t* in, size_t in_bytes, size_t n,
+                               uint64_t* out) {
+  size_t pos = 0;
+  size_t i = 0;
+  while (i < n) {
+    // Fast path: 8 pending single-byte varints decode from one word.
+    if (pos + 8 <= in_bytes && i + 8 <= n) {
+      uint64_t w = LoadLE64(in + pos);
+      if ((w & 0x8080808080808080ull) == 0) {
+        for (int k = 0; k < 8; ++k) out[i + k] = (w >> (8 * k)) & 0xFF;
+        pos += 8;
+        i += 8;
+        continue;
+      }
+    }
+    uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      if (pos >= in_bytes || shift >= 70) return SIZE_MAX;
+      uint8_t byte = in[pos++];
+      v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) break;
+      shift += 7;
+    }
+    out[i++] = v;
+  }
+  return pos;
+}
+
+}  // namespace detail
+}  // namespace blockcodec
+}  // namespace bullion

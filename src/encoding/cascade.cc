@@ -87,48 +87,86 @@ Status EncodeIntBlockAs(EncodingType type, std::span<const int64_t> values,
   }
 }
 
-Status DecodeIntBlock(SliceReader* in, std::vector<int64_t>* out) {
-  BULLION_ASSIGN_OR_RETURN(BlockHeader header, ReadBlockHeader(in));
-  size_t n = header.count;
-  switch (header.type) {
+namespace {
+
+/// Payload dispatch shared by every int block entry point: decodes
+/// exactly `n` values into out[0..n) through the block decoders.
+/// Sentinel/Nullable also produce validity and keep vector-based
+/// decoders; they pass through a temp here (rare at this layer).
+Status DecodeIntPayloadInto(EncodingType type, SliceReader* in, size_t n,
+                            int64_t* out) {
+  switch (type) {
     case EncodingType::kTrivial:
-      return intcodec::DecodeTrivial(in, n, out);
+      return intcodec::DecodeTrivialInto(in, n, out);
     case EncodingType::kVarint:
-      return intcodec::DecodeVarint(in, n, out);
+      return intcodec::DecodeVarintInto(in, n, out);
     case EncodingType::kZigZag:
-      return intcodec::DecodeZigZag(in, n, out);
+      return intcodec::DecodeZigZagInto(in, n, out);
     case EncodingType::kFixedBitWidth:
-      return intcodec::DecodeFixedBitWidth(in, n, out);
+      return intcodec::DecodeFixedBitWidthInto(in, n, out);
     case EncodingType::kForDelta:
-      return intcodec::DecodeForDelta(in, n, out);
+      return intcodec::DecodeForDeltaInto(in, n, out);
     case EncodingType::kDelta:
-      return intcodec::DecodeDelta(in, n, out);
+      return intcodec::DecodeDeltaInto(in, n, out);
     case EncodingType::kConstant:
-      return intcodec::DecodeConstant(in, n, out);
+      return intcodec::DecodeConstantInto(in, n, out);
     case EncodingType::kMainlyConstant:
-      return intcodec::DecodeMainlyConstant(in, n, out);
+      return intcodec::DecodeMainlyConstantInto(in, n, out);
     case EncodingType::kRle:
-      return intcodec::DecodeRle(in, n, out);
+      return intcodec::DecodeRleInto(in, n, out);
     case EncodingType::kDictionary:
-      return intcodec::DecodeDictionary(in, n, out);
+      return intcodec::DecodeDictionaryInto(in, n, out);
     case EncodingType::kHuffman:
-      return intcodec::DecodeHuffman(in, n, out);
+      return intcodec::DecodeHuffmanInto(in, n, out);
     case EncodingType::kFastPFor:
-      return intcodec::DecodeFastPFor(in, n, out);
+      return intcodec::DecodeFastPForInto(in, n, out);
     case EncodingType::kFastBP128:
-      return intcodec::DecodeFastBP128(in, n, out);
+      return intcodec::DecodeFastBP128Into(in, n, out);
     case EncodingType::kBitShuffle:
-      return intcodec::DecodeBitShuffle(in, n, out);
+      return intcodec::DecodeBitShuffleInto(in, n, out);
     case EncodingType::kChunked:
-      return intcodec::DecodeChunked(in, n, out);
-    case EncodingType::kSentinel:
-      return intcodec::DecodeSentinel(in, n, out, nullptr);
-    case EncodingType::kNullable:
-      return intcodec::DecodeNullable(in, n, /*null_fill=*/0, out, nullptr);
+      return intcodec::DecodeChunkedInto(in, n, out);
+    case EncodingType::kSentinel: {
+      std::vector<int64_t> tmp;
+      BULLION_RETURN_NOT_OK(intcodec::DecodeSentinel(in, n, &tmp, nullptr));
+      std::copy(tmp.begin(), tmp.end(), out);
+      return Status::OK();
+    }
+    case EncodingType::kNullable: {
+      std::vector<int64_t> tmp;
+      BULLION_RETURN_NOT_OK(
+          intcodec::DecodeNullable(in, n, /*null_fill=*/0, &tmp, nullptr));
+      std::copy(tmp.begin(), tmp.end(), out);
+      return Status::OK();
+    }
     default:
       return Status::Corruption("unexpected encoding in int block: " +
-                                std::string(EncodingTypeName(header.type)));
+                                std::string(EncodingTypeName(type)));
   }
+}
+
+}  // namespace
+
+Status DecodeIntBlock(SliceReader* in, std::vector<int64_t>* out) {
+  BULLION_ASSIGN_OR_RETURN(BlockHeader header, ReadBlockHeader(in));
+  out->resize(header.count);
+  return DecodeIntPayloadInto(header.type, in, header.count, out->data());
+}
+
+Status DecodeIntBlockInto(SliceReader* in, std::span<int64_t> out) {
+  BULLION_ASSIGN_OR_RETURN(BlockHeader header, ReadBlockHeader(in));
+  if (header.count != out.size()) {
+    return Status::Corruption("int block count mismatch with destination");
+  }
+  return DecodeIntPayloadInto(header.type, in, out.size(), out.data());
+}
+
+Status DecodeIntBlockAppend(SliceReader* in, std::vector<int64_t>* out) {
+  BULLION_ASSIGN_OR_RETURN(BlockHeader header, ReadBlockHeader(in));
+  size_t old_size = out->size();
+  out->resize(old_size + header.count);
+  return DecodeIntPayloadInto(header.type, in, header.count,
+                              out->data() + old_size);
 }
 
 Status EncodeDoubleBlockAs(EncodingType type, std::span<const double> values,

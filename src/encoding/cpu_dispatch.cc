@@ -1,0 +1,91 @@
+#include "encoding/cpu_dispatch.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "encoding/block_codec.h"
+
+namespace bullion {
+namespace simd {
+
+namespace {
+
+CpuFeatures DetectCpuFeatures() {
+  CpuFeatures f;
+#if BULLION_X86_DISPATCH
+  __builtin_cpu_init();
+  f.sse42 = __builtin_cpu_supports("sse4.2") != 0;
+  f.avx2 = __builtin_cpu_supports("avx2") != 0;
+  f.f16c = __builtin_cpu_supports("f16c") != 0;
+  f.avx512f = __builtin_cpu_supports("avx512f") != 0;
+#endif
+  return f;
+}
+
+/// Parses BULLION_SIMD once. Returns the cap, or the best tier when the
+/// variable is unset/unrecognized.
+SimdTier EnvTierCap() {
+  const char* env = std::getenv("BULLION_SIMD");
+  if (env == nullptr) return SimdTier::kAvx2;
+  if (std::strcmp(env, "scalar") == 0) return SimdTier::kScalar;
+  if (std::strcmp(env, "swar") == 0) return SimdTier::kSwar;
+  return SimdTier::kAvx2;
+}
+
+/// Runtime cap installed by SetSimdTierCap; kNumSimdTiers means "no
+/// cap". Relaxed ordering suffices: every tier is correct, so a racing
+/// reader merely decodes a block with a different (equally valid)
+/// kernel.
+std::atomic<int> g_tier_cap{kNumSimdTiers};
+
+}  // namespace
+
+std::string_view SimdTierName(SimdTier t) {
+  switch (t) {
+    case SimdTier::kScalar:
+      return "scalar";
+    case SimdTier::kSwar:
+      return "swar";
+    case SimdTier::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+const CpuFeatures& GetCpuFeatures() {
+  static const CpuFeatures features = DetectCpuFeatures();
+  return features;
+}
+
+SimdTier BestSupportedTier() {
+  static const SimdTier best = [] {
+    const CpuFeatures& f = GetCpuFeatures();
+    // AVX2 kernels additionally self-verify against the scalar
+    // reference at init (blockcodec::AvxKernelsUsable); a CPU that
+    // advertises AVX2 but fails the probe falls back to SWAR.
+    if (f.avx2 && blockcodec::AvxKernelsUsable()) return SimdTier::kAvx2;
+    return SimdTier::kSwar;
+  }();
+  return best;
+}
+
+SimdTier ActiveSimdTier() {
+  static const SimdTier env_cap = EnvTierCap();
+  SimdTier t = BestSupportedTier();
+  if (env_cap < t) t = env_cap;
+  int cap = g_tier_cap.load(std::memory_order_relaxed);
+  if (cap < static_cast<int>(t)) t = static_cast<SimdTier>(cap);
+  return t;
+}
+
+void SetSimdTierCap(SimdTier cap) {
+  g_tier_cap.store(static_cast<int>(cap), std::memory_order_relaxed);
+}
+
+void ClearSimdTierCap() {
+  g_tier_cap.store(kNumSimdTiers, std::memory_order_relaxed);
+}
+
+}  // namespace simd
+}  // namespace bullion

@@ -29,7 +29,7 @@ Status EncodeRle(std::span<const int64_t> v, CascadeContext* ctx,
   return ctx->EncodeIntChild(run_lengths, out);
 }
 
-Status DecodeRle(SliceReader* in, size_t n, std::vector<int64_t>* out) {
+Status DecodeRleInto(SliceReader* in, size_t n, int64_t* out) {
   std::vector<int64_t> run_values;
   std::vector<int64_t> run_lengths;
   BULLION_RETURN_NOT_OK(DecodeIntBlock(in, &run_values));
@@ -37,19 +37,25 @@ Status DecodeRle(SliceReader* in, size_t n, std::vector<int64_t>* out) {
   if (run_values.size() != run_lengths.size()) {
     return Status::Corruption("rle run children size mismatch");
   }
-  out->clear();
-  out->reserve(n);
+  size_t done = 0;
   for (size_t r = 0; r < run_values.size(); ++r) {
     if (run_lengths[r] < 0) return Status::Corruption("negative run length");
     // Cap expansion at the header count so corrupted run lengths
     // cannot loop unboundedly.
-    if (static_cast<uint64_t>(run_lengths[r]) > n - out->size()) {
+    if (static_cast<uint64_t>(run_lengths[r]) > n - done) {
       return Status::Corruption("rle run overflows declared count");
     }
-    for (int64_t k = 0; k < run_lengths[r]; ++k) out->push_back(run_values[r]);
+    std::fill_n(out + done, static_cast<size_t>(run_lengths[r]),
+                run_values[r]);
+    done += static_cast<size_t>(run_lengths[r]);
   }
-  if (out->size() != n) return Status::Corruption("rle total count mismatch");
+  if (done != n) return Status::Corruption("rle total count mismatch");
   return Status::OK();
+}
+
+Status DecodeRle(SliceReader* in, size_t n, std::vector<int64_t>* out) {
+  out->resize(n);
+  return DecodeRleInto(in, n, out->data());
 }
 
 Status EncodeDictionary(std::span<const int64_t> v, CascadeContext* ctx,
@@ -76,7 +82,7 @@ Status EncodeDictionary(std::span<const int64_t> v, CascadeContext* ctx,
   return ctx->EncodeIntChild(codes, out);
 }
 
-Status DecodeDictionary(SliceReader* in, size_t n, std::vector<int64_t>* out) {
+Status DecodeDictionaryInto(SliceReader* in, size_t n, int64_t* out) {
   if (in->remaining() < 2) return Status::Corruption("dict header truncated");
   uint8_t has_mask = in->Read<uint8_t>();
   Slice rest = in->ReadBytes(in->remaining());
@@ -88,29 +94,34 @@ Status DecodeDictionary(SliceReader* in, size_t n, std::vector<int64_t>* out) {
   in->Seek(in->position() - rest.size() + pos);
 
   std::vector<int64_t> entries;
-  std::vector<int64_t> codes;
   BULLION_RETURN_NOT_OK(DecodeIntBlock(in, &entries));
-  BULLION_RETURN_NOT_OK(DecodeIntBlock(in, &codes));
-  if (entries.size() != n_entries || codes.size() != n) {
+  if (entries.size() != n_entries) {
     return Status::Corruption("dict child count mismatch");
   }
+  // Codes decode straight into the destination, then get replaced by
+  // their dictionary entries in place — no n-sized temp.
+  BULLION_RETURN_NOT_OK(DecodeIntBlockInto(in, std::span<int64_t>(out, n)));
   int64_t code_base = has_mask ? 1 : 0;
-  out->clear();
-  out->reserve(n);
-  for (int64_t code : codes) {
+  for (size_t i = 0; i < n; ++i) {
+    int64_t code = out[i];
     if (has_mask && code == 0) {
       // Deletion-masked slot decodes to 0; callers consult the deletion
       // vector to skip these rows (format/deletion.cc).
-      out->push_back(0);
+      out[i] = 0;
       continue;
     }
     int64_t idx = code - code_base;
     if (idx < 0 || static_cast<uint64_t>(idx) >= entries.size()) {
       return Status::Corruption("dict code out of range");
     }
-    out->push_back(entries[static_cast<size_t>(idx)]);
+    out[i] = entries[static_cast<size_t>(idx)];
   }
   return Status::OK();
+}
+
+Status DecodeDictionary(SliceReader* in, size_t n, std::vector<int64_t>* out) {
+  out->resize(n);
+  return DecodeDictionaryInto(in, n, out->data());
 }
 
 Status EncodeMainlyConstant(std::span<const int64_t> v, CascadeContext* ctx,
@@ -144,9 +155,7 @@ Status EncodeMainlyConstant(std::span<const int64_t> v, CascadeContext* ctx,
   return Status::OK();
 }
 
-Status DecodeMainlyConstant(SliceReader* in, size_t n,
-                            std::vector<int64_t>* out) {
-  out->clear();
+Status DecodeMainlyConstantInto(SliceReader* in, size_t n, int64_t* out) {
   if (n == 0) return Status::OK();
   Slice rest = in->ReadBytes(in->remaining());
   size_t pos = 0;
@@ -156,7 +165,7 @@ Status DecodeMainlyConstant(SliceReader* in, size_t n,
     return Status::Corruption("mainly-constant header truncated");
   }
   in->Seek(in->position() - rest.size() + pos);
-  out->assign(n, varint::ZigZagDecode(zz));
+  std::fill_n(out, n, varint::ZigZagDecode(zz));
   if (n_exc > 0) {
     std::vector<int64_t> positions;
     std::vector<int64_t> values;
@@ -169,10 +178,16 @@ Status DecodeMainlyConstant(SliceReader* in, size_t n,
       if (positions[i] < 0 || static_cast<uint64_t>(positions[i]) >= n) {
         return Status::Corruption("mainly-constant position out of range");
       }
-      (*out)[static_cast<size_t>(positions[i])] = values[i];
+      out[static_cast<size_t>(positions[i])] = values[i];
     }
   }
   return Status::OK();
+}
+
+Status DecodeMainlyConstant(SliceReader* in, size_t n,
+                            std::vector<int64_t>* out) {
+  out->resize(n);
+  return DecodeMainlyConstantInto(in, n, out->data());
 }
 
 Status EncodeSentinel(std::span<const int64_t> v,
@@ -391,8 +406,7 @@ Status EncodeHuffman(std::span<const int64_t> v, BufferBuilder* out) {
   return Status::OK();
 }
 
-Status DecodeHuffman(SliceReader* in, size_t n, std::vector<int64_t>* out) {
-  out->clear();
+Status DecodeHuffmanInto(SliceReader* in, size_t n, int64_t* out) {
   Slice rest = in->ReadBytes(in->remaining());
   size_t pos = 0;
   uint64_t alpha_n;
@@ -416,6 +430,11 @@ Status DecodeHuffman(SliceReader* in, size_t n, std::vector<int64_t>* out) {
   for (uint64_t i = 0; i < alpha_n; ++i) {
     if (pos >= rest.size()) return Status::Corruption("huffman lengths cut");
     lengths[i] = rest[pos++];
+    // The encoder rejects codes longer than 57 bits; anything wider is
+    // corruption and would overflow the canonical-code shifts.
+    if (lengths[i] > 57) {
+      return Status::Corruption("huffman code length out of range");
+    }
   }
   std::vector<uint64_t> codes;
   AssignCanonicalCodes(lengths, &codes);
@@ -440,7 +459,6 @@ Status DecodeHuffman(SliceReader* in, size_t n, std::vector<int64_t>* out) {
 
   BitReader br(bits);
   size_t consumed = 0;
-  out->reserve(n);
   for (size_t i = 0; i < n; ++i) {
     uint64_t code = 0;
     int len = 0;
@@ -453,7 +471,7 @@ Status DecodeHuffman(SliceReader* in, size_t n, std::vector<int64_t>* out) {
       ++len;
       auto it = decode_map.find({len, code});
       if (it != decode_map.end()) {
-        out->push_back(alphabet[it->second]);
+        out[i] = alphabet[it->second];
         break;
       }
       if (len > 57) return Status::Corruption("huffman invalid code");
@@ -461,6 +479,11 @@ Status DecodeHuffman(SliceReader* in, size_t n, std::vector<int64_t>* out) {
   }
   in->Seek(in->position() - rest.size() + pos);
   return Status::OK();
+}
+
+Status DecodeHuffman(SliceReader* in, size_t n, std::vector<int64_t>* out) {
+  out->resize(n);
+  return DecodeHuffmanInto(in, n, out->data());
 }
 
 }  // namespace intcodec

@@ -1,28 +1,40 @@
 // Basic integer codecs: Trivial, Varint, ZigZag, FixedBitWidth,
-// ForDelta, Delta, Constant.
+// ForDelta, Delta, Constant. Hot loops run through the block kernels
+// (encoding/block_codec.h): packed payloads are written straight into
+// the output buffer (BufferBuilder::AppendZeros) and decoded straight
+// into the caller's span — no per-value dispatch, no push_back growth.
 
 #include <algorithm>
 
 #include "common/bit_util.h"
 #include "common/varint.h"
+#include "encoding/block_codec.h"
 #include "encoding/cascade.h"
 #include "encoding/int_codecs.h"
 
 namespace bullion {
 namespace intcodec {
 
+namespace {
+
+inline uint64_t* AsU64(int64_t* p) { return reinterpret_cast<uint64_t*>(p); }
+inline const uint64_t* AsU64(const int64_t* p) {
+  return reinterpret_cast<const uint64_t*>(p);
+}
+
+}  // namespace
+
 Status EncodeTrivial(std::span<const int64_t> v, BufferBuilder* out) {
   out->AppendBytes(v.data(), v.size() * sizeof(int64_t));
   return Status::OK();
 }
 
-Status DecodeTrivial(SliceReader* in, size_t n, std::vector<int64_t>* out) {
+Status DecodeTrivialInto(SliceReader* in, size_t n, int64_t* out) {
   if (in->remaining() < n * sizeof(int64_t)) {
     return Status::Corruption("trivial payload truncated");
   }
   Slice bytes = in->ReadBytes(n * sizeof(int64_t));
-  out->resize(n);
-  std::memcpy(out->data(), bytes.data(), bytes.size());
+  if (n > 0) std::memcpy(out, bytes.data(), bytes.size());
   return Status::OK();
 }
 
@@ -36,19 +48,14 @@ Status EncodeVarint(std::span<const int64_t> v, BufferBuilder* out) {
   return Status::OK();
 }
 
-Status DecodeVarint(SliceReader* in, size_t n, std::vector<int64_t>* out) {
-  out->clear();
-  out->reserve(n);
+Status DecodeVarintInto(SliceReader* in, size_t n, int64_t* out) {
   Slice rest = in->ReadBytes(in->remaining());
-  size_t pos = 0;
-  for (size_t i = 0; i < n; ++i) {
-    uint64_t x;
-    if (!varint::GetVarint64(rest, &pos, &x)) {
-      return Status::Corruption("varint payload truncated");
-    }
-    out->push_back(static_cast<int64_t>(x));
+  size_t consumed = blockcodec::ActiveKernels().varint_decode(
+      rest.data(), rest.size(), n, AsU64(out));
+  if (consumed == SIZE_MAX) {
+    return Status::Corruption("varint payload truncated");
   }
-  in->Seek(in->position() - rest.size() + pos);
+  in->Seek(in->position() - rest.size() + consumed);
   return Status::OK();
 }
 
@@ -59,19 +66,15 @@ Status EncodeZigZag(std::span<const int64_t> v, BufferBuilder* out) {
   return Status::OK();
 }
 
-Status DecodeZigZag(SliceReader* in, size_t n, std::vector<int64_t>* out) {
-  out->clear();
-  out->reserve(n);
+Status DecodeZigZagInto(SliceReader* in, size_t n, int64_t* out) {
+  const blockcodec::Kernels& k = blockcodec::ActiveKernels();
   Slice rest = in->ReadBytes(in->remaining());
-  size_t pos = 0;
-  for (size_t i = 0; i < n; ++i) {
-    uint64_t x;
-    if (!varint::GetVarint64(rest, &pos, &x)) {
-      return Status::Corruption("zigzag payload truncated");
-    }
-    out->push_back(varint::ZigZagDecode(x));
+  size_t consumed = k.varint_decode(rest.data(), rest.size(), n, AsU64(out));
+  if (consumed == SIZE_MAX) {
+    return Status::Corruption("zigzag payload truncated");
   }
-  in->Seek(in->position() - rest.size() + pos);
+  k.zigzag_decode(AsU64(out), n, out);
+  in->Seek(in->position() - rest.size() + consumed);
   return Status::OK();
 }
 
@@ -86,25 +89,24 @@ Status EncodeFixedBitWidth(std::span<const int64_t> v, BufferBuilder* out) {
   }
   int width = std::max(1, bit_util::BitWidth(max_val));
   out->Append<uint8_t>(static_cast<uint8_t>(width));
-  std::vector<uint8_t> packed;
-  std::vector<uint64_t> u(v.begin(), v.end());
-  bit_util::PackBits(u.data(), u.size(), width, &packed);
-  out->AppendBytes(packed.data(), packed.size());
+  uint8_t* dst = out->AppendZeros(
+      bit_util::RoundUpToBytes(v.size() * static_cast<size_t>(width)));
+  // Non-negative int64 values bit-pack as their uint64 representation.
+  blockcodec::ActiveKernels().pack_bits(AsU64(v.data()), v.size(), width, dst);
   return Status::OK();
 }
 
-Status DecodeFixedBitWidth(SliceReader* in, size_t n,
-                           std::vector<int64_t>* out) {
+Status DecodeFixedBitWidthInto(SliceReader* in, size_t n, int64_t* out) {
   if (in->remaining() < 1) return Status::Corruption("fbw payload truncated");
   int width = in->Read<uint8_t>();
+  if (width > 64) return Status::Corruption("fbw width out of range");
   size_t bytes = bit_util::RoundUpToBytes(n * static_cast<size_t>(width));
   if (in->remaining() < bytes) {
     return Status::Corruption("fbw packed data truncated");
   }
   Slice packed = in->ReadBytes(bytes);
-  std::vector<uint64_t> u;
-  bit_util::UnpackBits(packed, n, width, &u);
-  out->assign(u.begin(), u.end());
+  blockcodec::ActiveKernels().unpack_bits(packed.data(), packed.size(), n,
+                                          width, AsU64(out));
   return Status::OK();
 }
 
@@ -119,18 +121,16 @@ Status EncodeForDelta(std::span<const int64_t> v, BufferBuilder* out) {
   int width = std::max(1, bit_util::BitWidth(max_off));
   varint::PutVarint64(out, varint::ZigZagEncode(base));
   out->Append<uint8_t>(static_cast<uint8_t>(width));
+  const blockcodec::Kernels& k = blockcodec::ActiveKernels();
   std::vector<uint64_t> offsets(v.size());
-  for (size_t i = 0; i < v.size(); ++i) {
-    offsets[i] = static_cast<uint64_t>(v[i]) - static_cast<uint64_t>(base);
-  }
-  std::vector<uint8_t> packed;
-  bit_util::PackBits(offsets.data(), offsets.size(), width, &packed);
-  out->AppendBytes(packed.data(), packed.size());
+  k.sub_base(v.data(), base, v.size(), offsets.data());
+  uint8_t* dst = out->AppendZeros(
+      bit_util::RoundUpToBytes(v.size() * static_cast<size_t>(width)));
+  k.pack_bits(offsets.data(), offsets.size(), width, dst);
   return Status::OK();
 }
 
-Status DecodeForDelta(SliceReader* in, size_t n, std::vector<int64_t>* out) {
-  out->clear();
+Status DecodeForDeltaInto(SliceReader* in, size_t n, int64_t* out) {
   if (n == 0) return Status::OK();
   Slice rest = in->ReadBytes(in->remaining());
   size_t pos = 0;
@@ -141,17 +141,15 @@ Status DecodeForDelta(SliceReader* in, size_t n, std::vector<int64_t>* out) {
   int64_t base = varint::ZigZagDecode(zz);
   if (pos >= rest.size()) return Status::Corruption("for-delta width missing");
   int width = rest[pos++];
+  if (width > 64) return Status::Corruption("for-delta width out of range");
   size_t bytes = bit_util::RoundUpToBytes(n * static_cast<size_t>(width));
   if (rest.size() - pos < bytes) {
     return Status::Corruption("for-delta packed data truncated");
   }
-  std::vector<uint64_t> offsets;
-  bit_util::UnpackBits(rest.SubSlice(pos, bytes), n, width, &offsets);
+  const blockcodec::Kernels& k = blockcodec::ActiveKernels();
+  k.unpack_bits(rest.data() + pos, bytes, n, width, AsU64(out));
+  k.add_base(base, n, out);
   pos += bytes;
-  out->resize(n);
-  for (size_t i = 0; i < n; ++i) {
-    (*out)[i] = static_cast<int64_t>(static_cast<uint64_t>(base) + offsets[i]);
-  }
   in->Seek(in->position() - rest.size() + pos);
   return Status::OK();
 }
@@ -167,14 +165,13 @@ Status EncodeDelta(std::span<const int64_t> v, CascadeContext* ctx,
     // reverses exactly on decode.
     deltas[i - 1] = static_cast<int64_t>(static_cast<uint64_t>(v[i]) -
                                          static_cast<uint64_t>(v[i - 1]));
-    deltas[i - 1] = static_cast<int64_t>(
-        varint::ZigZagEncode(deltas[i - 1]));
   }
+  blockcodec::ActiveKernels().zigzag_encode(deltas.data(), deltas.size(),
+                                            AsU64(deltas.data()));
   return ctx->EncodeIntChild(deltas, out);
 }
 
-Status DecodeDelta(SliceReader* in, size_t n, std::vector<int64_t>* out) {
-  out->clear();
+Status DecodeDeltaInto(SliceReader* in, size_t n, int64_t* out) {
   if (n == 0) return Status::OK();
   Slice rest = in->ReadBytes(in->remaining());
   size_t pos = 0;
@@ -183,18 +180,16 @@ Status DecodeDelta(SliceReader* in, size_t n, std::vector<int64_t>* out) {
     return Status::Corruption("delta first value truncated");
   }
   in->Seek(in->position() - rest.size() + pos);
-  out->reserve(n);
-  out->push_back(varint::ZigZagDecode(zz));
+  out[0] = varint::ZigZagDecode(zz);
   if (n > 1) {
-    std::vector<int64_t> deltas;
-    BULLION_RETURN_NOT_OK(DecodeIntBlock(in, &deltas));
-    if (deltas.size() != n - 1) {
-      return Status::Corruption("delta child count mismatch");
-    }
-    for (int64_t zzd : deltas) {
-      int64_t d = varint::ZigZagDecode(static_cast<uint64_t>(zzd));
-      out->push_back(static_cast<int64_t>(
-          static_cast<uint64_t>(out->back()) + static_cast<uint64_t>(d)));
+    // Decode the zigzag'd deltas straight into the output tail, undo
+    // the zigzag in place, then prefix-sum.
+    BULLION_RETURN_NOT_OK(
+        DecodeIntBlockInto(in, std::span<int64_t>(out + 1, n - 1)));
+    blockcodec::ActiveKernels().zigzag_decode(AsU64(out + 1), n - 1, out + 1);
+    for (size_t i = 1; i < n; ++i) {
+      out[i] = static_cast<int64_t>(static_cast<uint64_t>(out[i - 1]) +
+                                    static_cast<uint64_t>(out[i]));
     }
   }
   return Status::OK();
@@ -211,8 +206,7 @@ Status EncodeConstant(std::span<const int64_t> v, BufferBuilder* out) {
   return Status::OK();
 }
 
-Status DecodeConstant(SliceReader* in, size_t n, std::vector<int64_t>* out) {
-  out->clear();
+Status DecodeConstantInto(SliceReader* in, size_t n, int64_t* out) {
   if (n == 0) return Status::OK();
   Slice rest = in->ReadBytes(in->remaining());
   size_t pos = 0;
@@ -221,8 +215,49 @@ Status DecodeConstant(SliceReader* in, size_t n, std::vector<int64_t>* out) {
     return Status::Corruption("constant value truncated");
   }
   in->Seek(in->position() - rest.size() + pos);
-  out->assign(n, varint::ZigZagDecode(zz));
+  std::fill_n(out, n, varint::ZigZagDecode(zz));
   return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Legacy vector overloads: resize exactly once, forward to the block
+// decoders above.
+// ---------------------------------------------------------------------------
+
+Status DecodeTrivial(SliceReader* in, size_t n, std::vector<int64_t>* out) {
+  out->resize(n);
+  return DecodeTrivialInto(in, n, out->data());
+}
+
+Status DecodeVarint(SliceReader* in, size_t n, std::vector<int64_t>* out) {
+  out->resize(n);
+  return DecodeVarintInto(in, n, out->data());
+}
+
+Status DecodeZigZag(SliceReader* in, size_t n, std::vector<int64_t>* out) {
+  out->resize(n);
+  return DecodeZigZagInto(in, n, out->data());
+}
+
+Status DecodeFixedBitWidth(SliceReader* in, size_t n,
+                           std::vector<int64_t>* out) {
+  out->resize(n);
+  return DecodeFixedBitWidthInto(in, n, out->data());
+}
+
+Status DecodeForDelta(SliceReader* in, size_t n, std::vector<int64_t>* out) {
+  out->resize(n);
+  return DecodeForDeltaInto(in, n, out->data());
+}
+
+Status DecodeDelta(SliceReader* in, size_t n, std::vector<int64_t>* out) {
+  out->resize(n);
+  return DecodeDeltaInto(in, n, out->data());
+}
+
+Status DecodeConstant(SliceReader* in, size_t n, std::vector<int64_t>* out) {
+  out->resize(n);
+  return DecodeConstantInto(in, n, out->data());
 }
 
 }  // namespace intcodec

@@ -114,5 +114,29 @@ Status DecodeBitShuffle(SliceReader* in, size_t n, std::vector<int64_t>* out);
 Status EncodeChunked(std::span<const int64_t> v, BufferBuilder* out);
 Status DecodeChunked(SliceReader* in, size_t n, std::vector<int64_t>* out);
 
+// ---------------------------------------------------------------------------
+// Block decode-into variants (encoding/block_codec.h): write exactly
+// `n` values into caller-preallocated out[0..n) — no clear / reserve /
+// push_back growth on the decode path. The legacy vector overloads
+// above resize once and forward here; new callers (cascade block
+// dispatch, page decode) use these directly.
+// ---------------------------------------------------------------------------
+
+Status DecodeTrivialInto(SliceReader* in, size_t n, int64_t* out);
+Status DecodeVarintInto(SliceReader* in, size_t n, int64_t* out);
+Status DecodeZigZagInto(SliceReader* in, size_t n, int64_t* out);
+Status DecodeFixedBitWidthInto(SliceReader* in, size_t n, int64_t* out);
+Status DecodeForDeltaInto(SliceReader* in, size_t n, int64_t* out);
+Status DecodeDeltaInto(SliceReader* in, size_t n, int64_t* out);
+Status DecodeConstantInto(SliceReader* in, size_t n, int64_t* out);
+Status DecodeMainlyConstantInto(SliceReader* in, size_t n, int64_t* out);
+Status DecodeRleInto(SliceReader* in, size_t n, int64_t* out);
+Status DecodeDictionaryInto(SliceReader* in, size_t n, int64_t* out);
+Status DecodeHuffmanInto(SliceReader* in, size_t n, int64_t* out);
+Status DecodeFastPForInto(SliceReader* in, size_t n, int64_t* out);
+Status DecodeFastBP128Into(SliceReader* in, size_t n, int64_t* out);
+Status DecodeBitShuffleInto(SliceReader* in, size_t n, int64_t* out);
+Status DecodeChunkedInto(SliceReader* in, size_t n, int64_t* out);
+
 }  // namespace intcodec
 }  // namespace bullion

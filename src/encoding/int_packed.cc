@@ -1,13 +1,15 @@
 // Block-packed integer codecs: FastBP128, FastPFor (patched
 // frame-of-reference), BitShuffle (+deflate), and Chunked for ints.
-// FastPFor/FastBP128 are scalar ports of the Lemire FastPFor family's
-// layout ideas (per-128 miniblocks, per-block width, patched
-// exceptions); the SIMD kernels are out of scope on this substrate.
+// FastPFor/FastBP128 keep the Lemire-family layout (per-128 miniblocks,
+// per-block width, patched exceptions); since a 128-value miniblock of
+// any fixed width starts byte-aligned, each decodes independently
+// through the dispatched block kernels (encoding/block_codec.h).
 
 #include <algorithm>
 
 #include "common/bit_util.h"
 #include "common/varint.h"
+#include "encoding/block_codec.h"
 #include "encoding/deflate_util.h"
 #include "encoding/int_codecs.h"
 
@@ -23,43 +25,39 @@ int64_t BlockMin(std::span<const int64_t> block) {
   return *std::min_element(block.begin(), block.end());
 }
 
+inline uint64_t* AsU64(int64_t* p) { return reinterpret_cast<uint64_t*>(p); }
+
 }  // namespace
 
 Status EncodeFastBP128(std::span<const int64_t> v, BufferBuilder* out) {
+  const blockcodec::Kernels& k = blockcodec::ActiveKernels();
+  std::vector<uint64_t> offsets(std::min(kBlockSize, v.size()));
   size_t n_blocks = (v.size() + kBlockSize - 1) / kBlockSize;
   for (size_t b = 0; b < n_blocks; ++b) {
     size_t off = b * kBlockSize;
     size_t len = std::min(kBlockSize, v.size() - off);
     std::span<const int64_t> block = v.subspan(off, len);
     int64_t base = BlockMin(block);
+    k.sub_base(block.data(), base, len, offsets.data());
     uint64_t max_off = 0;
-    for (int64_t x : block) {
-      max_off = std::max(
-          max_off, static_cast<uint64_t>(x) - static_cast<uint64_t>(base));
-    }
+    for (size_t i = 0; i < len; ++i) max_off = std::max(max_off, offsets[i]);
     int width = std::max(1, bit_util::BitWidth(max_off));
     varint::PutVarint64(out, varint::ZigZagEncode(base));
     out->Append<uint8_t>(static_cast<uint8_t>(width));
-    std::vector<uint64_t> offsets(len);
-    for (size_t i = 0; i < len; ++i) {
-      offsets[i] =
-          static_cast<uint64_t>(block[i]) - static_cast<uint64_t>(base);
-    }
-    std::vector<uint8_t> packed;
-    bit_util::PackBits(offsets.data(), offsets.size(), width, &packed);
-    out->AppendBytes(packed.data(), packed.size());
+    uint8_t* dst = out->AppendZeros(
+        bit_util::RoundUpToBytes(len * static_cast<size_t>(width)));
+    k.pack_bits(offsets.data(), len, width, dst);
   }
   return Status::OK();
 }
 
-Status DecodeFastBP128(SliceReader* in, size_t n, std::vector<int64_t>* out) {
-  out->clear();
-  out->reserve(n);
+Status DecodeFastBP128Into(SliceReader* in, size_t n, int64_t* out) {
+  const blockcodec::Kernels& k = blockcodec::ActiveKernels();
   Slice rest = in->ReadBytes(in->remaining());
   size_t pos = 0;
-  size_t remaining = n;
-  while (remaining > 0) {
-    size_t len = std::min(kBlockSize, remaining);
+  size_t done = 0;
+  while (done < n) {
+    size_t len = std::min(kBlockSize, n - done);
     uint64_t zz;
     if (!varint::GetVarint64(rest, &pos, &zz)) {
       return Status::Corruption("bp128 base truncated");
@@ -67,17 +65,15 @@ Status DecodeFastBP128(SliceReader* in, size_t n, std::vector<int64_t>* out) {
     int64_t base = varint::ZigZagDecode(zz);
     if (pos >= rest.size()) return Status::Corruption("bp128 width missing");
     int width = rest[pos++];
+    if (width > 64) return Status::Corruption("bp128 width out of range");
     size_t bytes = bit_util::RoundUpToBytes(len * static_cast<size_t>(width));
     if (rest.size() - pos < bytes) {
       return Status::Corruption("bp128 packed truncated");
     }
-    std::vector<uint64_t> offsets;
-    bit_util::UnpackBits(rest.SubSlice(pos, bytes), len, width, &offsets);
+    k.unpack_bits(rest.data() + pos, bytes, len, width, AsU64(out + done));
+    k.add_base(base, len, out + done);
     pos += bytes;
-    for (uint64_t o : offsets) {
-      out->push_back(static_cast<int64_t>(static_cast<uint64_t>(base) + o));
-    }
-    remaining -= len;
+    done += len;
   }
   in->Seek(in->position() - rest.size() + pos);
   return Status::OK();
@@ -91,6 +87,7 @@ Status DecodeFastBP128(SliceReader* in, size_t n, std::vector<int64_t>* out) {
 // Width is chosen as the 87.5th percentile bit width of the block so
 // ~1/8 of values become exceptions at most.
 Status EncodeFastPFor(std::span<const int64_t> v, BufferBuilder* out) {
+  const blockcodec::Kernels& k = blockcodec::ActiveKernels();
   size_t n_blocks = (v.size() + kBlockSize - 1) / kBlockSize;
   for (size_t b = 0; b < n_blocks; ++b) {
     size_t off = b * kBlockSize;
@@ -100,9 +97,8 @@ Status EncodeFastPFor(std::span<const int64_t> v, BufferBuilder* out) {
 
     std::vector<uint64_t> offsets(len);
     std::vector<int> widths(len);
+    k.sub_base(block.data(), base, len, offsets.data());
     for (size_t i = 0; i < len; ++i) {
-      offsets[i] =
-          static_cast<uint64_t>(block[i]) - static_cast<uint64_t>(base);
       widths[i] = bit_util::BitWidth(offsets[i]);
     }
     std::vector<int> sorted_widths = widths;
@@ -122,9 +118,9 @@ Status EncodeFastPFor(std::span<const int64_t> v, BufferBuilder* out) {
         exceptions.push_back({i, offsets[i] >> width});
       }
     }
-    std::vector<uint8_t> packed;
-    bit_util::PackBits(low.data(), low.size(), width, &packed);
-    out->AppendBytes(packed.data(), packed.size());
+    uint8_t* dst = out->AppendZeros(
+        bit_util::RoundUpToBytes(len * static_cast<size_t>(width)));
+    k.pack_bits(low.data(), len, width, dst);
     varint::PutVarint64(out, exceptions.size());
     for (const auto& [idx, high] : exceptions) {
       varint::PutVarint64(out, idx);
@@ -134,14 +130,13 @@ Status EncodeFastPFor(std::span<const int64_t> v, BufferBuilder* out) {
   return Status::OK();
 }
 
-Status DecodeFastPFor(SliceReader* in, size_t n, std::vector<int64_t>* out) {
-  out->clear();
-  out->reserve(n);
+Status DecodeFastPForInto(SliceReader* in, size_t n, int64_t* out) {
+  const blockcodec::Kernels& k = blockcodec::ActiveKernels();
   Slice rest = in->ReadBytes(in->remaining());
   size_t pos = 0;
-  size_t remaining = n;
-  while (remaining > 0) {
-    size_t len = std::min(kBlockSize, remaining);
+  size_t done = 0;
+  while (done < n) {
+    size_t len = std::min(kBlockSize, n - done);
     uint64_t zz;
     if (!varint::GetVarint64(rest, &pos, &zz)) {
       return Status::Corruption("pfor base truncated");
@@ -149,16 +144,23 @@ Status DecodeFastPFor(SliceReader* in, size_t n, std::vector<int64_t>* out) {
     int64_t base = varint::ZigZagDecode(zz);
     if (pos >= rest.size()) return Status::Corruption("pfor width missing");
     int width = rest[pos++];
+    if (width > 64) return Status::Corruption("pfor width out of range");
     size_t bytes = bit_util::RoundUpToBytes(len * static_cast<size_t>(width));
     if (rest.size() - pos < bytes) {
       return Status::Corruption("pfor packed truncated");
     }
-    std::vector<uint64_t> low;
-    bit_util::UnpackBits(rest.SubSlice(pos, bytes), len, width, &low);
+    uint64_t* low = AsU64(out + done);
+    k.unpack_bits(rest.data() + pos, bytes, len, width, low);
     pos += bytes;
     uint64_t n_exc;
     if (!varint::GetVarint64(rest, &pos, &n_exc)) {
       return Status::Corruption("pfor exception count truncated");
+    }
+    // A valid encoder only emits exceptions for values wider than
+    // `width`, which is impossible at width 64 — and `high << 64` would
+    // be UB, so reject rather than reconstruct.
+    if (n_exc > 0 && width >= 64) {
+      return Status::Corruption("pfor exceptions at full width");
     }
     for (uint64_t e = 0; e < n_exc; ++e) {
       uint64_t idx, high;
@@ -169,10 +171,8 @@ Status DecodeFastPFor(SliceReader* in, size_t n, std::vector<int64_t>* out) {
       if (idx >= len) return Status::Corruption("pfor exception idx range");
       low[idx] |= high << width;
     }
-    for (uint64_t o : low) {
-      out->push_back(static_cast<int64_t>(static_cast<uint64_t>(base) + o));
-    }
-    remaining -= len;
+    k.add_base(base, len, out + done);
+    done += len;
   }
   in->Seek(in->position() - rest.size() + pos);
   return Status::OK();
@@ -198,20 +198,20 @@ Status EncodeBitShuffle(std::span<const int64_t> v, BufferBuilder* out) {
       Slice(planes.data(), planes.size()), out);
 }
 
-Status DecodeBitShuffle(SliceReader* in, size_t n, std::vector<int64_t>* out) {
+Status DecodeBitShuffleInto(SliceReader* in, size_t n, int64_t* out) {
   std::vector<uint8_t> planes;
   BULLION_RETURN_NOT_OK(deflate_util::DecompressChunked(in, &planes));
   size_t plane_bytes = (n + 7) / 8;
   if (planes.size() != plane_bytes * 64) {
     return Status::Corruption("bitshuffle plane size mismatch");
   }
-  out->assign(n, 0);
+  std::fill_n(out, n, 0);
   for (int b = 0; b < 64; ++b) {
     const uint8_t* plane = planes.data() + static_cast<size_t>(b) * plane_bytes;
     for (size_t i = 0; i < n; ++i) {
       if ((plane[i >> 3] >> (i & 7)) & 1) {
-        (*out)[i] = static_cast<int64_t>(static_cast<uint64_t>((*out)[i]) |
-                                         (1ull << b));
+        out[i] = static_cast<int64_t>(static_cast<uint64_t>(out[i]) |
+                                      (1ull << b));
       }
     }
   }
@@ -225,15 +225,36 @@ Status EncodeChunked(std::span<const int64_t> v, BufferBuilder* out) {
       out);
 }
 
-Status DecodeChunked(SliceReader* in, size_t n, std::vector<int64_t>* out) {
+Status DecodeChunkedInto(SliceReader* in, size_t n, int64_t* out) {
   std::vector<uint8_t> raw;
   BULLION_RETURN_NOT_OK(deflate_util::DecompressChunked(in, &raw));
   if (raw.size() != n * sizeof(int64_t)) {
     return Status::Corruption("chunked int payload size mismatch");
   }
-  out->resize(n);
-  std::memcpy(out->data(), raw.data(), raw.size());
+  if (n > 0) std::memcpy(out, raw.data(), raw.size());
   return Status::OK();
+}
+
+// Legacy vector overloads: resize once, forward to the block decoders.
+
+Status DecodeFastBP128(SliceReader* in, size_t n, std::vector<int64_t>* out) {
+  out->resize(n);
+  return DecodeFastBP128Into(in, n, out->data());
+}
+
+Status DecodeFastPFor(SliceReader* in, size_t n, std::vector<int64_t>* out) {
+  out->resize(n);
+  return DecodeFastPForInto(in, n, out->data());
+}
+
+Status DecodeBitShuffle(SliceReader* in, size_t n, std::vector<int64_t>* out) {
+  out->resize(n);
+  return DecodeBitShuffleInto(in, n, out->data());
+}
+
+Status DecodeChunked(SliceReader* in, size_t n, std::vector<int64_t>* out) {
+  out->resize(n);
+  return DecodeChunkedInto(in, n, out->data());
 }
 
 }  // namespace intcodec

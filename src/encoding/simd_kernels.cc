@@ -1,0 +1,187 @@
+// AVX2 / F16C kernel tier (see cpu_dispatch.h). Each function carries a
+// per-function target attribute, so this file builds without any global
+// -mavx2 flag and the binary stays runnable on non-AVX2 hosts — the
+// dispatch tables in block_codec.cc only hand these out after cpuid
+// reports the features AND AvxKernelsUsable() has cross-checked every
+// kernel against the scalar reference.
+
+#include "encoding/block_codec.h"
+#include "encoding/block_kernels_inl.h"
+
+#if BULLION_X86_DISPATCH
+
+#include <immintrin.h>
+
+namespace bullion {
+namespace blockcodec {
+namespace avx2 {
+
+namespace {
+
+#define BULLION_TARGET_AVX2 __attribute__((target("avx2")))
+#define BULLION_TARGET_F16C __attribute__((target("avx2,f16c")))
+
+BULLION_TARGET_AVX2 inline __m256i ZigZagEncodeLanes(__m256i v) {
+  // (v << 1) ^ (v >> 63); AVX2 has no 64-bit arithmetic shift, but the
+  // sign-fill is exactly the 0 > v comparison mask.
+  __m256i sign = _mm256_cmpgt_epi64(_mm256_setzero_si256(), v);
+  return _mm256_xor_si256(_mm256_slli_epi64(v, 1), sign);
+}
+
+BULLION_TARGET_AVX2 inline __m256i ZigZagDecodeLanes(__m256i v) {
+  // (v >> 1) ^ -(v & 1)
+  __m256i neg_lsb = _mm256_sub_epi64(
+      _mm256_setzero_si256(), _mm256_and_si256(v, _mm256_set1_epi64x(1)));
+  return _mm256_xor_si256(_mm256_srli_epi64(v, 1), neg_lsb);
+}
+
+}  // namespace
+
+BULLION_TARGET_AVX2 void UnpackBits(const uint8_t* in, size_t in_bytes,
+                                    size_t n, int width, uint64_t* out) {
+  // Each lane does one unaligned 8-byte gather at byte = bit >> 3 and
+  // shifts by bit & 7 (<= 7), so a single load covers widths up to
+  // 64 - 7 = 57 bits. Wider values need a second word: hand those to
+  // the SWAR kernel wholesale.
+  if (width == 0 || width > 57 || n < 8) {
+    detail::UnpackBitsSwar(in, in_bytes, n, width, out);
+    return;
+  }
+  // Last value whose 8-byte gather stays inside in_bytes:
+  // (i * width) >> 3 <= in_bytes - 8  =>  i <= (8*(in_bytes-8)+7)/width.
+  size_t safe = 0;
+  if (in_bytes >= 8) {
+    safe = (8 * (in_bytes - 8) + 7) / static_cast<size_t>(width) + 1;
+    if (safe > n) safe = n;
+  }
+  const __m256i vmask = _mm256_set1_epi64x(
+      static_cast<long long>((1ull << width) - 1));
+  const __m256i vseven = _mm256_set1_epi64x(7);
+  const __m256i vstep = _mm256_set1_epi64x(4ll * width);
+  __m256i vbit = _mm256_set_epi64x(3ll * width, 2ll * width, width, 0);
+  size_t i = 0;
+  for (; i + 4 <= safe; i += 4) {
+    __m256i vbyte = _mm256_srli_epi64(vbit, 3);
+    __m256i vshift = _mm256_and_si256(vbit, vseven);
+    __m256i w = _mm256_i64gather_epi64(
+        reinterpret_cast<const long long*>(in), vbyte, 1);
+    w = _mm256_and_si256(_mm256_srlv_epi64(w, vshift), vmask);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), w);
+    vbit = _mm256_add_epi64(vbit, vstep);
+  }
+  if (i < n) {
+    detail::UnpackBitsSwarRange(in, in_bytes, i, n - i, width, out + i);
+  }
+}
+
+BULLION_TARGET_AVX2 void AddBase(int64_t base, size_t n, int64_t* inout) {
+  const __m256i vbase = _mm256_set1_epi64x(base);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(inout + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(inout + i),
+                        _mm256_add_epi64(v, vbase));
+  }
+  if (i < n) detail::AddBaseScalar(base, n - i, inout + i);
+}
+
+BULLION_TARGET_AVX2 void SubBase(const int64_t* in, int64_t base, size_t n,
+                                 uint64_t* out) {
+  const __m256i vbase = _mm256_set1_epi64x(base);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_sub_epi64(v, vbase));
+  }
+  if (i < n) detail::SubBaseScalar(in + i, base, n - i, out + i);
+}
+
+BULLION_TARGET_AVX2 void ZigZagEncode(const int64_t* in, size_t n,
+                                      uint64_t* out) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        ZigZagEncodeLanes(v));
+  }
+  if (i < n) detail::ZigZagEncodeScalar(in + i, n - i, out + i);
+}
+
+BULLION_TARGET_AVX2 void ZigZagDecode(const uint64_t* in, size_t n,
+                                      int64_t* out) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        ZigZagDecodeLanes(v));
+  }
+  if (i < n) detail::ZigZagDecodeScalar(in + i, n - i, out + i);
+}
+
+BULLION_TARGET_F16C void F16Encode(const float* in, size_t n, uint16_t* out) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256 v = _mm256_loadu_ps(in + i);
+    __m128i h = _mm256_cvtps_ph(v, _MM_FROUND_TO_NEAREST_INT |
+                                       _MM_FROUND_NO_EXC);
+    // F16C keeps NaN payload bits; the software reference canonicalizes
+    // every NaN to sign|0x7C01. Patch the unordered lanes to match.
+    int nan_mask =
+        _mm256_movemask_ps(_mm256_cmp_ps(v, v, _CMP_UNORD_Q));
+    if (__builtin_expect(nan_mask != 0, 0)) {
+      alignas(16) uint16_t lanes[8];
+      _mm_store_si128(reinterpret_cast<__m128i*>(lanes), h);
+      for (int k = 0; k < 8; ++k) {
+        if (nan_mask & (1 << k)) {
+          uint32_t bits = bullion::detail::FloatBits(in[i + k]);
+          lanes[k] = static_cast<uint16_t>(((bits >> 31) << 15) | 0x7C01u);
+        }
+      }
+      h = _mm_load_si128(reinterpret_cast<const __m128i*>(lanes));
+    }
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), h);
+  }
+  if (i < n) detail::F16EncodeScalar(in + i, n - i, out + i);
+}
+
+BULLION_TARGET_F16C void F16Decode(const uint16_t* in, size_t n, float* out) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m128i h = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + i));
+    __m256 v = _mm256_cvtph_ps(h);
+    // Detect NaN halves (all-ones exponent, nonzero mantissa): hardware
+    // shifts the payload into the float mantissa; the software
+    // reference returns the canonical quiet NaN sign|0x7FC00000.
+    __m128i exp = _mm_and_si128(h, _mm_set1_epi16(0x7C00));
+    __m128i man = _mm_and_si128(h, _mm_set1_epi16(0x03FF));
+    __m128i is_nan = _mm_and_si128(
+        _mm_cmpeq_epi16(exp, _mm_set1_epi16(0x7C00)),
+        _mm_xor_si128(_mm_cmpeq_epi16(man, _mm_setzero_si128()),
+                      _mm_set1_epi16(-1)));
+    if (__builtin_expect(_mm_movemask_epi8(is_nan) != 0, 0)) {
+      alignas(32) float lanes[8];
+      _mm256_store_ps(lanes, v);
+      for (int k = 0; k < 8; ++k) {
+        uint16_t hv = in[i + k];
+        if ((hv & 0x7C00) == 0x7C00 && (hv & 0x03FF) != 0) {
+          lanes[k] = bullion::detail::BitsToFloat(
+              (static_cast<uint32_t>(hv >> 15) << 31) | 0x7FC00000u);
+        }
+      }
+      v = _mm256_load_ps(lanes);
+    }
+    _mm256_storeu_ps(out + i, v);
+  }
+  if (i < n) detail::F16DecodeScalar(in + i, n - i, out + i);
+}
+
+#undef BULLION_TARGET_AVX2
+#undef BULLION_TARGET_F16C
+
+}  // namespace avx2
+}  // namespace blockcodec
+}  // namespace bullion
+
+#endif  // BULLION_X86_DISPATCH

@@ -259,12 +259,31 @@ Status DecodePage(Slice page, ColumnVector* out) {
   PageFormat format = static_cast<PageFormat>(in.Read<uint8_t>());
 
   if (format == PageFormat::kSparseDelta) {
+    if (out->list_depth() != 1 || out->domain() != ValueDomain::kInt) {
+      return Status::Corruption("sparse-delta page needs int list column");
+    }
     std::vector<int64_t> offsets, values;
     BULLION_RETURN_NOT_OK(DecodeSparseDeltaColumn(
         page.SubSlice(1, page.size() - 1), &offsets, &values));
-    for (size_t r = 0; r + 1 < offsets.size(); ++r) {
-      out->AppendIntList(std::vector<int64_t>(
-          values.begin() + offsets[r], values.begin() + offsets[r + 1]));
+    if (offsets.empty() || offsets.front() != 0) {
+      return Status::Corruption("sparse-delta offsets must start at 0");
+    }
+    for (size_t r = 1; r < offsets.size(); ++r) {
+      if (offsets[r] < offsets[r - 1]) {
+        return Status::Corruption("sparse-delta offsets not monotone");
+      }
+    }
+    if (offsets.back() > static_cast<int64_t>(values.size())) {
+      return Status::Corruption("sparse-delta offsets exceed value count");
+    }
+    // Bulk move: values land in storage once; each row becomes one
+    // rebased offset entry instead of a per-row vector copy.
+    std::vector<int64_t>& vals = out->mutable_int_values();
+    const int64_t base_vals = static_cast<int64_t>(vals.size());
+    vals.insert(vals.end(), values.begin(), values.begin() + offsets.back());
+    std::vector<int64_t>& offs0 = out->mutable_offsets()[0];
+    for (size_t r = 1; r < offsets.size(); ++r) {
+      offs0.push_back(base_vals + offsets[r]);
     }
     return Status::OK();
   }
@@ -300,36 +319,44 @@ Status DecodePage(Slice page, ColumnVector* out) {
     return Status::OK();
   };
 
+  // Values decode straight into the ColumnVector's backing storage
+  // (one resize, kernel decode into the tail); list structure is
+  // rebuilt by rebasing the page-local offsets onto the rows already
+  // present — no per-row vector materialization.
   switch (out->domain()) {
     case ValueDomain::kInt: {
-      std::vector<int64_t> values;
-      BULLION_RETURN_NOT_OK(DecodeIntBlock(&in, &values));
+      std::vector<int64_t>& vals = out->mutable_int_values();
+      const size_t base_vals = vals.size();
+      BULLION_RETURN_NOT_OK(DecodeIntBlockAppend(&in, &vals));
+      const int64_t n_vals = static_cast<int64_t>(vals.size() - base_vals);
       if (depth == 2) {
-        BULLION_RETURN_NOT_OK(validate_offsets(
-            offsets[1], static_cast<int64_t>(values.size())));
+        BULLION_RETURN_NOT_OK(validate_offsets(offsets[1], n_vals));
         BULLION_RETURN_NOT_OK(validate_offsets(
             offsets[0], static_cast<int64_t>(offsets[1].size()) - 1));
-      } else if (depth == 1) {
-        BULLION_RETURN_NOT_OK(validate_offsets(
-            offsets[0], static_cast<int64_t>(values.size())));
-      }
-      if (depth == 0) {
-        for (int64_t v : values) out->AppendInt(v);
-      } else if (depth == 1) {
-        for (size_t r = 0; r + 1 < offsets[0].size(); ++r) {
-          out->AppendIntList(std::vector<int64_t>(
-              values.begin() + offsets[0][r],
-              values.begin() + offsets[0][r + 1]));
+        // Rows reference inner lists [0, offsets[0].back()) which in
+        // turn reference values [0, offsets[1][used_inner]); anything
+        // past that is unreferenced padding — drop it, matching the
+        // row-wise decoder this replaces.
+        const int64_t used_inner = offsets[0].back();
+        const int64_t used_vals =
+            offsets[1][static_cast<size_t>(used_inner)];
+        vals.resize(base_vals + static_cast<size_t>(used_vals));
+        std::vector<int64_t>& offs0 = out->mutable_offsets()[0];
+        std::vector<int64_t>& offs1 = out->mutable_offsets()[1];
+        const int64_t base_inner = static_cast<int64_t>(offs1.size()) - 1;
+        for (int64_t j = 1; j <= used_inner; ++j) {
+          offs1.push_back(static_cast<int64_t>(base_vals) +
+                          offsets[1][static_cast<size_t>(j)]);
         }
-      } else {
-        for (size_t r = 0; r + 1 < offsets[0].size(); ++r) {
-          std::vector<std::vector<int64_t>> row;
-          for (int64_t j = offsets[0][r]; j < offsets[0][r + 1]; ++j) {
-            row.push_back(std::vector<int64_t>(
-                values.begin() + offsets[1][static_cast<size_t>(j)],
-                values.begin() + offsets[1][static_cast<size_t>(j) + 1]));
-          }
-          out->AppendIntListList(row);
+        for (size_t r = 1; r < offsets[0].size(); ++r) {
+          offs0.push_back(base_inner + offsets[0][r]);
+        }
+      } else if (depth == 1) {
+        BULLION_RETURN_NOT_OK(validate_offsets(offsets[0], n_vals));
+        vals.resize(base_vals + static_cast<size_t>(offsets[0].back()));
+        std::vector<int64_t>& offs0 = out->mutable_offsets()[0];
+        for (size_t r = 1; r < offsets[0].size(); ++r) {
+          offs0.push_back(static_cast<int64_t>(base_vals) + offsets[0][r]);
         }
       }
       break;
@@ -337,17 +364,18 @@ Status DecodePage(Slice page, ColumnVector* out) {
     case ValueDomain::kReal: {
       std::vector<double> values;
       BULLION_RETURN_NOT_OK(DecodeDoubleBlock(&in, &values));
-      if (depth >= 1) {
+      std::vector<double>& vals = out->mutable_real_values();
+      const size_t base_vals = vals.size();
+      if (depth == 0) {
+        vals.insert(vals.end(), values.begin(), values.end());
+      } else {
         BULLION_RETURN_NOT_OK(validate_offsets(
             offsets[0], static_cast<int64_t>(values.size())));
-      }
-      if (depth == 0) {
-        for (double v : values) out->AppendReal(v);
-      } else {
-        for (size_t r = 0; r + 1 < offsets[0].size(); ++r) {
-          out->AppendRealList(std::vector<double>(
-              values.begin() + offsets[0][r],
-              values.begin() + offsets[0][r + 1]));
+        vals.insert(vals.end(), values.begin(),
+                    values.begin() + offsets[0].back());
+        std::vector<int64_t>& offs0 = out->mutable_offsets()[0];
+        for (size_t r = 1; r < offsets[0].size(); ++r) {
+          offs0.push_back(static_cast<int64_t>(base_vals) + offsets[0][r]);
         }
       }
       break;
@@ -355,17 +383,20 @@ Status DecodePage(Slice page, ColumnVector* out) {
     case ValueDomain::kBinary: {
       std::vector<std::string> values;
       BULLION_RETURN_NOT_OK(DecodeStringBlock(&in, &values));
-      if (depth >= 1) {
+      std::vector<std::string>& vals = out->mutable_bin_values();
+      const size_t base_vals = vals.size();
+      if (depth == 0) {
+        vals.insert(vals.end(), std::make_move_iterator(values.begin()),
+                    std::make_move_iterator(values.end()));
+      } else {
         BULLION_RETURN_NOT_OK(validate_offsets(
             offsets[0], static_cast<int64_t>(values.size())));
-      }
-      if (depth == 0) {
-        for (auto& v : values) out->AppendBinary(std::move(v));
-      } else {
-        for (size_t r = 0; r + 1 < offsets[0].size(); ++r) {
-          out->AppendBinaryList(std::vector<std::string>(
-              values.begin() + offsets[0][r],
-              values.begin() + offsets[0][r + 1]));
+        vals.insert(vals.end(), std::make_move_iterator(values.begin()),
+                    std::make_move_iterator(values.begin() +
+                                            offsets[0].back()));
+        std::vector<int64_t>& offs0 = out->mutable_offsets()[0];
+        for (size_t r = 1; r < offsets[0].size(); ++r) {
+          offs0.push_back(static_cast<int64_t>(base_vals) + offsets[0][r]);
         }
       }
       break;

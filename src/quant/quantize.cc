@@ -2,7 +2,40 @@
 
 #include <cmath>
 
+#include "encoding/block_codec.h"
+
 namespace bullion {
+
+namespace {
+
+constexpr size_t kF16Batch = 4096;
+
+/// FP16 conversion in fixed-size batches through the dispatched block
+/// kernels (F16C when available); widens/narrows through a stack
+/// scratch since the int64 storage domain is 4x wider than the halves.
+void BatchF16Encode(std::span<const float> values, int64_t* out) {
+  const blockcodec::Kernels& k = blockcodec::ActiveKernels();
+  uint16_t half[kF16Batch];
+  for (size_t off = 0; off < values.size(); off += kF16Batch) {
+    size_t len = std::min(kF16Batch, values.size() - off);
+    k.f16_encode(values.data() + off, len, half);
+    for (size_t i = 0; i < len; ++i) out[off + i] = half[i];
+  }
+}
+
+void BatchF16Decode(std::span<const int64_t> bits, float* out) {
+  const blockcodec::Kernels& k = blockcodec::ActiveKernels();
+  uint16_t half[kF16Batch];
+  for (size_t off = 0; off < bits.size(); off += kF16Batch) {
+    size_t len = std::min(kF16Batch, bits.size() - off);
+    for (size_t i = 0; i < len; ++i) {
+      half[i] = static_cast<uint16_t>(bits[off + i]);
+    }
+    k.f16_decode(half, len, out + off);
+  }
+}
+
+}  // namespace
 
 int PrecisionBytes(FloatPrecision p) {
   switch (p) {
@@ -62,9 +95,7 @@ std::vector<int64_t> QuantizeFloats(std::span<const float> values,
       }
       break;
     case FloatPrecision::kFp16:
-      for (size_t i = 0; i < values.size(); ++i) {
-        out[i] = Float16::FromFloat(values[i]).bits();
-      }
+      BatchF16Encode(values, out.data());
       break;
     case FloatPrecision::kBf16:
       for (size_t i = 0; i < values.size(); ++i) {
@@ -96,10 +127,7 @@ std::vector<float> DequantizeFloats(std::span<const int64_t> bits,
       }
       break;
     case FloatPrecision::kFp16:
-      for (size_t i = 0; i < bits.size(); ++i) {
-        out[i] =
-            Float16::FromBits(static_cast<uint16_t>(bits[i])).ToFloat();
-      }
+      BatchF16Decode(bits, out.data());
       break;
     case FloatPrecision::kBf16:
       for (size_t i = 0; i < bits.size(); ++i) {
@@ -162,18 +190,16 @@ DualColumn SplitDualColumn(std::span<const float> values) {
 
 std::vector<float> ReconstructDual(const DualColumn& dual) {
   std::vector<float> out(dual.hi.size());
-  for (size_t i = 0; i < out.size(); ++i) {
-    out[i] = Float16::FromBits(static_cast<uint16_t>(dual.hi[i])).ToFloat() +
-             Float16::FromBits(static_cast<uint16_t>(dual.lo[i])).ToFloat();
-  }
+  std::vector<float> lo(dual.lo.size());
+  BatchF16Decode(dual.hi, out.data());
+  BatchF16Decode(dual.lo, lo.data());
+  for (size_t i = 0; i < out.size(); ++i) out[i] += lo[i];
   return out;
 }
 
 std::vector<float> ReconstructHiOnly(const DualColumn& dual) {
   std::vector<float> out(dual.hi.size());
-  for (size_t i = 0; i < out.size(); ++i) {
-    out[i] = Float16::FromBits(static_cast<uint16_t>(dual.hi[i])).ToFloat();
-  }
+  BatchF16Decode(dual.hi, out.data());
   return out;
 }
 
