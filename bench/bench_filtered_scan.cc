@@ -99,14 +99,18 @@ void PrintFilteredScanReport() {
   const size_t kRows = 65536, kRowsPerGroup = 2048, kShards = 8;
   OrderedCorpus corpus(kRows, kRowsPerGroup, kShards);
 
-  // Full-scan pread baseline (per scan) for the skipped-I/O assert.
-  corpus.fs.stats().Reset();
+  // Full-scan pread baseline (per scan) for the skipped-I/O assert —
+  // snapshot/delta, not Reset(): the filesystem stats are shared.
+  IoStatsSnapshot before_full = corpus.fs.stats().Snapshot();
   {
     auto full = Scan(corpus.reader.get()).Columns({"uid", "score"}).Stream();
     BULLION_CHECK(full.ok());
     BULLION_CHECK(DrainRows(full->get()) == kRows);
   }
-  const uint64_t full_reads = corpus.fs.stats().read_ops.load();
+  const IoStatsSnapshot full_io =
+      IoStatsDelta(before_full, corpus.fs.stats().Snapshot());
+  const uint64_t full_reads = full_io.read_ops;
+  bench::PrintIoStats("full-scan baseline", full_io);
 
   std::printf(
       "%10s %8s %10s %10s %8s %8s %8s %10s %10s %8s\n", "selectivity",
@@ -119,7 +123,7 @@ void PrintFilteredScanReport() {
       std::unique_ptr<ThreadPool> pool;
       if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
       IoStats scan_stats;
-      corpus.fs.stats().Reset();
+      IoStatsSnapshot cell_before = corpus.fs.stats().Snapshot();
       auto scan_once = [&] {
         auto stream = Scan(corpus.reader.get())
                           .Columns({"uid", "score"})
@@ -134,21 +138,25 @@ void PrintFilteredScanReport() {
       uint64_t rows_out = scan_once();
       BULLION_CHECK(rows_out == want_rows);  // exactness, every cell
       // Selective cuts must skip preads, not just filter rows.
+      IoStatsSnapshot first_io =
+          IoStatsDelta(cell_before, corpus.fs.stats().Snapshot());
       if (keep < 1.0) {
-        BULLION_CHECK(corpus.fs.stats().read_ops.load() < full_reads);
+        BULLION_CHECK(first_io.read_ops < full_reads);
         BULLION_CHECK(scan_stats.groups_pruned.load() +
                           scan_stats.shards_pruned.load() >
                       0);
       }
       double ms = bench::TimeUsAveraged([&] { scan_once(); }) / 1000.0;
+      IoStatsSnapshot cell_io =
+          IoStatsDelta(cell_before, corpus.fs.stats().Snapshot());
       std::printf(
           "%10.4f %8zu %10.3f %10llu %8llu %8llu %8llu %10llu %10.2f %8s\n",
           keep, threads, ms, (unsigned long long)rows_out,
           (unsigned long long)scan_stats.groups_pruned.load(),
           (unsigned long long)scan_stats.shards_pruned.load(),
           (unsigned long long)scan_stats.batches_emitted.load(),
-          (unsigned long long)corpus.fs.stats().read_ops.load(),
-          corpus.fs.stats().bytes_read.load() / 1048576.0, "yes");
+          (unsigned long long)cell_io.read_ops,
+          cell_io.bytes_read / 1048576.0, "yes");
     }
   }
   std::printf(

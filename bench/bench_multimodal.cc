@@ -44,7 +44,7 @@ std::vector<Sample> MakeSamples(size_t n, uint64_t seed) {
 }
 
 struct ScanResult {
-  IoStats io;
+  IoStatsSnapshot io;  // this scan's delta of the shared fs counters
   uint64_t selected = 0;
 };
 
@@ -66,10 +66,13 @@ struct WrittenDataset {
   ScanResult Scan(double min_quality, double media_fraction) {
     auto reader = *TrainingReader::Open(*fs.NewReadableFile("meta"),
                                         *fs.NewReadableFile("media"));
-    fs.ResetStats();
+    // Snapshot/delta instead of ResetStats(): the counters are shared
+    // by every open handle of this filesystem (see io/io_stats.h).
+    IoStatsSnapshot before = fs.stats().Snapshot();
     auto stats = reader->Scan(min_quality, media_fraction);
     BULLION_CHECK_OK(stats.status());
-    return ScanResult{fs.stats(), stats->samples_selected};
+    return ScanResult{IoStatsDelta(before, fs.stats().Snapshot()),
+                      stats->samples_selected};
   }
 };
 

@@ -148,36 +148,39 @@ void PrintEpochCacheReport() {
     return scan;
   };
 
-  // Unbounded-enough cache: the whole projection fits.
+  // Unbounded-enough cache: the whole projection fits. Phase accounting
+  // uses Snapshot() + IoStatsDelta — the stats object is the SHARED
+  // filesystem counters, and Reset()-ing it mid-bench would zero state
+  // under any concurrent reader (see io/io_stats.h).
   DecodedChunkCache cache(1ull << 30, &stats);
-  stats.Reset();
+  IoStatsSnapshot before_cold = stats.Snapshot();
   double cold_ms = bench::TimeUs([&] { epoch(&cache); }) / 1000.0;
-  uint64_t cold_preads = stats.read_ops.load();
-  uint64_t cold_bytes = stats.bytes_read.load();
+  IoStatsSnapshot cold_io = IoStatsDelta(before_cold, stats.Snapshot());
 
   auto cold_result = DatasetScanBuilder(corpus.reader.get())
                          .ColumnIndices(corpus.projection)
                          .Scan();
 
-  stats.Reset();
+  IoStatsSnapshot before_warm = stats.Snapshot();
   double warm_ms = bench::TimeUsAveraged([&] {
                      auto scan = epoch(&cache);
                      benchmark::DoNotOptimize(scan);
                    }) /
                    1000.0;
-  uint64_t warm_preads = stats.read_ops.load();
   auto warm_result = epoch(&cache);
+  IoStatsSnapshot warm_io = IoStatsDelta(before_warm, stats.Snapshot());
+  uint64_t warm_preads = warm_io.read_ops;
   bool identical = warm_result->groups == cold_result->groups;
 
   std::printf("%8s %12s %10s %14s %12s %12s\n", "epoch", "scan_ms", "preads",
               "bytes_read", "cache_hits", "identical");
   std::printf("%8s %12.3f %10llu %14llu %12llu %12s\n", "cold", cold_ms,
-              (unsigned long long)cold_preads, (unsigned long long)cold_bytes,
-              0ull, "-");
+              (unsigned long long)cold_io.read_ops,
+              (unsigned long long)cold_io.bytes_read, 0ull, "-");
   std::printf("%8s %12.3f %10llu %14llu %12llu %12s\n", "warm", warm_ms,
               (unsigned long long)warm_preads,
-              (unsigned long long)stats.bytes_read.load(),
-              (unsigned long long)stats.cache_hits.load(),
+              (unsigned long long)warm_io.bytes_read,
+              (unsigned long long)warm_io.cache_hits,
               identical ? "yes" : "NO");
   BULLION_CHECK(warm_preads == 0);  // the acceptance criterion
   std::printf(
@@ -188,7 +191,6 @@ void PrintEpochCacheReport() {
 
   // Byte-budgeted run: cap at half the resident set and show pressure.
   DecodedChunkCache half(cache.size_bytes() / 2, &stats);
-  stats.Reset();
   epoch(&half);
   epoch(&half);
   std::printf(
@@ -198,6 +200,56 @@ void PrintEpochCacheReport() {
       (unsigned long long)half.misses(),
       (unsigned long long)half.evictions(),
       epoch(&half)->groups == cold_result->groups ? "yes" : "NO");
+}
+
+void PrintObservabilityReport() {
+  bench::PrintHeader(
+      "E12c / pipeline observability: per-stage report + registry view");
+  ShardedCorpus corpus(0.02, 4096, 512, 4);
+
+  // One reporting scan through the unified front door: the
+  // PipelineReport breaks the wall time into stages, the registry
+  // histograms below break the I/O into latency percentiles.
+  obs::PipelineReport report;
+  IoStatsSnapshot before = corpus.fs.stats().Snapshot();
+  {
+    auto stream = Scan(corpus.reader.get())
+                      .ColumnIndices(corpus.projection)
+                      .Threads(4)
+                      .Report(&report)
+                      .Stream();
+    BULLION_CHECK(stream.ok());
+    RowBatch batch;
+    for (;;) {
+      auto more = (*stream)->Next(&batch);
+      BULLION_CHECK(more.ok());
+      if (!*more) break;
+      benchmark::DoNotOptimize(batch);
+    }
+  }
+  IoStatsSnapshot scan_io = IoStatsDelta(before, corpus.fs.stats().Snapshot());
+
+  std::printf("%s", report.ToString().c_str());
+  bench::PrintIoStats("reporting scan", scan_io);
+
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  obs::HistogramSnapshot pread = reg.GetHistogram("bullion.io.pread_ns")
+                                     ->Snapshot();
+  obs::HistogramSnapshot qwait =
+      reg.GetHistogram("bullion.exec.queue_wait_ns")->Snapshot();
+  obs::HistogramSnapshot decode =
+      reg.GetHistogram("bullion.format.decode_chunk_ns")->Snapshot();
+  std::printf(
+      "registry: pread p50 %.1fus p99 %.1fus (%llu ops) | decode p50 %.1fus "
+      "p99 %.1fus | queue_wait p50 %.1fus p99 %.1fus | queue_depth now %lld\n",
+      pread.p50 / 1e3, pread.p99 / 1e3, (unsigned long long)pread.count,
+      decode.p50 / 1e3, decode.p99 / 1e3, qwait.p50 / 1e3, qwait.p99 / 1e3,
+      (long long)reg.GetGauge("bullion.exec.queue_depth")->value());
+
+  bench::BenchJsonWriter json("sharded_scan");
+  json.AddSection("pipeline_report", report.ToJson());
+  json.AddIoStats("reporting_scan_io", scan_io);
+  json.WriteWithMetrics();
 }
 
 void BM_ShardedScan(benchmark::State& state) {
@@ -240,6 +292,7 @@ BENCHMARK(BM_WarmEpochScan)->Unit(benchmark::kMillisecond);
 int main(int argc, char** argv) {
   bullion::PrintShardedScanReport();
   bullion::PrintEpochCacheReport();
+  bullion::PrintObservabilityReport();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

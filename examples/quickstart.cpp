@@ -23,6 +23,14 @@ using namespace bullion;  // NOLINT
 int main(int argc, char** argv) {
   std::string path = argc > 1 ? argv[1] : "/tmp/quickstart.bullion";
 
+  // Every pipeline stage below carries trace spans (src/obs/README.md):
+  //   BULLION_TRACE=/tmp/trace.json ./build/quickstart
+  // writes a Chrome-trace JSON at exit — open it in ui.perfetto.dev.
+  if (obs::TracingEnabled()) {
+    std::printf("tracing active (BULLION_TRACE): spans will be written "
+                "at exit\n");
+  }
+
   // 1. Schema: a scalar id, a float score, and a sparse id sequence.
   //    Marking "uid" deletable opts it into in-place erasure (§2.1).
   Schema schema({

@@ -16,6 +16,9 @@
 //   Storage quantization       -- quant/* (§2.4)
 //   Multimodal meta+media      -- multimodal/* (§2.5)
 //   Parquet-like baseline      -- baseline/parquet_like.h
+//   Observability              -- obs/* (metrics registry, latency
+//                                 histograms, PipelineReport, Chrome-
+//                                 trace spans via BULLION_TRACE)
 //
 // The read stack is layered plan → fetch → decode: TableReader plans a
 // projection into coalesced preads (io/read_planner.h), fetches each
@@ -144,6 +147,9 @@
 #include "io/file.h"
 #include "io/simulated_device.h"
 #include "multimodal/dataset.h"
+#include "obs/metrics.h"
+#include "obs/pipeline_report.h"
+#include "obs/trace.h"
 #include "quant/int_rehash.h"
 #include "quant/mixed_precision.h"
 #include "quant/quantize.h"

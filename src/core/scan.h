@@ -113,6 +113,13 @@ class ScanStreamBuilder {
     spec_.stats = stats;
     return *this;
   }
+  /// Record per-stage timing, throughput, and the per-unit fetch+decode
+  /// latency distribution into `report` (obs/pipeline_report.h). Must
+  /// outlive the stream; accumulates across runs until Reset().
+  ScanStreamBuilder& Report(obs::PipelineReport* report) {
+    spec_.report = report;
+    return *this;
+  }
   /// Serve decoded chunks from (and publish fresh ones to) this cache.
   /// Dataset sources only — single files have no shard identity to key
   /// the cache by.

@@ -1,6 +1,34 @@
 #include "dataset/chunk_cache.h"
 
+#include "obs/metrics.h"
+
 namespace bullion {
+
+namespace {
+
+/// Process-wide cache metrics. Occupancy gauges move by deltas, so
+/// several live DecodedChunkCaches aggregate into one registry view;
+/// latency histograms time the cache's own critical sections (lock +
+/// copy), the cost a scan pays per probe.
+struct CacheMetrics {
+  obs::LatencyHistogram* hit_ns;
+  obs::LatencyHistogram* miss_ns;
+  obs::LatencyHistogram* insert_ns;
+  obs::Gauge* bytes_used;
+  obs::Gauge* entries;
+};
+
+CacheMetrics& Metrics() {
+  static CacheMetrics m{
+      obs::MetricsRegistry::Global().GetHistogram("bullion.cache.hit_ns"),
+      obs::MetricsRegistry::Global().GetHistogram("bullion.cache.miss_ns"),
+      obs::MetricsRegistry::Global().GetHistogram("bullion.cache.insert_ns"),
+      obs::MetricsRegistry::Global().GetGauge("bullion.cache.bytes_used"),
+      obs::MetricsRegistry::Global().GetGauge("bullion.cache.entries")};
+  return m;
+}
+
+}  // namespace
 
 size_t ApproxColumnVectorBytes(const ColumnVector& v) {
   size_t bytes = v.int_values().size() * sizeof(int64_t) +
@@ -18,6 +46,7 @@ size_t ApproxColumnVectorBytes(const ColumnVector& v) {
 }
 
 bool DecodedChunkCache::Lookup(const ChunkCacheKey& key, ColumnVector* out) {
+  const uint64_t probe_start = obs::NowNs();
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = index_.find(key);
@@ -28,6 +57,7 @@ bool DecodedChunkCache::Lookup(const ChunkCacheKey& key, ColumnVector* out) {
       if (stats_ != nullptr) {
         stats_->cache_hits.fetch_add(1, std::memory_order_relaxed);
       }
+      Metrics().hit_ns->Record(obs::NowNs() - probe_start);
       return true;
     }
   }
@@ -35,13 +65,17 @@ bool DecodedChunkCache::Lookup(const ChunkCacheKey& key, ColumnVector* out) {
   if (stats_ != nullptr) {
     stats_->cache_misses.fetch_add(1, std::memory_order_relaxed);
   }
+  Metrics().miss_ns->Record(obs::NowNs() - probe_start);
   return false;
 }
 
 void DecodedChunkCache::Insert(const ChunkCacheKey& key,
                                const ColumnVector& value) {
+  const uint64_t insert_start = obs::NowNs();
   size_t bytes = ApproxColumnVectorBytes(value);
   std::lock_guard<std::mutex> lock(mu_);
+  const size_t bytes_before = size_bytes_;
+  const size_t entries_before = lru_.size();
   auto it = index_.find(key);
   if (it != index_.end()) {
     size_bytes_ -= it->second->bytes;
@@ -55,12 +89,29 @@ void DecodedChunkCache::Insert(const ChunkCacheKey& key,
     if (stats_ != nullptr) {
       stats_->cache_rejects.fetch_add(1, std::memory_order_relaxed);
     }
+    PublishOccupancyLocked(bytes_before, entries_before);
+    Metrics().insert_ns->Record(obs::NowNs() - insert_start);
     return;
   }
   lru_.push_front(Entry{key, value, bytes});
   index_[key] = lru_.begin();
   size_bytes_ += bytes;
   EvictToFitLocked();
+  PublishOccupancyLocked(bytes_before, entries_before);
+  Metrics().insert_ns->Record(obs::NowNs() - insert_start);
+}
+
+void DecodedChunkCache::PublishOccupancyLocked(size_t bytes_before,
+                                               size_t entries_before) {
+  CacheMetrics& m = Metrics();
+  if (size_bytes_ != bytes_before) {
+    m.bytes_used->Add(static_cast<int64_t>(size_bytes_) -
+                      static_cast<int64_t>(bytes_before));
+  }
+  if (lru_.size() != entries_before) {
+    m.entries->Add(static_cast<int64_t>(lru_.size()) -
+                   static_cast<int64_t>(entries_before));
+  }
 }
 
 void DecodedChunkCache::EvictToFitLocked() {
@@ -79,6 +130,8 @@ void DecodedChunkCache::EvictToFitLocked() {
 size_t DecodedChunkCache::InvalidateShard(uint32_t shard,
                                           uint32_t live_generation) {
   std::lock_guard<std::mutex> lock(mu_);
+  const size_t bytes_before = size_bytes_;
+  const size_t entries_before = lru_.size();
   size_t dropped = 0;
   for (auto it = lru_.begin(); it != lru_.end();) {
     if (it->key.shard == shard && it->key.generation != live_generation) {
@@ -94,14 +147,30 @@ size_t DecodedChunkCache::InvalidateShard(uint32_t shard,
   if (stats_ != nullptr && dropped > 0) {
     stats_->cache_invalidations.fetch_add(dropped, std::memory_order_relaxed);
   }
+  PublishOccupancyLocked(bytes_before, entries_before);
   return dropped;
 }
 
 void DecodedChunkCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
+  const size_t bytes_before = size_bytes_;
+  const size_t entries_before = lru_.size();
   lru_.clear();
   index_.clear();
   size_bytes_ = 0;
+  PublishOccupancyLocked(bytes_before, entries_before);
+}
+
+DecodedChunkCache::~DecodedChunkCache() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Hand the residual occupancy back so the process gauges only ever
+  // describe live caches.
+  const size_t bytes_before = size_bytes_;
+  const size_t entries_before = lru_.size();
+  lru_.clear();
+  index_.clear();
+  size_bytes_ = 0;
+  PublishOccupancyLocked(bytes_before, entries_before);
 }
 
 size_t DecodedChunkCache::size_bytes() const {

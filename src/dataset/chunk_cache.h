@@ -98,6 +98,10 @@ class DecodedChunkCache {
   explicit DecodedChunkCache(size_t capacity_bytes, IoStats* stats = nullptr)
       : capacity_bytes_(capacity_bytes), stats_(stats) {}
 
+  /// Returns this cache's residual occupancy to the process-wide
+  /// registry gauges (bullion.cache.bytes_used / bullion.cache.entries).
+  ~DecodedChunkCache();
+
   DecodedChunkCache(const DecodedChunkCache&) = delete;
   DecodedChunkCache& operator=(const DecodedChunkCache&) = delete;
 
@@ -125,6 +129,11 @@ class DecodedChunkCache {
   size_t capacity_bytes() const { return capacity_bytes_; }
   size_t size_bytes() const;
   size_t num_entries() const;
+  /// Registry-conventional aliases for size_bytes()/num_entries() —
+  /// the same occupancy the bullion.cache.bytes_used and
+  /// bullion.cache.entries gauges aggregate across live caches.
+  size_t bytes_used() const { return size_bytes(); }
+  size_t entry_count() const { return num_entries(); }
 
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
@@ -149,6 +158,10 @@ class DecodedChunkCache {
   /// Pops cold-tail entries until size_bytes_ <= capacity. Caller
   /// holds mu_.
   void EvictToFitLocked();
+  /// Publishes occupancy movement to the registry gauges as deltas, so
+  /// several live caches sum correctly. Caller holds mu_; pass the
+  /// occupancy observed before the mutation.
+  void PublishOccupancyLocked(size_t bytes_before, size_t entries_before);
 
   const size_t capacity_bytes_;
   IoStats* stats_;

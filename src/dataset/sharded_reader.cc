@@ -125,6 +125,7 @@ Result<std::unique_ptr<BatchStream>> OpenScanStream(
   options.read_options = spec.read_options;
   options.pool = spec.pool;
   options.stats = spec.stats;
+  options.report = spec.report;
 
   if (dataset->num_shards() == 0) {
     if (!spec.columns.empty()) {

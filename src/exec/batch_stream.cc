@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace bullion {
 
 // ---------------------------------------------------------------- planning
@@ -126,10 +128,33 @@ Result<std::unique_ptr<BatchStream>> OpenScanStream(
   options.read_options = spec.read_options;
   options.pool = spec.pool;
   options.stats = spec.stats;
+  options.report = spec.report;
   return BatchStream::Create(std::move(units), std::move(options));
 }
 
 // ------------------------------------------------------------- the stream
+
+namespace {
+
+/// RAII: adds the enclosing scope's duration to a report stage counter
+/// (no-op on a null destination). Covers every exit path, including
+/// the Status-macro early returns.
+class StageTimer {
+ public:
+  explicit StageTimer(std::atomic<uint64_t>* dst)
+      : dst_(dst), start_ns_(dst != nullptr ? obs::NowNs() : 0) {}
+  ~StageTimer() {
+    if (dst_ != nullptr) {
+      dst_->fetch_add(obs::NowNs() - start_ns_, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  std::atomic<uint64_t>* dst_;
+  uint64_t start_ns_;
+};
+
+}  // namespace
 
 /// One row group inside the in-flight window.
 struct BatchStream::InFlight {
@@ -196,14 +221,28 @@ BatchStream::BatchStream(std::vector<StreamUnit> units,
                       : workers + options_.prefetch_depth;
   tasks_ = std::make_unique<TaskGroup>(
       pool, workers * (1 + options_.prefetch_depth));
+  start_ns_ = obs::NowNs();
 }
 
 BatchStream::~BatchStream() {
   // tasks_ (declared last) joins first, so no read task can touch an
   // InFlight slot while the deque tears down.
+  RecordWall();
+}
+
+void BatchStream::RecordWall() {
+  if (wall_recorded_ || options_.report == nullptr) return;
+  wall_recorded_ = true;
+  options_.report->wall_ns.fetch_add(obs::NowNs() - start_ns_,
+                                     std::memory_order_relaxed);
 }
 
 Status BatchStream::SubmitNext() {
+  BULLION_TRACE_SPAN("scan.prepare");
+  // prepare_ns stops before the fan-out loop: Submit() blocking on the
+  // read window is backpressure, not preparation cost.
+  auto prep_timer = std::make_unique<StageTimer>(
+      options_.report != nullptr ? &options_.report->prepare_ns : nullptr);
   const StreamUnit& unit = units_[next_submit_];
   auto fl = std::make_unique<InFlight>();
   fl->unit = &unit;
@@ -233,16 +272,26 @@ Status BatchStream::SubmitNext() {
   fl->pending = shared_plan->reads.size();
   InFlight* p = fl.get();
   in_flight_.push_back(std::move(fl));
+  prep_timer.reset();
   const StreamUnit* u = &unit;
   const ReadOptions& ropts = options_.read_options;
   for (size_t i = 0; i < shared_plan->reads.size(); ++i) {
     // Submit may block while the read window is full — that is the
     // byte-level backpressure bounding the stream's outstanding I/O.
     tasks_->Submit([this, p, u, missing, shared_plan, ropts, i] {
+      BULLION_TRACE_SPAN("scan.fetch_decode");
+      const uint64_t work_start = obs::NowNs();
       const CoalescedRead& read = shared_plan->reads[i];
       Status st = u->reader->ExecuteCoalescedRead(u->local_group, *missing,
                                                   read, ropts, &p->temp);
       if (st.ok() && u->publish) u->publish(*missing, read, &p->temp);
+      if (options_.report != nullptr) {
+        const uint64_t dt = obs::NowNs() - work_start;
+        options_.report->work_ns.fetch_add(dt, std::memory_order_relaxed);
+        options_.report->work_hist.Record(dt);
+        options_.report->bytes.fetch_add(read.size(),
+                                         std::memory_order_relaxed);
+      }
       {
         std::lock_guard<std::mutex> lock(mu_);
         if (!st.ok() && i < p->first_error_read) {
@@ -259,6 +308,10 @@ Status BatchStream::SubmitNext() {
 }
 
 Status BatchStream::EmitBatches(InFlight* fl) {
+  BULLION_TRACE_SPAN("scan.emit");
+  StageTimer emit_timer(options_.report != nullptr
+                            ? &options_.report->emit_ns
+                            : nullptr);
   // Hand the fetched slots their decodes (preset slots already hold
   // theirs).
   for (size_t j = 0; j < fl->missing_slots.size(); ++j) {
@@ -291,6 +344,10 @@ Status BatchStream::EmitBatches(InFlight* fl) {
     }
   }
   const size_t out_rows = filtered ? selection.size() : rows;
+  if (options_.report != nullptr) {
+    options_.report->units.fetch_add(1, std::memory_order_relaxed);
+    options_.report->rows.fetch_add(out_rows, std::memory_order_relaxed);
+  }
 
   if (options_.batch_rows == 0 || out_rows <= options_.batch_rows) {
     // One batch covers the group (batch_rows == 0 is the one-batch-
@@ -330,6 +387,9 @@ Result<bool> BatchStream::Next(RowBatch* out) {
       *out = std::move(ready_.front());
       ready_.pop_front();
       if (options_.stats != nullptr) options_.stats->batches_emitted += 1;
+      if (options_.report != nullptr) {
+        options_.report->batches.fetch_add(1, std::memory_order_relaxed);
+      }
       return true;
     }
     // Keep the group window full before blocking on the head.
@@ -342,10 +402,18 @@ Result<bool> BatchStream::Next(RowBatch* out) {
         return st;
       }
     }
-    if (in_flight_.empty()) return false;  // fully drained
+    if (in_flight_.empty()) {
+      RecordWall();
+      return false;  // fully drained
+    }
 
     InFlight* head = in_flight_.front().get();
     {
+      // Time blocked on the window head = the consumer's stall: the
+      // signal that says "async I/O / deeper prefetch would help here".
+      StageTimer stall_timer(options_.report != nullptr
+                                 ? &options_.report->stall_ns
+                                 : nullptr);
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [&] { return head->pending == 0; });
       if (!head->error.ok()) status_ = head->error;

@@ -46,6 +46,7 @@
 #include "format/reader.h"
 #include "io/io_stats.h"
 #include "io/predicate.h"
+#include "obs/pipeline_report.h"
 
 namespace bullion {
 
@@ -128,6 +129,10 @@ struct BatchStreamOptions {
   /// Receives batches_emitted (pruning counters are bumped by the scan
   /// planner that builds the units).
   IoStats* stats = nullptr;
+  /// Optional per-scan stage accounting: prepare/work/emit/stall time,
+  /// rows/bytes throughput, per-unit fetch+decode latency. Must outlive
+  /// the stream; the caller owns Reset() between runs.
+  obs::PipelineReport* report = nullptr;
 };
 
 /// \brief Pull-based stream of RowBatches over a prepared unit list.
@@ -172,6 +177,9 @@ class BatchStream {
   /// Applies residual filters to a completed group and appends its
   /// batches to ready_.
   Status EmitBatches(InFlight* fl);
+  /// Stamps the report's wall time once (drain complete or stream
+  /// teardown, whichever comes first).
+  void RecordWall();
 
   BatchStreamOptions options_;
   std::vector<StreamUnit> units_;
@@ -180,6 +188,8 @@ class BatchStream {
   size_t group_window_ = 1;
   size_t next_submit_ = 0;
   Status status_;  // sticky first failure
+  uint64_t start_ns_ = 0;     // stream construction (report wall time)
+  bool wall_recorded_ = false;
 
   std::unique_ptr<ThreadPool> owned_pool_;
 
@@ -214,6 +224,8 @@ struct ScanStreamSpec {
   ThreadPool* pool = nullptr;
   /// Receives groups_pruned / shards_pruned / batches_emitted.
   IoStats* stats = nullptr;
+  /// Optional per-scan stage accounting (see BatchStreamOptions).
+  obs::PipelineReport* report = nullptr;
 };
 
 /// Resolves a projection spec against a footer: explicit indices win,

@@ -2,7 +2,33 @@
 
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace bullion {
+
+namespace {
+
+/// Pool-wide scheduling metrics, shared by every ThreadPool in the
+/// process (one pool per scan/write is the normal shape; aggregating
+/// keeps the registry namespace flat). Gauges move by deltas so
+/// concurrent pools sum correctly.
+struct PoolMetrics {
+  obs::LatencyHistogram* queue_wait_ns;  // enqueue -> dequeue
+  obs::LatencyHistogram* task_run_ns;    // dequeue -> task returns
+  obs::Gauge* queue_depth;               // tasks waiting in FIFOs
+  obs::Gauge* busy_workers;              // workers inside a task
+};
+
+PoolMetrics& Metrics() {
+  static PoolMetrics m{
+      obs::MetricsRegistry::Global().GetHistogram("bullion.exec.queue_wait_ns"),
+      obs::MetricsRegistry::Global().GetHistogram("bullion.exec.task_run_ns"),
+      obs::MetricsRegistry::Global().GetGauge("bullion.exec.queue_depth"),
+      obs::MetricsRegistry::Global().GetGauge("bullion.exec.busy_workers")};
+  return m;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   workers_.reserve(num_threads);
@@ -22,14 +48,29 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Schedule(std::function<void()> fn) {
   if (workers_.empty()) {
-    fn();
+    // Inline execution never queues: no wait sample, but run time still
+    // lands in the histogram so serial fallbacks stay comparable.
+    RunTask(QueuedTask{std::move(fn), 0});
     return;
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(fn));
+    queue_.push_back(QueuedTask{std::move(fn), obs::NowNs()});
   }
+  Metrics().queue_depth->Add(1);
   cv_.notify_one();
+}
+
+void ThreadPool::RunTask(QueuedTask task) {
+  PoolMetrics& m = Metrics();
+  if (task.enqueue_ns != 0) {
+    m.queue_wait_ns->Record(obs::NowNs() - task.enqueue_ns);
+  }
+  m.busy_workers->Add(1);
+  uint64_t run_start = obs::NowNs();
+  task.fn();
+  m.task_run_ns->Record(obs::NowNs() - run_start);
+  m.busy_workers->Add(-1);
 }
 
 size_t ThreadPool::DefaultThreadCount() {
@@ -39,7 +80,7 @@ size_t ThreadPool::DefaultThreadCount() {
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -49,7 +90,8 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    Metrics().queue_depth->Add(-1);
+    RunTask(std::move(task));
   }
 }
 

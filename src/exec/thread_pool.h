@@ -18,6 +18,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -49,11 +50,20 @@ class ThreadPool {
   static size_t DefaultThreadCount();
 
  private:
+  /// A queued task remembers when it was enqueued so the worker that
+  /// dequeues it can report scheduling delay (bullion.exec.queue_wait_ns)
+  /// separately from execution time (bullion.exec.task_run_ns).
+  struct QueuedTask {
+    std::function<void()> fn;
+    uint64_t enqueue_ns = 0;
+  };
+
   void WorkerLoop();
+  void RunTask(QueuedTask task);
 
   std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   bool stop_ = false;
   std::vector<std::thread> workers_;
 };

@@ -6,15 +6,24 @@
 namespace bullion {
 
 Status SubmitGroupEncode(std::shared_ptr<const StagedRowGroup> staged,
-                         TaskGroup* tasks, std::vector<EncodedPage>* pages) {
+                         TaskGroup* tasks, std::vector<EncodedPage>* pages,
+                         obs::PipelineReport* report) {
   if (staged == nullptr) {
     return Status::InvalidArgument("null staged row group");
   }
   pages->clear();
   pages->resize(staged->tasks.size());
   for (size_t i = 0; i < staged->tasks.size(); ++i) {
-    tasks->Submit([staged, i, pages] {
+    tasks->Submit([staged, i, pages, report] {
+      const uint64_t work_start = obs::NowNs();
       BULLION_ASSIGN_OR_RETURN(EncodedPage page, EncodeStagedPage(*staged, i));
+      if (report != nullptr) {
+        const uint64_t dt = obs::NowNs() - work_start;
+        report->work_ns.fetch_add(dt, std::memory_order_relaxed);
+        report->work_hist.Record(dt);
+        report->batches.fetch_add(1, std::memory_order_relaxed);
+        report->bytes.fetch_add(page.data.size(), std::memory_order_relaxed);
+      }
       (*pages)[i] = std::move(page);
       return Status::OK();
     });
@@ -25,8 +34,11 @@ Status SubmitGroupEncode(std::shared_ptr<const StagedRowGroup> staged,
 ParallelTableWriter::ParallelTableWriter(Schema schema, WritableFile* file,
                                          WriterOptions options, size_t threads,
                                          size_t max_pending_groups,
-                                         ThreadPool* pool)
-    : writer_(std::move(schema), file, std::move(options)), pool_(pool) {
+                                         ThreadPool* pool,
+                                         obs::PipelineReport* report)
+    : writer_(std::move(schema), file, std::move(options)),
+      pool_(pool),
+      report_(report) {
   if (pool_ == nullptr && threads > 1) {
     owned_pool_ = std::make_unique<ThreadPool>(threads);
     pool_ = owned_pool_.get();
@@ -34,6 +46,7 @@ ParallelTableWriter::ParallelTableWriter(Schema schema, WritableFile* file,
   size_t workers = pool_ != nullptr ? std::max<size_t>(pool_->num_threads(), 1)
                                     : 1;
   max_pending_ = max_pending_groups > 0 ? max_pending_groups : 2 * workers;
+  start_ns_ = obs::NowNs();
 }
 
 Status ParallelTableWriter::WriteRowGroup(std::vector<ColumnVector> columns) {
@@ -47,7 +60,12 @@ Status ParallelTableWriter::WriteRowGroup(
   if (finished_) return Status::InvalidArgument("writer already finished");
   // Stage failures touch no file/footer state and are not sticky — like
   // the serial TableWriter, the writer stays usable after a bad batch.
+  const uint64_t stage_start = obs::NowNs();
   Result<StagedRowGroup> staged = writer_.StageRowGroup(std::move(columns));
+  if (report_ != nullptr) {
+    report_->prepare_ns.fetch_add(obs::NowNs() - stage_start,
+                                  std::memory_order_relaxed);
+  }
   BULLION_RETURN_NOT_OK(staged.status());
   // Emplace first, submit second: the encode tasks capture a pointer to
   // the pages vector, which must never move while they run. Deque
@@ -56,7 +74,7 @@ Status ParallelTableWriter::WriteRowGroup(
   PendingGroup& pg = pending_.back();
   pg.staged = std::make_shared<const StagedRowGroup>(std::move(*staged));
   pg.tasks = std::make_unique<TaskGroup>(pool_);
-  Status st = SubmitGroupEncode(pg.staged, pg.tasks.get(), &pg.pages);
+  Status st = SubmitGroupEncode(pg.staged, pg.tasks.get(), &pg.pages, report_);
   if (!st.ok()) {
     pg.tasks->Wait();
     pending_.pop_back();
@@ -70,8 +88,24 @@ Status ParallelTableWriter::WriteRowGroup(
 
 Status ParallelTableWriter::DrainOne() {
   PendingGroup& pg = pending_.front();
+  // Joining the window head is the producer's stall: encode workers
+  // still busy when the window forces a commit.
+  const uint64_t join_start = obs::NowNs();
   Status st = pg.tasks->Wait();
+  const uint64_t commit_start = obs::NowNs();
+  if (report_ != nullptr) {
+    report_->stall_ns.fetch_add(commit_start - join_start,
+                                std::memory_order_relaxed);
+  }
   if (st.ok()) st = writer_.CommitEncodedGroup(*pg.staged, pg.pages);
+  if (report_ != nullptr) {
+    report_->emit_ns.fetch_add(obs::NowNs() - commit_start,
+                               std::memory_order_relaxed);
+    if (st.ok()) {
+      report_->units.fetch_add(1, std::memory_order_relaxed);
+      report_->rows.fetch_add(pg.staged->row_count, std::memory_order_relaxed);
+    }
+  }
   pending_.pop_front();
   if (!st.ok()) error_ = st;
   return st;
@@ -89,6 +123,10 @@ Status ParallelTableWriter::Finish() {
       pending_.front().tasks->Wait();
       pending_.pop_front();
     }
+  }
+  if (report_ != nullptr) {
+    report_->wall_ns.fetch_add(obs::NowNs() - start_ns_,
+                               std::memory_order_relaxed);
   }
   if (!st.ok()) return st;
   return writer_.Finish();

@@ -40,6 +40,7 @@
 #include "common/status.h"
 #include "exec/thread_pool.h"
 #include "format/writer.h"
+#include "obs/pipeline_report.h"
 
 namespace bullion {
 
@@ -55,8 +56,11 @@ namespace bullion {
 /// (and un-moved) until `tasks->Wait()` returns; distinct tasks write
 /// distinct slots, so the encoded output is identical to encoding
 /// serially regardless of scheduling.
+/// `report` (optional) receives one work_hist sample + work_ns per page
+/// encode, recorded on the worker that ran it.
 Status SubmitGroupEncode(std::shared_ptr<const StagedRowGroup> staged,
-                         TaskGroup* tasks, std::vector<EncodedPage>* pages);
+                         TaskGroup* tasks, std::vector<EncodedPage>* pages,
+                         obs::PipelineReport* report = nullptr);
 
 /// \brief Pipelined parallel writer over one Bullion file.
 ///
@@ -70,10 +74,15 @@ class ParallelTableWriter {
   /// `max_pending_groups` bounds row groups staged-or-encoding but not
   /// yet committed (0 = 2 × encode workers) — the write-side in-flight
   /// window, which also bounds encoded-group memory.
+  /// `report` (optional) records the write pipeline's stage timing:
+  /// stage → prepare_ns, page encodes → work_ns/work_hist, commit →
+  /// emit_ns, joining the window head → stall_ns, construction →
+  /// Finish() → wall_ns.
   ParallelTableWriter(Schema schema, WritableFile* file,
                       WriterOptions options, size_t threads = 1,
                       size_t max_pending_groups = 0,
-                      ThreadPool* pool = nullptr);
+                      ThreadPool* pool = nullptr,
+                      obs::PipelineReport* report = nullptr);
 
   /// Stages `columns` (one ColumnVector per schema leaf, equal row
   /// counts), fans its page encodes out, and commits any groups that
@@ -117,6 +126,8 @@ class ParallelTableWriter {
   std::deque<PendingGroup> pending_;
   Status error_;  // sticky first failure
   bool finished_ = false;
+  obs::PipelineReport* report_;
+  uint64_t start_ns_ = 0;  // construction (report wall time)
 };
 
 /// \brief Fluent builder for parallel single-file writes.
@@ -156,12 +167,19 @@ class WriteBuilder {
     options_.stats = stats;
     return *this;
   }
+  /// Record stage timing, throughput, and the per-page encode latency
+  /// distribution into `report` (obs/pipeline_report.h). Must outlive
+  /// the writer; accumulates across runs until Reset().
+  WriteBuilder& Report(obs::PipelineReport* report) {
+    report_ = report;
+    return *this;
+  }
 
   /// Validates the options and constructs the writer.
   Result<std::unique_ptr<ParallelTableWriter>> Build() const {
     BULLION_RETURN_NOT_OK(ValidateWriterOptions(options_, schema_));
     return std::make_unique<ParallelTableWriter>(
-        schema_, file_, options_, threads_, max_pending_, pool_);
+        schema_, file_, options_, threads_, max_pending_, pool_, report_);
   }
 
  private:
@@ -171,6 +189,7 @@ class WriteBuilder {
   size_t threads_ = 1;
   size_t max_pending_ = 0;
   ThreadPool* pool_ = nullptr;
+  obs::PipelineReport* report_ = nullptr;
 };
 
 }  // namespace bullion

@@ -4,6 +4,8 @@
 
 #include "format/merkle.h"
 #include "format/page.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace bullion {
 
@@ -46,6 +48,22 @@ Status TableReader::DecodeChunkFromBuffer(uint32_t g, uint32_t c,
                                           uint64_t chunk_file_offset,
                                           const ReadOptions& options,
                                           ColumnVector* out) const {
+  BULLION_TRACE_SPAN("read.decode_chunk");
+  static obs::LatencyHistogram* decode_hist =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "bullion.format.decode_chunk_ns");
+  const uint64_t decode_start = obs::NowNs();
+  Status st = DecodeChunkFromBufferImpl(g, c, chunk_bytes, chunk_file_offset,
+                                        options, out);
+  decode_hist->Record(obs::NowNs() - decode_start);
+  return st;
+}
+
+Status TableReader::DecodeChunkFromBufferImpl(uint32_t g, uint32_t c,
+                                              Slice chunk_bytes,
+                                              uint64_t chunk_file_offset,
+                                              const ReadOptions& options,
+                                              ColumnVector* out) const {
   const FooterView& f = footer_view_;
   ColumnRecord rec = f.column_record(c);
   auto [first_page, end_page] = f.chunk_pages(g, c);
@@ -155,7 +173,10 @@ Status TableReader::ExecuteCoalescedRead(uint32_t g,
                                          std::vector<ColumnVector>* out) const {
   const FooterView& f = footer_view_;
   Buffer bytes;
-  BULLION_RETURN_NOT_OK(file_->Read(read.begin, read.size(), &bytes));
+  {
+    BULLION_TRACE_SPAN("read.fetch");
+    BULLION_RETURN_NOT_OK(file_->Read(read.begin, read.size(), &bytes));
+  }
   for (const ChunkRequest& r : read.chunks) {
     if (r.user_index >= columns.size() || r.user_index >= out->size()) {
       return Status::InvalidArgument("chunk user_index out of range");

@@ -101,10 +101,16 @@ class TableReader {
  private:
   TableReader() = default;
 
+  /// Observability shim: times the decode into the registry's
+  /// bullion.format.decode_chunk_ns histogram around the Impl.
   Status DecodeChunkFromBuffer(uint32_t g, uint32_t c, Slice chunk_bytes,
                                uint64_t chunk_file_offset,
                                const ReadOptions& options,
                                ColumnVector* out) const;
+  Status DecodeChunkFromBufferImpl(uint32_t g, uint32_t c, Slice chunk_bytes,
+                                   uint64_t chunk_file_offset,
+                                   const ReadOptions& options,
+                                   ColumnVector* out) const;
 
   std::unique_ptr<RandomAccessFile> file_;
   Buffer footer_buffer_;

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "format/merkle.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace bullion {
 
@@ -74,6 +76,7 @@ Result<StagedRowGroup> StageRowGroup(
 Result<StagedRowGroup> StageValidatedRowGroup(
     const Schema& schema, const WriterOptions& options,
     std::shared_ptr<const std::vector<ColumnVector>> columns) {
+  BULLION_TRACE_SPAN("write.stage");
   if (columns == nullptr) {
     return Status::InvalidArgument("null column batch");
   }
@@ -154,6 +157,11 @@ Result<StagedRowGroup> StageValidatedRowGroup(
 
 Result<EncodedPage> EncodeStagedPage(const StagedRowGroup& staged,
                                      size_t task) {
+  BULLION_TRACE_SPAN("write.encode_page");
+  static obs::LatencyHistogram* encode_hist =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "bullion.format.encode_page_ns");
+  const uint64_t encode_start = obs::NowNs();
   if (task >= staged.tasks.size()) {
     return Status::InvalidArgument("staged task index out of range");
   }
@@ -166,6 +174,7 @@ Result<EncodedPage> EncodeStagedPage(const StagedRowGroup& staged,
   if (staged.compute_page_stats) {
     page.zone = ComputeZoneMap(col, t.row_begin, t.row_end);
   }
+  encode_hist->Record(obs::NowNs() - encode_start);
   return page;
 }
 
@@ -206,6 +215,7 @@ Status TableWriter::WriteRowGroup(const std::vector<ColumnVector>& columns) {
 
 Status TableWriter::CommitEncodedGroup(const StagedRowGroup& staged,
                                        const std::vector<EncodedPage>& pages) {
+  BULLION_TRACE_SPAN("write.commit_group");
   BULLION_RETURN_NOT_OK(init_status_);
   if (finished_) return Status::InvalidArgument("writer already finished");
   if (pages.size() != staged.tasks.size()) {

@@ -96,10 +96,7 @@ class InMemoryWritableFile : public WritableFile {
 
   Status Append(Slice data) override;
   Status WriteAt(uint64_t offset, Slice data) override;
-  Status Flush() override {
-    if (stats_ != nullptr) stats_->flush_calls += 1;
-    return Status::OK();
-  }
+  Status Flush() override;
   Result<uint64_t> Size() const override;
 
  private:

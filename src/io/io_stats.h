@@ -8,6 +8,20 @@
 // each counter; under concurrent updates the copy is per-counter
 // consistent, not a cross-counter atomic snapshot — fine for the
 // reporting these feed.
+//
+// IoStats is the flat compatibility view of pipeline observability:
+// latency distributions, per-stage timing, and gauges live in the
+// src/obs registry (obs/metrics.h) and per-scan PipelineReports
+// (obs/pipeline_report.h); these counters stay as the stable,
+// cheap-to-diff surface every existing test and bench asserts on.
+//
+// Phase accounting: prefer Snapshot() + IoStatsDelta(before, after)
+// over Reset() between phases. Reset() on a SHARED stats object (e.g.
+// an InMemoryFileSystem's) zeroes counters other live scans are still
+// bumping — each counter individually ends up consistent (the ops
+// land either side of the zeroing, nothing is torn), but cross-counter
+// ratios from a mid-scan Reset are meaningless. Snapshots never
+// perturb concurrent readers.
 
 #pragma once
 
@@ -15,6 +29,51 @@
 #include <cstdint>
 
 namespace bullion {
+
+/// \brief Plain-value copy of every IoStats counter at one moment —
+/// per-counter consistent under concurrent updates. Cheap to hold,
+/// diff, and serialize; the unit bench phase accounting works in.
+struct IoStatsSnapshot {
+  uint64_t read_ops = 0;
+  uint64_t bytes_read = 0;
+  uint64_t write_ops = 0;
+  uint64_t bytes_written = 0;
+  uint64_t seeks = 0;
+  uint64_t pages_encoded = 0;
+  uint64_t flush_calls = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
+  uint64_t cache_rejects = 0;
+  uint64_t cache_invalidations = 0;
+  uint64_t groups_pruned = 0;
+  uint64_t shards_pruned = 0;
+  uint64_t batches_emitted = 0;
+};
+
+/// Per-counter `after - before`: what happened between two snapshots
+/// of one IoStats. The phase-boundary tool that replaces Reset()-ing
+/// shared stats (counters only grow, so plain subtraction is exact).
+inline IoStatsSnapshot IoStatsDelta(const IoStatsSnapshot& before,
+                                    const IoStatsSnapshot& after) {
+  IoStatsSnapshot d;
+  d.read_ops = after.read_ops - before.read_ops;
+  d.bytes_read = after.bytes_read - before.bytes_read;
+  d.write_ops = after.write_ops - before.write_ops;
+  d.bytes_written = after.bytes_written - before.bytes_written;
+  d.seeks = after.seeks - before.seeks;
+  d.pages_encoded = after.pages_encoded - before.pages_encoded;
+  d.flush_calls = after.flush_calls - before.flush_calls;
+  d.cache_hits = after.cache_hits - before.cache_hits;
+  d.cache_misses = after.cache_misses - before.cache_misses;
+  d.cache_evictions = after.cache_evictions - before.cache_evictions;
+  d.cache_rejects = after.cache_rejects - before.cache_rejects;
+  d.cache_invalidations = after.cache_invalidations - before.cache_invalidations;
+  d.groups_pruned = after.groups_pruned - before.groups_pruned;
+  d.shards_pruned = after.shards_pruned - before.shards_pruned;
+  d.batches_emitted = after.batches_emitted - before.batches_emitted;
+  return d;
+}
 
 /// \brief Counters describing the I/O a reader/writer performed.
 struct IoStats {
@@ -93,9 +152,35 @@ struct IoStats {
     return *this;
   }
 
+  /// Relaxed plain-value snapshot of every counter. Under concurrent
+  /// updates each counter is individually consistent (never torn);
+  /// the set is not a cross-counter atomic cut.
+  IoStatsSnapshot Snapshot() const {
+    IoStatsSnapshot s;
+    s.read_ops = read_ops.load(std::memory_order_relaxed);
+    s.bytes_read = bytes_read.load(std::memory_order_relaxed);
+    s.write_ops = write_ops.load(std::memory_order_relaxed);
+    s.bytes_written = bytes_written.load(std::memory_order_relaxed);
+    s.seeks = seeks.load(std::memory_order_relaxed);
+    s.pages_encoded = pages_encoded.load(std::memory_order_relaxed);
+    s.flush_calls = flush_calls.load(std::memory_order_relaxed);
+    s.cache_hits = cache_hits.load(std::memory_order_relaxed);
+    s.cache_misses = cache_misses.load(std::memory_order_relaxed);
+    s.cache_evictions = cache_evictions.load(std::memory_order_relaxed);
+    s.cache_rejects = cache_rejects.load(std::memory_order_relaxed);
+    s.cache_invalidations =
+        cache_invalidations.load(std::memory_order_relaxed);
+    s.groups_pruned = groups_pruned.load(std::memory_order_relaxed);
+    s.shards_pruned = shards_pruned.load(std::memory_order_relaxed);
+    s.batches_emitted = batches_emitted.load(std::memory_order_relaxed);
+    return s;
+  }
+
   /// Zeroes every counter (same relaxed per-counter semantics as
-  /// copying — not an atomic cross-counter snapshot). Benches call
-  /// this between phases, e.g. cold vs warm epochs.
+  /// copying — not an atomic cross-counter snapshot). During a
+  /// concurrent scan each counter independently lands at "ops since
+  /// the zeroing swept past it"; prefer Snapshot() + IoStatsDelta for
+  /// phase boundaries on shared stats.
   void Reset() { *this = IoStats{}; }
 
   IoStats& operator+=(const IoStats& o) {

@@ -43,4 +43,16 @@ inline double ModeledTimeUs(const IoStats& stats, const DeviceModel& model) {
          total_ops * model.per_op_us;
 }
 
+/// Snapshot overload: model a phase delta (IoStatsDelta) without
+/// holding live atomics.
+inline double ModeledTimeUs(const IoStatsSnapshot& stats,
+                            const DeviceModel& model) {
+  double total_bytes =
+      static_cast<double>(stats.bytes_read + stats.bytes_written);
+  double total_ops = static_cast<double>(stats.read_ops + stats.write_ops);
+  return static_cast<double>(stats.seeks) * model.seek_us +
+         total_bytes / model.bandwidth_bytes_per_us +
+         total_ops * model.per_op_us;
+}
+
 }  // namespace bullion

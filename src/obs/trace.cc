@@ -1,0 +1,177 @@
+#include "obs/trace.h"
+
+#include "obs/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace bullion {
+namespace obs {
+
+namespace internal {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace internal
+
+namespace {
+
+struct TraceEvent {
+  const char* name;  // literal owned by the call site
+  uint64_t start_ns;
+  uint64_t dur_ns;
+};
+
+/// One recording thread's buffer. Appends come only from the owning
+/// thread; the mutex exists so the flush (another thread) can read and
+/// clear safely. In steady state it is uncontended.
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  uint32_t tid = 0;
+};
+
+struct TraceState {
+  std::mutex mu;
+  // Buffers are kept alive here even after their thread exits, so
+  // short-lived pool workers' spans survive until the flush.
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::string path;
+  uint32_t next_tid = 1;
+  // Session start; event ts are relative to it. Atomic because
+  // recording threads read it without the state mutex.
+  std::atomic<uint64_t> epoch_ns{0};
+};
+
+TraceState& State() {
+  static TraceState* state = new TraceState();  // immortal
+  return *state;
+}
+
+ThreadBuffer* LocalBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer;
+  if (buffer == nullptr) {
+    buffer = std::make_shared<ThreadBuffer>();
+    TraceState& s = State();
+    std::lock_guard<std::mutex> lock(s.mu);
+    buffer->tid = s.next_tid++;
+    s.buffers.push_back(buffer);
+  }
+  return buffer.get();
+}
+
+void AppendEscaped(std::string* out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    if (*s == '"' || *s == '\\') out->push_back('\\');
+    out->push_back(*s);
+  }
+}
+
+/// Serializes and clears every buffer. Caller holds the state mutex.
+std::string DrainToJsonLocked(TraceState* s) {
+  std::string out = "[";
+  bool first = true;
+  char buf[192];
+  for (const auto& tb : s->buffers) {
+    std::lock_guard<std::mutex> lock(tb->mu);
+    for (const TraceEvent& e : tb->events) {
+      out += first ? "\n" : ",\n";
+      first = false;
+      out += "  {\"name\": \"";
+      AppendEscaped(&out, e.name);
+      std::snprintf(buf, sizeof(buf),
+                    "\", \"cat\": \"bullion\", \"ph\": \"X\", "
+                    "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %u}",
+                    static_cast<double>(e.start_ns) / 1000.0,
+                    static_cast<double>(e.dur_ns) / 1000.0, tb->tid);
+      out += buf;
+    }
+    tb->events.clear();
+  }
+  out += "\n]\n";
+  return out;
+}
+
+/// BULLION_TRACE=<path> starts a session at process start; the file is
+/// written at normal exit. Lives in this TU, which every span call
+/// site links against, so the initializer always runs.
+struct TraceEnvInit {
+  TraceEnvInit() {
+    const char* path = std::getenv("BULLION_TRACE");
+    if (path != nullptr && path[0] != '\0') {
+      if (StartTracing(path).ok()) {
+        std::atexit([] { StopTracing(); });
+      }
+    }
+  }
+};
+TraceEnvInit g_trace_env_init;
+
+}  // namespace
+
+namespace internal {
+
+uint64_t TraceNowNs() { return NowNs(); }
+
+void RecordSpan(const char* name, uint64_t start_ns, uint64_t end_ns) {
+  ThreadBuffer* tb = LocalBuffer();
+  std::lock_guard<std::mutex> lock(tb->mu);
+  uint64_t epoch = State().epoch_ns.load(std::memory_order_relaxed);
+  uint64_t rel = start_ns > epoch ? start_ns - epoch : 0;
+  tb->events.push_back(TraceEvent{name, rel, end_ns - start_ns});
+}
+
+}  // namespace internal
+
+Status StartTracing(const std::string& path) {
+  TraceState& s = State();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (internal::g_trace_enabled.load(std::memory_order_relaxed)) {
+    return Status::InvalidArgument("a trace session is already active");
+  }
+  s.path = path;
+  s.epoch_ns.store(NowNs(), std::memory_order_relaxed);
+  for (const auto& tb : s.buffers) {
+    std::lock_guard<std::mutex> tlock(tb->mu);
+    tb->events.clear();
+  }
+  internal::g_trace_enabled.store(true, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Result<std::string> StopTracing() {
+  TraceState& s = State();
+  // Disable first: spans that load the flag afterwards record nothing,
+  // and in-flight spans at most append to buffers the drain below will
+  // lock one by one.
+  if (!internal::g_trace_enabled.exchange(false, std::memory_order_relaxed)) {
+    return Status::InvalidArgument("no trace session is active");
+  }
+  std::lock_guard<std::mutex> lock(s.mu);
+  std::string json = DrainToJsonLocked(&s);
+  if (!s.path.empty()) {
+    std::FILE* f = std::fopen(s.path.c_str(), "w");
+    if (f == nullptr) {
+      return Status::IOError("cannot write trace to " + s.path);
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+  }
+  return json;
+}
+
+size_t BufferedTraceEvents() {
+  TraceState& s = State();
+  std::lock_guard<std::mutex> lock(s.mu);
+  size_t n = 0;
+  for (const auto& tb : s.buffers) {
+    std::lock_guard<std::mutex> tlock(tb->mu);
+    n += tb->events.size();
+  }
+  return n;
+}
+
+}  // namespace obs
+}  // namespace bullion
