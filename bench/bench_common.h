@@ -64,6 +64,7 @@ inline void PrintIoStats(const std::string& label, const IoStatsSnapshot& s) {
       {"read_ops", s.read_ops},
       {"bytes_read", s.bytes_read},
       {"write_ops", s.write_ops},
+      {"write_calls", s.write_calls},
       {"bytes_written", s.bytes_written},
       {"seeks", s.seeks},
       {"pages_encoded", s.pages_encoded},
@@ -94,15 +95,16 @@ inline std::string IoStatsJson(const IoStatsSnapshot& s) {
   std::snprintf(
       buf, sizeof(buf),
       "{\"read_ops\": %" PRIu64 ", \"bytes_read\": %" PRIu64
-      ", \"write_ops\": %" PRIu64 ", \"bytes_written\": %" PRIu64
+      ", \"write_ops\": %" PRIu64 ", \"write_calls\": %" PRIu64
+      ", \"bytes_written\": %" PRIu64
       ", \"seeks\": %" PRIu64 ", \"pages_encoded\": %" PRIu64
       ", \"flush_calls\": %" PRIu64 ", \"cache_hits\": %" PRIu64
       ", \"cache_misses\": %" PRIu64 ", \"cache_evictions\": %" PRIu64
       ", \"cache_rejects\": %" PRIu64 ", \"cache_invalidations\": %" PRIu64
       ", \"groups_pruned\": %" PRIu64 ", \"shards_pruned\": %" PRIu64
       ", \"batches_emitted\": %" PRIu64 "}",
-      s.read_ops, s.bytes_read, s.write_ops, s.bytes_written, s.seeks,
-      s.pages_encoded, s.flush_calls, s.cache_hits, s.cache_misses,
+      s.read_ops, s.bytes_read, s.write_ops, s.write_calls, s.bytes_written,
+      s.seeks, s.pages_encoded, s.flush_calls, s.cache_hits, s.cache_misses,
       s.cache_evictions, s.cache_rejects, s.cache_invalidations,
       s.groups_pruned, s.shards_pruned, s.batches_emitted);
   return std::string(buf);

@@ -126,6 +126,7 @@ Result<std::unique_ptr<BatchStream>> OpenScanStream(
   options.pool = spec.pool;
   options.stats = spec.stats;
   options.report = spec.report;
+  options.aio = spec.aio;
 
   if (dataset->num_shards() == 0) {
     if (!spec.columns.empty()) {

@@ -129,6 +129,7 @@ Result<std::unique_ptr<BatchStream>> OpenScanStream(
   options.pool = spec.pool;
   options.stats = spec.stats;
   options.report = spec.report;
+  options.aio = spec.aio;
   return BatchStream::Create(std::move(units), std::move(options));
 }
 
@@ -170,6 +171,9 @@ struct BatchStream::InFlight {
   std::vector<size_t> missing_slots;
   /// Decode target of the missing columns (user_index coordinates).
   std::vector<ColumnVector> temp;
+  /// Landing pad of each coalesced read, one per plan read; filled by
+  /// the AIO service, consumed by that read's decode task.
+  std::vector<Buffer> read_bufs;
 
   // Guarded by the stream's mu_:
   size_t pending = 0;
@@ -221,12 +225,20 @@ BatchStream::BatchStream(std::vector<StreamUnit> units,
                       : workers + options_.prefetch_depth;
   tasks_ = std::make_unique<TaskGroup>(
       pool, workers * (1 + options_.prefetch_depth));
+  aio_ = options_.aio != nullptr ? options_.aio : &AsyncIoService::Default();
   start_ns_ = obs::NowNs();
 }
 
 BatchStream::~BatchStream() {
-  // tasks_ (declared last) joins first, so no read task can touch an
-  // InFlight slot while the deque tears down.
+  // Teardown order matters: first stop new decode spawns and wait out
+  // every AIO completion callback (they dereference this stream), then
+  // tasks_ (declared last, destroyed first) joins the decode tasks, and
+  // only then do the InFlight slots tear down.
+  cancelled_.store(true, std::memory_order_relaxed);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return aio_ops_ == 0; });
+  }
   RecordWall();
 }
 
@@ -268,43 +280,91 @@ Status BatchStream::SubmitNext() {
       ReadPlan plan, unit.reader->PlanProjection(unit.local_group, *missing,
                                                  options_.read_options));
   fl->temp.resize(missing->size());
+  fl->read_bufs.resize(plan.reads.size());
   auto shared_plan = std::make_shared<const ReadPlan>(std::move(plan));
   fl->pending = shared_plan->reads.size();
   InFlight* p = fl.get();
   in_flight_.push_back(std::move(fl));
   prep_timer.reset();
   const StreamUnit* u = &unit;
-  const ReadOptions& ropts = options_.read_options;
-  for (size_t i = 0; i < shared_plan->reads.size(); ++i) {
-    // Submit may block while the read window is full — that is the
-    // byte-level backpressure bounding the stream's outstanding I/O.
-    tasks_->Submit([this, p, u, missing, shared_plan, ropts, i] {
-      BULLION_TRACE_SPAN("scan.fetch_decode");
-      const uint64_t work_start = obs::NowNs();
-      const CoalescedRead& read = shared_plan->reads[i];
-      Status st = u->reader->ExecuteCoalescedRead(u->local_group, *missing,
-                                                  read, ropts, &p->temp);
-      if (st.ok() && u->publish) u->publish(*missing, read, &p->temp);
-      if (options_.report != nullptr) {
-        const uint64_t dt = obs::NowNs() - work_start;
-        options_.report->work_ns.fetch_add(dt, std::memory_order_relaxed);
-        options_.report->work_hist.Record(dt);
-        options_.report->bytes.fetch_add(read.size(),
-                                         std::memory_order_relaxed);
-      }
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        if (!st.ok() && i < p->first_error_read) {
-          p->first_error_read = i;
-          p->error = st;
-        }
-        --p->pending;
-      }
-      cv_.notify_all();
-      return st;
-    });
+
+  // The whole plan goes to the AIO service as ONE batch: no worker
+  // blocks per pread, and decode tasks spawn from each completion as
+  // its bytes land. Group-window backpressure still bounds how many
+  // plans can be outstanding.
+  const size_t n = shared_plan->reads.size();
+  std::vector<AioRead> batch;
+  batch.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const CoalescedRead& read = shared_plan->reads[i];
+    AioRead r;
+    r.file = u->reader->file();
+    r.offset = read.begin;
+    r.len = read.size();
+    r.out = &p->read_bufs[i];
+    r.done = [this, p, u, missing, shared_plan, i](Status st) {
+      OnReadLanded(p, u, missing, shared_plan, i, std::move(st));
+    };
+    batch.push_back(std::move(r));
   }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    aio_ops_ += n;
+  }
+  BULLION_TRACE_SPAN("scan.fetch_submit");
+  aio_->SubmitReadBatch(std::move(batch));
   return Status::OK();
+}
+
+void BatchStream::OnReadLanded(
+    InFlight* p, const StreamUnit* u,
+    std::shared_ptr<const std::vector<uint32_t>> missing,
+    std::shared_ptr<const ReadPlan> plan, size_t i, Status st) {
+  if (!st.ok() || cancelled_.load(std::memory_order_relaxed)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!st.ok() && i < p->first_error_read) {
+      p->first_error_read = i;
+      p->error = std::move(st);
+    }
+    --p->pending;
+    --aio_ops_;
+    cv_.notify_all();
+    return;
+  }
+  const ReadOptions& ropts = options_.read_options;
+  // Decode as the pread lands. Submit may block while the decode
+  // window is full — backpressure on the AIO thread, not on a compute
+  // worker, and the window drains independently through the pool.
+  tasks_->Submit([this, p, u, missing = std::move(missing),
+                  plan = std::move(plan), ropts, i] {
+    BULLION_TRACE_SPAN("scan.fetch_decode");
+    const uint64_t work_start = obs::NowNs();
+    const CoalescedRead& read = plan->reads[i];
+    Status st =
+        u->reader->DecodeCoalescedRead(u->local_group, *missing, read,
+                                       p->read_bufs[i].AsSlice(), ropts,
+                                       &p->temp);
+    if (st.ok() && u->publish) u->publish(*missing, read, &p->temp);
+    if (options_.report != nullptr) {
+      const uint64_t dt = obs::NowNs() - work_start;
+      options_.report->work_ns.fetch_add(dt, std::memory_order_relaxed);
+      options_.report->work_hist.Record(dt);
+      options_.report->bytes.fetch_add(read.size(), std::memory_order_relaxed);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!st.ok() && i < p->first_error_read) {
+        p->first_error_read = i;
+        p->error = st;
+      }
+      --p->pending;
+    }
+    cv_.notify_all();
+    return st;
+  });
+  std::lock_guard<std::mutex> lock(mu_);
+  --aio_ops_;
+  cv_.notify_all();
 }
 
 Status BatchStream::EmitBatches(InFlight* fl) {

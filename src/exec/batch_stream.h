@@ -44,6 +44,7 @@
 #include "exec/thread_pool.h"
 #include "format/column_vector.h"
 #include "format/reader.h"
+#include "io/aio.h"
 #include "io/io_stats.h"
 #include "io/predicate.h"
 #include "obs/pipeline_report.h"
@@ -133,6 +134,10 @@ struct BatchStreamOptions {
   /// rows/bytes throughput, per-unit fetch+decode latency. Must outlive
   /// the stream; the caller owns Reset() between runs.
   obs::PipelineReport* report = nullptr;
+  /// Async I/O engine executing the coalesced preads (null =
+  /// AsyncIoService::Default()). Every tier yields byte-identical
+  /// batches; tests inject explicit-tier services here.
+  AsyncIoService* aio = nullptr;
 };
 
 /// \brief Pull-based stream of RowBatches over a prepared unit list.
@@ -171,9 +176,17 @@ class BatchStream {
   BatchStream(std::vector<StreamUnit> units, BatchStreamOptions options);
 
   /// Moves units_[next_submit_] into the in-flight window: runs its
-  /// prepare hook, plans its missing columns, and fans the reads out.
-  /// May block on the read window (backpressure).
+  /// prepare hook, plans its missing columns, and submits the plan's
+  /// reads to the AIO service as ONE batch. Decode tasks are spawned
+  /// from each read's completion callback as its pread lands.
   Status SubmitNext();
+  /// Completion callback for read `i` of `fl`'s plan: records errors
+  /// or hands the landed bytes to a decode task (skipped after
+  /// cancellation). Runs on an AIO thread — or inline on the consumer
+  /// for the sync tier.
+  void OnReadLanded(InFlight* fl, const StreamUnit* unit,
+                    std::shared_ptr<const std::vector<uint32_t>> missing,
+                    std::shared_ptr<const ReadPlan> plan, size_t i, Status st);
   /// Applies residual filters to a completed group and appends its
   /// batches to ready_.
   Status EmitBatches(InFlight* fl);
@@ -192,6 +205,15 @@ class BatchStream {
   bool wall_recorded_ = false;
 
   std::unique_ptr<ThreadPool> owned_pool_;
+
+  AsyncIoService* aio_ = nullptr;
+  /// Set at teardown: completion callbacks stop spawning decode tasks
+  /// for a stream the consumer abandoned mid-scan.
+  std::atomic<bool> cancelled_{false};
+  /// AIO callbacks not yet returned (guarded by mu_, waited on cv_):
+  /// the destructor drains these before tasks_ joins the decodes, so
+  /// no callback can touch a dead stream.
+  size_t aio_ops_ = 0;
 
   std::mutex mu_;  // guards every InFlight's pending/error fields
   std::condition_variable cv_;
@@ -226,6 +248,8 @@ struct ScanStreamSpec {
   IoStats* stats = nullptr;
   /// Optional per-scan stage accounting (see BatchStreamOptions).
   obs::PipelineReport* report = nullptr;
+  /// Async I/O engine (see BatchStreamOptions::aio).
+  AsyncIoService* aio = nullptr;
 };
 
 /// Resolves a projection spec against a footer: explicit indices win,

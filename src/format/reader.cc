@@ -171,11 +171,22 @@ Status TableReader::ExecuteCoalescedRead(uint32_t g,
                                          const CoalescedRead& read,
                                          const ReadOptions& options,
                                          std::vector<ColumnVector>* out) const {
-  const FooterView& f = footer_view_;
   Buffer bytes;
   {
     BULLION_TRACE_SPAN("read.fetch");
     BULLION_RETURN_NOT_OK(file_->Read(read.begin, read.size(), &bytes));
+  }
+  return DecodeCoalescedRead(g, columns, read, bytes.AsSlice(), options, out);
+}
+
+Status TableReader::DecodeCoalescedRead(uint32_t g,
+                                        const std::vector<uint32_t>& columns,
+                                        const CoalescedRead& read, Slice bytes,
+                                        const ReadOptions& options,
+                                        std::vector<ColumnVector>* out) const {
+  const FooterView& f = footer_view_;
+  if (bytes.size() != read.size()) {
+    return Status::InvalidArgument("coalesced read bytes size mismatch");
   }
   for (const ChunkRequest& r : read.chunks) {
     if (r.user_index >= columns.size() || r.user_index >= out->size()) {
@@ -184,7 +195,7 @@ Status TableReader::ExecuteCoalescedRead(uint32_t g,
     uint32_t c = columns[r.user_index];
     ColumnRecord rec = f.column_record(c);
     ColumnVector col(static_cast<PhysicalType>(rec.physical), rec.list_depth);
-    Slice chunk = bytes.AsSlice().SubSlice(r.begin - read.begin, r.size());
+    Slice chunk = bytes.SubSlice(r.begin - read.begin, r.size());
     BULLION_RETURN_NOT_OK(
         DecodeChunkFromBuffer(g, c, chunk, r.begin, options, &col));
     (*out)[r.user_index] = std::move(col);

@@ -87,6 +87,19 @@ class TableReader {
                               const ReadOptions& options,
                               std::vector<ColumnVector>* out) const;
 
+  /// Decode stage alone: `bytes` must be the exact [read.begin,
+  /// read.end) span, fetched by the caller (the async I/O engine lands
+  /// preads and decodes as they complete; exec/batch_stream.cc). Same
+  /// slot-disjointness contract as ExecuteCoalescedRead.
+  Status DecodeCoalescedRead(uint32_t g, const std::vector<uint32_t>& columns,
+                             const CoalescedRead& read, Slice bytes,
+                             const ReadOptions& options,
+                             std::vector<ColumnVector>* out) const;
+
+  /// The underlying file, for async fetch submission. Thread-safe for
+  /// concurrent positional reads (RandomAccessFile contract).
+  const RandomAccessFile* file() const { return file_.get(); }
+
   /// Projection read of a full row group with I/O coalescing. `out`
   /// receives one ColumnVector per requested column, in request order.
   /// Equivalent to PlanProjection + ExecuteCoalescedRead over every

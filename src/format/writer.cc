@@ -185,7 +185,15 @@ TableWriter::TableWriter(Schema schema, WritableFile* file,
       options_(std::move(options)),
       init_status_(ValidateWriterOptions(options_, schema_)),
       footer_(schema_, options_.rows_per_page, options_.compliance,
-              options_.write_chunk_stats) {}
+              options_.write_chunk_stats) {
+  if (options_.write_block_bytes > 0) {
+    agg_ = std::make_unique<AggregatedWriteBuffer>(
+        file_, options_.write_block_bytes, options_.aio);
+    sink_ = agg_.get();
+  } else {
+    sink_ = file_;
+  }
+}
 
 Result<StagedRowGroup> TableWriter::StageRowGroup(
     std::shared_ptr<const std::vector<ColumnVector>> columns) const {
@@ -247,7 +255,7 @@ Status TableWriter::CommitEncodedGroup(const StagedRowGroup& staged,
       } else {
         chunk_zone.Merge(page.zone);
       }
-      BULLION_RETURN_NOT_OK(file_->Append(page.data.AsSlice()));
+      BULLION_RETURN_NOT_OK(sink_->Append(page.data.AsSlice()));
       offset_ += page.data.size();
       if (options_.stats != nullptr) options_.stats->pages_encoded += 1;
     }
@@ -276,12 +284,14 @@ Status TableWriter::Finish() {
   if (finished_) return Status::InvalidArgument("writer already finished");
   finished_ = true;
   BULLION_ASSIGN_OR_RETURN(Buffer footer, footer_.Finish(offset_, num_rows_));
-  BULLION_RETURN_NOT_OK(file_->Append(footer.AsSlice()));
+  BULLION_RETURN_NOT_OK(sink_->Append(footer.AsSlice()));
   BufferBuilder trailer;
   trailer.Append<uint32_t>(static_cast<uint32_t>(footer.size()));
   trailer.Append<uint32_t>(kFooterMagic);
-  BULLION_RETURN_NOT_OK(file_->Append(trailer.AsSlice()));
-  return file_->Flush();
+  BULLION_RETURN_NOT_OK(sink_->Append(trailer.AsSlice()));
+  // Aggregated sink: barrier over in-flight blocks + tail write, then
+  // the base fsync — every byte is on the device before Finish returns.
+  return sink_->Flush();
 }
 
 }  // namespace bullion

@@ -46,6 +46,7 @@
 #include "format/footer.h"
 #include "format/page.h"
 #include "format/schema.h"
+#include "io/aio.h"
 #include "io/file.h"
 
 namespace bullion {
@@ -75,6 +76,15 @@ struct WriterOptions {
   /// Optional write-side accounting: commits bump pages_encoded here
   /// (bytes_written / write_ops are counted by the WritableFile).
   IoStats* stats = nullptr;
+  /// Aggregated-write block size: page appends are absorbed into
+  /// blocks of this many bytes and land as single physical writes
+  /// (AppendBlock), submitted asynchronously so the commit thread
+  /// overlaps encoding with the write syscalls. 0 writes every page
+  /// straight through — the unaggregated reference path.
+  size_t write_block_bytes = 1 << 20;
+  /// Async I/O engine for the aggregated write stream (null =
+  /// AsyncIoService::Default()).
+  AsyncIoService* aio = nullptr;
 };
 
 /// Checks a WriterOptions against a schema: positive rows_per_page,
@@ -179,6 +189,11 @@ class TableWriter {
   Schema schema_;
   WritableFile* file_;
   WriterOptions options_;
+  /// Write-batching layer over file_ (WriterOptions::write_block_bytes;
+  /// null when disabled). sink_ is where commits append: the
+  /// aggregation buffer, or file_ directly.
+  std::unique_ptr<AggregatedWriteBuffer> agg_;
+  WritableFile* sink_ = nullptr;
   Status init_status_;
   FooterBuilder footer_;
   uint64_t offset_ = 0;

@@ -5,6 +5,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 
 #include "obs/metrics.h"
@@ -51,10 +52,23 @@ void AccountRead(IoStats* stats, uint64_t offset, size_t len,
   if (last_end->exchange(offset + len) != offset) stats->seeks += 1;
 }
 
+/// A direct write: one logical request that is also one physical
+/// syscall (write_ops and write_calls both bump). Aggregated block
+/// writes account separately (AccountBlockWrite): the logical ops were
+/// already counted when the aggregation buffer absorbed the appends.
 void AccountWrite(IoStats* stats, uint64_t offset, size_t len,
                   std::atomic<uint64_t>* last_end) {
   if (stats == nullptr) return;
   stats->write_ops += 1;
+  stats->write_calls += 1;
+  stats->bytes_written += len;
+  if (last_end->exchange(offset + len) != offset) stats->seeks += 1;
+}
+
+void AccountBlockWrite(IoStats* stats, uint64_t offset, size_t len,
+                       std::atomic<uint64_t>* last_end) {
+  if (stats == nullptr) return;
+  stats->write_calls += 1;
   stats->bytes_written += len;
   if (last_end->exchange(offset + len) != offset) stats->seeks += 1;
 }
@@ -84,12 +98,24 @@ Result<uint64_t> InMemoryReadableFile::Size() const {
   return static_cast<uint64_t>(file_->data.size());
 }
 
-Status InMemoryWritableFile::Append(Slice data) {
+Status InMemoryWritableFile::AppendImpl(Slice data, bool logical) {
   ScopedLatency latency(IoMetrics().write_ns);
   uint64_t offset = file_->data.size();
   file_->data.insert(file_->data.end(), data.data(), data.data() + data.size());
-  AccountWrite(stats_, offset, data.size(), &last_end_);
+  if (logical) {
+    AccountWrite(stats_, offset, data.size(), &last_end_);
+  } else {
+    AccountBlockWrite(stats_, offset, data.size(), &last_end_);
+  }
   return Status::OK();
+}
+
+Status InMemoryWritableFile::Append(Slice data) {
+  return AppendImpl(data, /*logical=*/true);
+}
+
+Status InMemoryWritableFile::AppendBlock(Slice data) {
+  return AppendImpl(data, /*logical=*/false);
 }
 
 Status InMemoryWritableFile::WriteAt(uint64_t offset, Slice data) {
@@ -192,27 +218,32 @@ class PosixReadableFile : public RandomAccessFile {
     return static_cast<uint64_t>(st.st_size);
   }
 
+  int RawFd() const override { return fd_; }
+
  private:
   int fd_;
 };
 
 class PosixWritableFile : public WritableFile {
  public:
-  explicit PosixWritableFile(int fd) : fd_(fd) {}
+  PosixWritableFile(int fd, bool direct) : fd_(fd), direct_(direct) {}
   ~PosixWritableFile() override { ::close(fd_); }
 
   Status Append(Slice data) override {
     ScopedLatency latency(IoMetrics().write_ns);
-    size_t done = 0;
-    while (done < data.size()) {
-      ssize_t n = ::write(fd_, data.data() + done, data.size() - done);
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        return Status::IOError(std::string("write: ") + std::strerror(errno));
-      }
-      done += static_cast<size_t>(n);
+    // Small unaligned appends cannot go through O_DIRECT; once one
+    // lands, the file offset loses alignment too, so drop to buffered
+    // for the remainder of the handle's life.
+    BULLION_RETURN_NOT_OK(EnsureBuffered());
+    return WriteFully(data);
+  }
+
+  Status AppendBlock(Slice data) override {
+    ScopedLatency latency(IoMetrics().write_ns);
+    if (direct_ && !DirectEligible(data)) {
+      BULLION_RETURN_NOT_OK(EnsureBuffered());
     }
-    return Status::OK();
+    return WriteFully(data);
   }
 
   Status WriteAt(uint64_t offset, Slice data) override {
@@ -250,8 +281,46 @@ class PosixWritableFile : public WritableFile {
     return static_cast<uint64_t>(st.st_size);
   }
 
+  int RawFd() const override { return fd_; }
+
  private:
+  /// O_DIRECT demands sector alignment of buffer address, length, and
+  /// file offset. Blocks from AggregatedWriteBuffer satisfy all three
+  /// until the unpadded tail; anything else falls back to buffered.
+  bool DirectEligible(Slice data) const {
+    constexpr uint64_t kAlign = 4096;
+    if (reinterpret_cast<uintptr_t>(data.data()) % kAlign != 0) return false;
+    if (data.size() % kAlign != 0) return false;
+    auto size = Size();
+    return size.ok() && *size % kAlign == 0;
+  }
+
+  Status EnsureBuffered() {
+    if (!direct_) return Status::OK();
+    int flags = ::fcntl(fd_, F_GETFL);
+    if (flags < 0 || ::fcntl(fd_, F_SETFL, flags & ~O_DIRECT) != 0) {
+      return Status::IOError(std::string("fcntl ~O_DIRECT: ") +
+                             std::strerror(errno));
+    }
+    direct_ = false;
+    return Status::OK();
+  }
+
+  Status WriteFully(Slice data) {
+    size_t done = 0;
+    while (done < data.size()) {
+      ssize_t n = ::write(fd_, data.data() + done, data.size() - done);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError(std::string("write: ") + std::strerror(errno));
+      }
+      done += static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
   int fd_;
+  bool direct_;
 };
 
 }  // namespace
@@ -267,8 +336,22 @@ Result<std::unique_ptr<RandomAccessFile>> OpenPosixReadableFile(
 
 Result<std::unique_ptr<WritableFile>> OpenPosixWritableFile(
     const std::string& path, bool truncate) {
+  const char* env = std::getenv("BULLION_ODIRECT");
+  bool direct = env != nullptr && std::string(env) == "1";
+  return OpenPosixWritableFile(path, truncate, direct);
+}
+
+Result<std::unique_ptr<WritableFile>> OpenPosixWritableFile(
+    const std::string& path, bool truncate, bool direct) {
   int flags = O_RDWR | O_CREAT | (truncate ? O_TRUNC : 0);
-  int fd = ::open(path.c_str(), flags, 0644);
+  int fd = -1;
+  if (direct) {
+    fd = ::open(path.c_str(), flags | O_DIRECT, 0644);
+    // tmpfs and some overlay filesystems reject O_DIRECT outright;
+    // fall back to a buffered handle rather than failing the open.
+    if (fd < 0 && (errno == EINVAL || errno == ENOTSUP)) direct = false;
+  }
+  if (fd < 0) fd = ::open(path.c_str(), flags, 0644);
   if (fd < 0) {
     return Status::IOError("open " + path + ": " + std::strerror(errno));
   }
@@ -278,7 +361,7 @@ Result<std::unique_ptr<WritableFile>> OpenPosixWritableFile(
       return Status::IOError("lseek " + path + ": " + std::strerror(errno));
     }
   }
-  return std::unique_ptr<WritableFile>(new PosixWritableFile(fd));
+  return std::unique_ptr<WritableFile>(new PosixWritableFile(fd, direct));
 }
 
 }  // namespace bullion

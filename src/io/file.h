@@ -40,6 +40,13 @@ class RandomAccessFile {
 
   /// Total file size.
   virtual Result<uint64_t> Size() const = 0;
+
+  /// The underlying OS file descriptor, or -1 when the file is not
+  /// kernel-backed (in-memory files). The async I/O engine (io/aio.h)
+  /// routes fd-backed reads through io_uring and everything else
+  /// through its thread tier; callers other than the engine should not
+  /// touch the fd.
+  virtual int RawFd() const { return -1; }
 };
 
 /// \brief Writable file handle supporting append and positional
@@ -48,8 +55,17 @@ class WritableFile {
  public:
   virtual ~WritableFile() = default;
 
-  /// Appends bytes at the end of the file.
+  /// Appends bytes at the end of the file. Counts as one LOGICAL write
+  /// (IoStats::write_ops) and one physical call (write_calls).
   virtual Status Append(Slice data) = 0;
+
+  /// Appends one aggregated block assembled by a write-batching layer
+  /// (io/aio.h AggregatedWriteBuffer). Identical bytes-on-disk to
+  /// Append, but accounted as a PHYSICAL write only (write_calls, not
+  /// write_ops): the logical appends inside the block were already
+  /// counted when the aggregation layer absorbed them. The default
+  /// forwards to Append for implementations without split accounting.
+  virtual Status AppendBlock(Slice data) { return Append(data); }
 
   /// Overwrites `data.size()` bytes at `offset`. Must not extend the
   /// file (in-place update discipline).
@@ -57,6 +73,14 @@ class WritableFile {
 
   virtual Status Flush() = 0;
   virtual Result<uint64_t> Size() const = 0;
+
+  /// IoStats this file reports into (null when unaccounted), so
+  /// wrapping layers can record logical ops against the same counters.
+  virtual IoStats* stats() const { return nullptr; }
+
+  /// OS file descriptor, or -1 when not kernel-backed (see
+  /// RandomAccessFile::RawFd).
+  virtual int RawFd() const { return -1; }
 };
 
 /// \brief An in-memory file; cheap, deterministic, instrumented.
@@ -95,11 +119,15 @@ class InMemoryWritableFile : public WritableFile {
       : file_(std::move(file)), stats_(stats), last_end_(UINT64_MAX) {}
 
   Status Append(Slice data) override;
+  Status AppendBlock(Slice data) override;
   Status WriteAt(uint64_t offset, Slice data) override;
   Status Flush() override;
   Result<uint64_t> Size() const override;
+  IoStats* stats() const override { return stats_; }
 
  private:
+  Status AppendImpl(Slice data, bool logical);
+
   std::shared_ptr<InMemoryFile> file_;
   IoStats* stats_;
   std::atomic<uint64_t> last_end_;
@@ -135,7 +163,13 @@ class InMemoryFileSystem {
 /// POSIX-backed implementations for the example binaries.
 Result<std::unique_ptr<RandomAccessFile>> OpenPosixReadableFile(
     const std::string& path);
+/// `direct` requests O_DIRECT (aligned block writes bypassing the page
+/// cache; see io/aio.h for the alignment rules). Falls back to a
+/// buffered open when the filesystem rejects O_DIRECT (e.g. tmpfs).
+/// The two-argument form honors the BULLION_ODIRECT=1 env override.
 Result<std::unique_ptr<WritableFile>> OpenPosixWritableFile(
     const std::string& path, bool truncate);
+Result<std::unique_ptr<WritableFile>> OpenPosixWritableFile(
+    const std::string& path, bool truncate, bool direct);
 
 }  // namespace bullion

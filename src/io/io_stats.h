@@ -37,6 +37,7 @@ struct IoStatsSnapshot {
   uint64_t read_ops = 0;
   uint64_t bytes_read = 0;
   uint64_t write_ops = 0;
+  uint64_t write_calls = 0;
   uint64_t bytes_written = 0;
   uint64_t seeks = 0;
   uint64_t pages_encoded = 0;
@@ -60,6 +61,7 @@ inline IoStatsSnapshot IoStatsDelta(const IoStatsSnapshot& before,
   d.read_ops = after.read_ops - before.read_ops;
   d.bytes_read = after.bytes_read - before.bytes_read;
   d.write_ops = after.write_ops - before.write_ops;
+  d.write_calls = after.write_calls - before.write_calls;
   d.bytes_written = after.bytes_written - before.bytes_written;
   d.seeks = after.seeks - before.seeks;
   d.pages_encoded = after.pages_encoded - before.pages_encoded;
@@ -79,7 +81,16 @@ inline IoStatsSnapshot IoStatsDelta(const IoStatsSnapshot& before,
 struct IoStats {
   std::atomic<uint64_t> read_ops{0};
   std::atomic<uint64_t> bytes_read{0};
+  /// Logical write requests (one per Append/WriteAt a caller issued,
+  /// including appends an aggregation buffer absorbed). Stable across
+  /// the aggregated-write rework: a committed page is one write_op no
+  /// matter how many pages share a physical block.
   std::atomic<uint64_t> write_ops{0};
+  /// Physical write syscalls that actually hit the device (one per
+  /// block an AggregatedWriteBuffer flushed, or per direct write).
+  /// write_ops / write_calls is the write-batching factor; modeled
+  /// device time charges per-op cost against THIS counter.
+  std::atomic<uint64_t> write_calls{0};
   std::atomic<uint64_t> bytes_written{0};
   /// Number of reads/writes that were not contiguous with the previous
   /// operation (proxy for seeks on spinning/flash media).
@@ -124,6 +135,8 @@ struct IoStats {
                      std::memory_order_relaxed);
     write_ops.store(o.write_ops.load(std::memory_order_relaxed),
                     std::memory_order_relaxed);
+    write_calls.store(o.write_calls.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
     bytes_written.store(o.bytes_written.load(std::memory_order_relaxed),
                         std::memory_order_relaxed);
     seeks.store(o.seeks.load(std::memory_order_relaxed),
@@ -160,6 +173,7 @@ struct IoStats {
     s.read_ops = read_ops.load(std::memory_order_relaxed);
     s.bytes_read = bytes_read.load(std::memory_order_relaxed);
     s.write_ops = write_ops.load(std::memory_order_relaxed);
+    s.write_calls = write_calls.load(std::memory_order_relaxed);
     s.bytes_written = bytes_written.load(std::memory_order_relaxed);
     s.seeks = seeks.load(std::memory_order_relaxed);
     s.pages_encoded = pages_encoded.load(std::memory_order_relaxed);
@@ -187,6 +201,7 @@ struct IoStats {
     read_ops += o.read_ops.load(std::memory_order_relaxed);
     bytes_read += o.bytes_read.load(std::memory_order_relaxed);
     write_ops += o.write_ops.load(std::memory_order_relaxed);
+    write_calls += o.write_calls.load(std::memory_order_relaxed);
     bytes_written += o.bytes_written.load(std::memory_order_relaxed);
     seeks += o.seeks.load(std::memory_order_relaxed);
     pages_encoded += o.pages_encoded.load(std::memory_order_relaxed);
