@@ -154,7 +154,8 @@ void PrintEpochCacheReport() {
   // under any concurrent reader (see io/io_stats.h).
   DecodedChunkCache cache(1ull << 30, &stats);
   IoStatsSnapshot before_cold = stats.Snapshot();
-  double cold_ms = bench::TimeUs([&] { epoch(&cache); }) / 1000.0;
+  double cold_ms =
+      bench::TimeUs([&] { epoch(&cache).status().IgnoreError(); }) / 1000.0;
   IoStatsSnapshot cold_io = IoStatsDelta(before_cold, stats.Snapshot());
 
   auto cold_result = DatasetScanBuilder(corpus.reader.get())
@@ -191,8 +192,9 @@ void PrintEpochCacheReport() {
 
   // Byte-budgeted run: cap at half the resident set and show pressure.
   DecodedChunkCache half(cache.size_bytes() / 2, &stats);
-  epoch(&half);
-  epoch(&half);
+  // Two epochs to exercise eviction churn; epoch() checks ok() itself.
+  epoch(&half).status().IgnoreError();
+  epoch(&half).status().IgnoreError();
   std::printf(
       "half-budget cache (%.1f MB cap): hits=%llu misses=%llu "
       "evictions=%llu (LRU churns, output still identical: %s)\n",

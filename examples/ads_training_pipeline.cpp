@@ -12,7 +12,7 @@
 #include "core/bullion.h"
 #include "workload/ads_schema.h"
 
-using namespace bullion;  // NOLINT
+using namespace bullion;  // NOLINT(google-build-using-namespace)
 
 int main(int argc, char** argv) {
   double scale = argc > 1 ? std::atof(argv[1]) : 0.02;

@@ -10,7 +10,7 @@
 #include "baseline/parquet_like.h"
 #include "core/bullion.h"
 
-using namespace bullion;  // NOLINT
+using namespace bullion;  // NOLINT(google-build-using-namespace)
 
 int main() {
   Schema schema({

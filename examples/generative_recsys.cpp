@@ -8,7 +8,7 @@
 
 #include "core/bullion.h"
 
-using namespace bullion;  // NOLINT
+using namespace bullion;  // NOLINT(google-build-using-namespace)
 
 int main() {
   // Synthesize 20k users with mixed organic + advertising event

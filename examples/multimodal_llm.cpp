@@ -9,8 +9,8 @@
 
 #include "core/bullion.h"
 
-using namespace bullion;             // NOLINT
-using namespace bullion::multimodal; // NOLINT
+using namespace bullion;              // NOLINT(google-build-using-namespace)
+using namespace bullion::multimodal;  // NOLINT(google-build-using-namespace)
 
 namespace {
 

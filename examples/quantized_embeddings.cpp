@@ -9,7 +9,7 @@
 
 #include "core/bullion.h"
 
-using namespace bullion;  // NOLINT
+using namespace bullion;  // NOLINT(google-build-using-namespace)
 
 int main() {
   // Upstream model emits 64-dim FP32 embeddings, normalized to (-1,1).

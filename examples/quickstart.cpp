@@ -18,7 +18,7 @@
 
 #include "core/bullion.h"
 
-using namespace bullion;  // NOLINT
+using namespace bullion;  // NOLINT(google-build-using-namespace)
 
 int main(int argc, char** argv) {
   std::string path = argc > 1 ? argv[1] : "/tmp/quickstart.bullion";

@@ -12,13 +12,20 @@
 namespace bullion {
 
 /// \brief Holds either a value of type T or a non-OK Status.
+///
+/// [[nodiscard]] for the same reason as Status: dropping a Result
+/// drops the error half. There is no IgnoreError() here — a Result was
+/// requested for its value, so an ignored one is always a bug; convert
+/// to `.status().IgnoreError()` if teardown truly cannot care.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (success).
-  Result(T value) : repr_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : repr_(std::move(value)) {}
   /// Implicit construction from a non-OK Status (failure).
-  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : repr_(std::move(status)) {
     assert(!std::get<Status>(repr_).ok() && "Result constructed from OK Status");
   }
 

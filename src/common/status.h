@@ -37,7 +37,13 @@ std::string_view StatusCodeToString(StatusCode code);
 /// OK statuses are represented by a null state pointer, so returning
 /// Status::OK() never allocates. Non-OK statuses carry a code and a
 /// message.
-class Status {
+///
+/// [[nodiscard]]: a dropped Status is a swallowed failure, so ignoring
+/// one is a compile error (-Werror=unused-result). The rare site that
+/// genuinely cannot act on the error — a destructor, a best-effort
+/// cleanup — says so explicitly with IgnoreError(), which keeps every
+/// suppression greppable.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() noexcept = default;
@@ -103,6 +109,12 @@ class Status {
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;
+
+  /// Explicitly discards this status. The escape hatch from
+  /// [[nodiscard]] for call sites that cannot propagate — destructors,
+  /// best-effort teardown — and the marker reviewers audit instead of
+  /// hunting for silently dropped returns.
+  void IgnoreError() const {}
 
  private:
   struct State {

@@ -47,19 +47,26 @@ size_t ApproxColumnVectorBytes(const ColumnVector& v) {
 
 bool DecodedChunkCache::Lookup(const ChunkCacheKey& key, ColumnVector* out) {
   const uint64_t probe_start = obs::NowNs();
+  bool hit = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = index_.find(key);
     if (it != index_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
       *out = it->second->value;
-      hits_.fetch_add(1, std::memory_order_relaxed);
-      if (stats_ != nullptr) {
-        stats_->cache_hits.fetch_add(1, std::memory_order_relaxed);
-      }
-      Metrics().hit_ns->Record(obs::NowNs() - probe_start);
-      return true;
+      hit = true;
     }
+  }
+  // Counters and histograms are recorded outside the critical section
+  // on both paths: they are internally thread-safe, and holding mu_
+  // across a metrics update would serialize concurrent probes.
+  if (hit) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    if (stats_ != nullptr) {
+      stats_->cache_hits.fetch_add(1, std::memory_order_relaxed);
+    }
+    Metrics().hit_ns->Record(obs::NowNs() - probe_start);
+    return true;
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
   if (stats_ != nullptr) {
@@ -73,7 +80,7 @@ void DecodedChunkCache::Insert(const ChunkCacheKey& key,
                                const ColumnVector& value) {
   const uint64_t insert_start = obs::NowNs();
   size_t bytes = ApproxColumnVectorBytes(value);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const size_t bytes_before = size_bytes_;
   const size_t entries_before = lru_.size();
   auto it = index_.find(key);
@@ -129,7 +136,7 @@ void DecodedChunkCache::EvictToFitLocked() {
 
 size_t DecodedChunkCache::InvalidateShard(uint32_t shard,
                                           uint32_t live_generation) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const size_t bytes_before = size_bytes_;
   const size_t entries_before = lru_.size();
   size_t dropped = 0;
@@ -152,7 +159,7 @@ size_t DecodedChunkCache::InvalidateShard(uint32_t shard,
 }
 
 void DecodedChunkCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const size_t bytes_before = size_bytes_;
   const size_t entries_before = lru_.size();
   lru_.clear();
@@ -162,7 +169,7 @@ void DecodedChunkCache::Clear() {
 }
 
 DecodedChunkCache::~DecodedChunkCache() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   // Hand the residual occupancy back so the process gauges only ever
   // describe live caches.
   const size_t bytes_before = size_bytes_;
@@ -174,12 +181,12 @@ DecodedChunkCache::~DecodedChunkCache() {
 }
 
 size_t DecodedChunkCache::size_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return size_bytes_;
 }
 
 size_t DecodedChunkCache::num_entries() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return lru_.size();
 }
 

@@ -31,9 +31,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <unordered_map>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "format/column_vector.h"
 #include "io/io_stats.h"
 
@@ -155,22 +156,22 @@ class DecodedChunkCache {
   };
   using LruList = std::list<Entry>;
 
-  /// Pops cold-tail entries until size_bytes_ <= capacity. Caller
-  /// holds mu_.
-  void EvictToFitLocked();
+  /// Pops cold-tail entries until size_bytes_ <= capacity.
+  void EvictToFitLocked() REQUIRES(mu_);
   /// Publishes occupancy movement to the registry gauges as deltas, so
-  /// several live caches sum correctly. Caller holds mu_; pass the
-  /// occupancy observed before the mutation.
-  void PublishOccupancyLocked(size_t bytes_before, size_t entries_before);
+  /// several live caches sum correctly. Pass the occupancy observed
+  /// before the mutation.
+  void PublishOccupancyLocked(size_t bytes_before, size_t entries_before)
+      REQUIRES(mu_);
 
   const size_t capacity_bytes_;
   IoStats* stats_;
 
-  mutable std::mutex mu_;
-  LruList lru_;  // front = hottest
+  mutable Mutex mu_;
+  LruList lru_ GUARDED_BY(mu_);  // front = hottest
   std::unordered_map<ChunkCacheKey, LruList::iterator, ChunkCacheKeyHash>
-      index_;
-  size_t size_bytes_ = 0;
+      index_ GUARDED_BY(mu_);
+  size_t size_bytes_ GUARDED_BY(mu_) = 0;
 
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};

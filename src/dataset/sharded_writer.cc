@@ -105,7 +105,9 @@ Status ShardedTableWriter::SubmitGroup() {
   pg.tasks = std::make_unique<TaskGroup>(pool_);
   Status st = SubmitGroupEncode(pg.staged, pg.tasks.get(), &pg.pages);
   if (!st.ok()) {
-    pg.tasks->Wait();
+    // The submit error is the one to report; the join only reclaims
+    // whatever tasks did start.
+    pg.tasks->Wait().IgnoreError();
     pending_.pop_back();
     error_ = st;
     return error_;
@@ -193,7 +195,8 @@ Result<ShardManifest> ShardedTableWriter::Finish() {
       st = DrainOne();
     } else {
       // A commit already failed: join the stragglers without writing.
-      pending_.front().tasks->Wait();
+      // `st` already holds the error to report.
+      pending_.front().tasks->Wait().IgnoreError();
       pending_.pop_front();
     }
   }

@@ -236,8 +236,8 @@ BatchStream::~BatchStream() {
   // only then do the InFlight slots tear down.
   cancelled_.store(true, std::memory_order_relaxed);
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return aio_ops_ == 0; });
+    MutexLock lock(&mu_);
+    while (aio_ops_ != 0) cv_.Wait(mu_);
   }
   RecordWall();
 }
@@ -308,7 +308,7 @@ Status BatchStream::SubmitNext() {
     batch.push_back(std::move(r));
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     aio_ops_ += n;
   }
   BULLION_TRACE_SPAN("scan.fetch_submit");
@@ -321,14 +321,14 @@ void BatchStream::OnReadLanded(
     std::shared_ptr<const std::vector<uint32_t>> missing,
     std::shared_ptr<const ReadPlan> plan, size_t i, Status st) {
   if (!st.ok() || cancelled_.load(std::memory_order_relaxed)) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (!st.ok() && i < p->first_error_read) {
       p->first_error_read = i;
       p->error = std::move(st);
     }
     --p->pending;
     --aio_ops_;
-    cv_.notify_all();
+    cv_.NotifyAll();
     return;
   }
   const ReadOptions& ropts = options_.read_options;
@@ -352,19 +352,19 @@ void BatchStream::OnReadLanded(
       options_.report->bytes.fetch_add(read.size(), std::memory_order_relaxed);
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (!st.ok() && i < p->first_error_read) {
         p->first_error_read = i;
         p->error = st;
       }
       --p->pending;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
     return st;
   });
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   --aio_ops_;
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 Status BatchStream::EmitBatches(InFlight* fl) {
@@ -474,8 +474,8 @@ Result<bool> BatchStream::Next(RowBatch* out) {
       StageTimer stall_timer(options_.report != nullptr
                                  ? &options_.report->stall_ns
                                  : nullptr);
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [&] { return head->pending == 0; });
+      MutexLock lock(&mu_);
+      while (head->pending != 0) cv_.Wait(mu_);
       if (!head->error.ok()) status_ = head->error;
     }
     if (!status_.ok()) return status_;

@@ -30,17 +30,17 @@
 
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "exec/thread_pool.h"
 #include "format/column_vector.h"
 #include "format/reader.h"
@@ -210,13 +210,17 @@ class BatchStream {
   /// Set at teardown: completion callbacks stop spawning decode tasks
   /// for a stream the consumer abandoned mid-scan.
   std::atomic<bool> cancelled_{false};
-  /// AIO callbacks not yet returned (guarded by mu_, waited on cv_):
-  /// the destructor drains these before tasks_ joins the decodes, so
-  /// no callback can touch a dead stream.
-  size_t aio_ops_ = 0;
-
-  std::mutex mu_;  // guards every InFlight's pending/error fields
-  std::condition_variable cv_;
+  /// mu_ also guards every InFlight's pending/error fields (they
+  /// cannot carry GUARDED_BY themselves: InFlight is declared in the
+  /// .cc and holds no back-pointer to the stream).
+  Mutex mu_;
+  CondVar cv_;
+  /// AIO callbacks not yet returned: the destructor drains these
+  /// before tasks_ joins the decodes, so no callback can touch a dead
+  /// stream.
+  size_t aio_ops_ GUARDED_BY(mu_) = 0;
+  /// Consumer-thread-only (Next/EmitBatches); never touched by
+  /// workers or AIO callbacks, so unguarded by design.
   std::deque<RowBatch> ready_;
   std::deque<std::unique_ptr<InFlight>> in_flight_;
   /// Last member: its destructor joins outstanding tasks before the

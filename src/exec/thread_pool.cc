@@ -39,10 +39,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
@@ -54,11 +54,11 @@ void ThreadPool::Schedule(std::function<void()> fn) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     queue_.push_back(QueuedTask{std::move(fn), obs::NowNs()});
   }
   Metrics().queue_depth->Add(1);
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void ThreadPool::RunTask(QueuedTask task) {
@@ -82,8 +82,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     QueuedTask task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!stop_ && queue_.empty()) cv_.Wait(mu_);
       // Drain remaining tasks even after stop: destruction must not
       // drop work a TaskGroup is waiting on.
       if (queue_.empty()) return;
@@ -98,14 +98,18 @@ void ThreadPool::WorkerLoop() {
 TaskGroup::TaskGroup(ThreadPool* pool, size_t max_in_flight)
     : pool_(pool), max_in_flight_(max_in_flight) {}
 
-TaskGroup::~TaskGroup() { Wait(); }
+TaskGroup::~TaskGroup() {
+  // A destructor cannot propagate the group's status; callers that
+  // care invoke Wait() themselves first.
+  Wait().IgnoreError();
+}
 
 void TaskGroup::Submit(std::function<Status()> task) {
   size_t index;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (max_in_flight_ > 0) {
-      cv_.wait(lock, [this] { return in_flight_ < max_in_flight_; });
+      while (in_flight_ >= max_in_flight_) cv_.Wait(mu_);
     }
     index = next_index_++;
     ++in_flight_;
@@ -120,19 +124,19 @@ void TaskGroup::Submit(std::function<Status()> task) {
 
 void TaskGroup::Run(size_t index, const std::function<Status()>& task) {
   Status st = task();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!st.ok() && (!has_error_ || index < first_error_index_)) {
     has_error_ = true;
     first_error_index_ = index;
     first_error_ = std::move(st);
   }
   --in_flight_;
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 Status TaskGroup::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(&mu_);
+  while (in_flight_ != 0) cv_.Wait(mu_);
   return has_error_ ? first_error_ : Status::OK();
 }
 

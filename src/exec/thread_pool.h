@@ -16,16 +16,16 @@
 
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace bullion {
 
@@ -61,10 +61,12 @@ class ThreadPool {
   void WorkerLoop();
   void RunTask(QueuedTask task);
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<QueuedTask> queue_;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<QueuedTask> queue_ GUARDED_BY(mu_);
+  bool stop_ GUARDED_BY(mu_) = false;
+  /// Written only during construction, joined in the destructor; read
+  /// concurrently via num_threads() — safe without mu_.
   std::vector<std::thread> workers_;
 };
 
@@ -94,13 +96,13 @@ class TaskGroup {
 
   ThreadPool* pool_;
   size_t max_in_flight_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  size_t in_flight_ = 0;
-  size_t next_index_ = 0;
-  bool has_error_ = false;
-  size_t first_error_index_ = 0;
-  Status first_error_;
+  Mutex mu_;
+  CondVar cv_;
+  size_t in_flight_ GUARDED_BY(mu_) = 0;
+  size_t next_index_ GUARDED_BY(mu_) = 0;
+  bool has_error_ GUARDED_BY(mu_) = false;
+  size_t first_error_index_ GUARDED_BY(mu_) = 0;
+  Status first_error_ GUARDED_BY(mu_);
 };
 
 }  // namespace bullion

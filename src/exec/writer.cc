@@ -76,7 +76,9 @@ Status ParallelTableWriter::WriteRowGroup(
   pg.tasks = std::make_unique<TaskGroup>(pool_);
   Status st = SubmitGroupEncode(pg.staged, pg.tasks.get(), &pg.pages, report_);
   if (!st.ok()) {
-    pg.tasks->Wait();
+    // The submit error is the one to report; the join only reclaims
+    // whatever tasks did start.
+    pg.tasks->Wait().IgnoreError();
     pending_.pop_back();
     return st;
   }
@@ -120,7 +122,8 @@ Status ParallelTableWriter::Finish() {
       st = DrainOne();
     } else {
       // A commit already failed: join the stragglers without writing.
-      pending_.front().tasks->Wait();
+      // `st` already holds the error to report.
+      pending_.front().tasks->Wait().IgnoreError();
       pending_.pop_front();
     }
   }

@@ -2,10 +2,11 @@
 
 #include <cstdlib>
 #include <cstring>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <thread>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 #include "obs/metrics.h"
 
@@ -91,10 +92,10 @@ class AsyncIoService::Impl {
   ~Impl() {
     Drain();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       stop_ = true;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
     for (auto& t : threads_) t.join();
     // uring_ destructor joins its reaper after its own drain.
   }
@@ -113,9 +114,9 @@ class AsyncIoService::Impl {
       done(std::move(s));
       Metrics().complete_ns->Record(obs::NowNs() - landed);
       Metrics().queue_depth->Add(-1);
-      std::lock_guard<std::mutex> lock(drain_mu_);
+      MutexLock lock(&drain_mu_);
       if (inflight_.fetch_sub(1, std::memory_order_relaxed) == 1) {
-        drain_cv_.notify_all();
+        drain_cv_.NotifyAll();
       }
     };
   }
@@ -166,10 +167,10 @@ class AsyncIoService::Impl {
   }
 
   void Drain() {
-    std::unique_lock<std::mutex> lock(drain_mu_);
-    drain_cv_.wait(lock, [this] {
-      return inflight_.load(std::memory_order_relaxed) == 0;
-    });
+    MutexLock lock(&drain_mu_);
+    while (inflight_.load(std::memory_order_relaxed) != 0) {
+      drain_cv_.Wait(drain_mu_);
+    }
   }
 
   int64_t InFlight() const {
@@ -179,18 +180,18 @@ class AsyncIoService::Impl {
  private:
   void Enqueue(std::function<void()> task) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       queue_.push_back(std::move(task));
     }
-    cv_.notify_one();
+    cv_.NotifyOne();
   }
 
   void RunWorker() {
     for (;;) {
       std::function<void()> task;
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        MutexLock lock(&mu_);
+        while (!stop_ && queue_.empty()) cv_.Wait(mu_);
         if (queue_.empty()) return;  // stop_ && drained
         task = std::move(queue_.front());
         queue_.pop_front();
@@ -202,15 +203,17 @@ class AsyncIoService::Impl {
   AioTier tier_;
   std::unique_ptr<internal::UringBackend> uring_;
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  bool stop_ GUARDED_BY(mu_) = false;
   std::vector<std::thread> threads_;
 
+  /// Atomic so TrackOp's hot increment skips the lock; drain_mu_ only
+  /// serializes the zero-crossing handshake with Drain()'s wait.
   std::atomic<uint64_t> inflight_{0};
-  std::mutex drain_mu_;
-  std::condition_variable drain_cv_;
+  Mutex drain_mu_;
+  CondVar drain_cv_;
 };
 
 AsyncIoService::AsyncIoService(AioTier tier, int io_threads)
@@ -223,7 +226,7 @@ AsyncIoService::~AsyncIoService() = default;
 AsyncIoService& AsyncIoService::Default() {
   // Leaked intentionally: scans submitted from arbitrary threads may
   // outlive static destruction order.
-  static AsyncIoService* service = new AsyncIoService(DefaultAioTier());
+  static AsyncIoService* service = new AsyncIoService(DefaultAioTier());  // lint:allow(raw-new)
   return *service;
 }
 
@@ -269,13 +272,13 @@ struct AggregatedWriteBuffer::Block {
 /// chains the next one, keeping exactly one write outstanding so the
 /// base file sees blocks in absorption order.
 struct AggregatedWriteBuffer::Shared {
-  std::mutex mu;
-  std::condition_variable cv;
+  Mutex mu;
+  CondVar cv;
   AsyncIoService* service = nullptr;
   WritableFile* base = nullptr;
-  bool in_flight = false;
-  std::deque<std::unique_ptr<Block>> pending;
-  Status error = Status::OK();  // sticky first failure
+  bool in_flight GUARDED_BY(mu) = false;
+  std::deque<std::unique_ptr<Block>> pending GUARDED_BY(mu);
+  Status error GUARDED_BY(mu) = Status::OK();  // sticky first failure
 
   /// Dispatches the head pending block unless one is already in
   /// flight. SubmitWrite happens OUTSIDE mu: the sync tier completes
@@ -285,7 +288,7 @@ struct AggregatedWriteBuffer::Shared {
   static void Pump(const std::shared_ptr<Shared>& self) {
     Block* blk = nullptr;
     {
-      std::lock_guard<std::mutex> lock(self->mu);
+      MutexLock lock(&self->mu);
       if (self->in_flight || self->pending.empty() || !self->error.ok()) {
         return;
       }
@@ -296,12 +299,12 @@ struct AggregatedWriteBuffer::Shared {
         self->base, Slice(blk->data, blk->len), [self](Status s) {
           bool chain;
           {
-            std::lock_guard<std::mutex> lock(self->mu);
+            MutexLock lock(&self->mu);
             self->pending.pop_front();
             if (!s.ok() && self->error.ok()) self->error = std::move(s);
             self->in_flight = false;
             chain = !self->pending.empty() && self->error.ok();
-            if (!chain) self->cv.notify_all();
+            if (!chain) self->cv.NotifyAll();
           }
           if (chain) Pump(self);
         });
@@ -323,13 +326,12 @@ AggregatedWriteBuffer::AggregatedWriteBuffer(WritableFile* base,
 AggregatedWriteBuffer::~AggregatedWriteBuffer() {
   // Callers should Flush() and check; destruction must still not leave
   // callbacks pointing at freed blocks.
-  Status ignored = Barrier();
-  (void)ignored;
+  Barrier().IgnoreError();
 }
 
 Status AggregatedWriteBuffer::Append(Slice data) {
   {
-    std::lock_guard<std::mutex> lock(shared_->mu);
+    MutexLock lock(&shared_->mu);
     BULLION_RETURN_NOT_OK(shared_->error);
   }
   // The logical op is counted at absorption; the physical write_call
@@ -358,18 +360,18 @@ Status AggregatedWriteBuffer::Append(Slice data) {
 
 void AggregatedWriteBuffer::SubmitBlock() {
   {
-    std::lock_guard<std::mutex> lock(shared_->mu);
+    MutexLock lock(&shared_->mu);
     shared_->pending.push_back(std::move(cur_));
   }
   Shared::Pump(shared_);
 }
 
 Status AggregatedWriteBuffer::Barrier() {
-  std::unique_lock<std::mutex> lock(shared_->mu);
-  shared_->cv.wait(lock, [this] {
-    return !shared_->in_flight &&
-           (shared_->pending.empty() || !shared_->error.ok());
-  });
+  MutexLock lock(&shared_->mu);
+  while (shared_->in_flight ||
+         (!shared_->pending.empty() && shared_->error.ok())) {
+    shared_->cv.Wait(shared_->mu);
+  }
   return shared_->error;
 }
 

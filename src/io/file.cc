@@ -142,7 +142,7 @@ Result<uint64_t> InMemoryWritableFile::Size() const {
 
 Result<std::unique_ptr<WritableFile>> InMemoryFileSystem::NewWritableFile(
     const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto file = std::make_shared<InMemoryFile>();
   files_[name] = file;
   return std::unique_ptr<WritableFile>(
@@ -151,7 +151,7 @@ Result<std::unique_ptr<WritableFile>> InMemoryFileSystem::NewWritableFile(
 
 Result<std::unique_ptr<RandomAccessFile>> InMemoryFileSystem::NewReadableFile(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = files_.find(name);
   if (it == files_.end()) return Status::NotFound("no such file: " + name);
   return std::unique_ptr<RandomAccessFile>(new InMemoryReadableFile(
@@ -160,7 +160,7 @@ Result<std::unique_ptr<RandomAccessFile>> InMemoryFileSystem::NewReadableFile(
 
 Result<std::unique_ptr<WritableFile>> InMemoryFileSystem::OpenForUpdate(
     const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = files_.find(name);
   if (it == files_.end()) return Status::NotFound("no such file: " + name);
   return std::unique_ptr<WritableFile>(
@@ -168,19 +168,19 @@ Result<std::unique_ptr<WritableFile>> InMemoryFileSystem::OpenForUpdate(
 }
 
 bool InMemoryFileSystem::Exists(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return files_.count(name) > 0;
 }
 
 Result<uint64_t> InMemoryFileSystem::FileSize(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = files_.find(name);
   if (it == files_.end()) return Status::NotFound("no such file: " + name);
   return static_cast<uint64_t>(it->second->data.size());
 }
 
 Status InMemoryFileSystem::Delete(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (files_.erase(name) == 0) return Status::NotFound("no such file: " + name);
   return Status::OK();
 }

@@ -11,11 +11,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/buffer.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/result.h"
 #include "common/slice.h"
 #include "common/status.h"
@@ -155,9 +156,9 @@ class InMemoryFileSystem {
   void ResetStats() { stats_.Reset(); }
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::shared_ptr<InMemoryFile>> files_;
-  IoStats stats_;
+  mutable Mutex mu_;
+  std::map<std::string, std::shared_ptr<InMemoryFile>> files_ GUARDED_BY(mu_);
+  IoStats stats_;  // internally atomic; recorded lock-free
 };
 
 /// POSIX-backed implementations for the example binaries.

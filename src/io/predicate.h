@@ -67,9 +67,10 @@ struct FilterValue {
   double r = 0.0;
 
   FilterValue() = default;
-  FilterValue(int64_t v) : is_real(false), i(v) {}      // NOLINT(runtime/explicit)
-  FilterValue(int v) : is_real(false), i(v) {}          // NOLINT(runtime/explicit)
-  FilterValue(double v) : is_real(true), r(v) {}        // NOLINT(runtime/explicit)
+  // Implicit by design: filter literals read as Filter("uid", kLt, 7).
+  FilterValue(int64_t v) : is_real(false), i(v) {}  // NOLINT(google-explicit-constructor)
+  FilterValue(int v) : is_real(false), i(v) {}      // NOLINT(google-explicit-constructor)
+  FilterValue(double v) : is_real(true), r(v) {}    // NOLINT(google-explicit-constructor)
 
   double AsReal() const { return is_real ? r : static_cast<double>(i); }
 };

@@ -6,8 +6,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
-#include <mutex>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace bullion {
 namespace obs {
@@ -28,25 +30,25 @@ struct TraceEvent {
 /// thread; the mutex exists so the flush (another thread) can read and
 /// clear safely. In steady state it is uncontended.
 struct ThreadBuffer {
-  std::mutex mu;
-  std::vector<TraceEvent> events;
-  uint32_t tid = 0;
+  Mutex mu;
+  std::vector<TraceEvent> events GUARDED_BY(mu);
+  uint32_t tid = 0;  // assigned once at registration, read-only after
 };
 
 struct TraceState {
-  std::mutex mu;
+  Mutex mu;
   // Buffers are kept alive here even after their thread exits, so
   // short-lived pool workers' spans survive until the flush.
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
-  std::string path;
-  uint32_t next_tid = 1;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers GUARDED_BY(mu);
+  std::string path GUARDED_BY(mu);
+  uint32_t next_tid GUARDED_BY(mu) = 1;
   // Session start; event ts are relative to it. Atomic because
   // recording threads read it without the state mutex.
   std::atomic<uint64_t> epoch_ns{0};
 };
 
 TraceState& State() {
-  static TraceState* state = new TraceState();  // immortal
+  static TraceState* state = new TraceState();  // lint:allow(raw-new) immortal
   return *state;
 }
 
@@ -55,7 +57,7 @@ ThreadBuffer* LocalBuffer() {
   if (buffer == nullptr) {
     buffer = std::make_shared<ThreadBuffer>();
     TraceState& s = State();
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(&s.mu);
     buffer->tid = s.next_tid++;
     s.buffers.push_back(buffer);
   }
@@ -69,13 +71,13 @@ void AppendEscaped(std::string* out, const char* s) {
   }
 }
 
-/// Serializes and clears every buffer. Caller holds the state mutex.
-std::string DrainToJsonLocked(TraceState* s) {
+/// Serializes and clears every buffer.
+std::string DrainToJsonLocked(TraceState* s) REQUIRES(s->mu) {
   std::string out = "[";
   bool first = true;
   char buf[192];
   for (const auto& tb : s->buffers) {
-    std::lock_guard<std::mutex> lock(tb->mu);
+    MutexLock lock(&tb->mu);
     for (const TraceEvent& e : tb->events) {
       out += first ? "\n" : ",\n";
       first = false;
@@ -102,7 +104,8 @@ struct TraceEnvInit {
     const char* path = std::getenv("BULLION_TRACE");
     if (path != nullptr && path[0] != '\0') {
       if (StartTracing(path).ok()) {
-        std::atexit([] { StopTracing(); });
+        // atexit cannot report a write failure anywhere.
+        std::atexit([] { StopTracing().status().IgnoreError(); });
       }
     }
   }
@@ -117,7 +120,7 @@ uint64_t TraceNowNs() { return NowNs(); }
 
 void RecordSpan(const char* name, uint64_t start_ns, uint64_t end_ns) {
   ThreadBuffer* tb = LocalBuffer();
-  std::lock_guard<std::mutex> lock(tb->mu);
+  MutexLock lock(&tb->mu);
   uint64_t epoch = State().epoch_ns.load(std::memory_order_relaxed);
   uint64_t rel = start_ns > epoch ? start_ns - epoch : 0;
   tb->events.push_back(TraceEvent{name, rel, end_ns - start_ns});
@@ -127,14 +130,14 @@ void RecordSpan(const char* name, uint64_t start_ns, uint64_t end_ns) {
 
 Status StartTracing(const std::string& path) {
   TraceState& s = State();
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(&s.mu);
   if (internal::g_trace_enabled.load(std::memory_order_relaxed)) {
     return Status::InvalidArgument("a trace session is already active");
   }
   s.path = path;
   s.epoch_ns.store(NowNs(), std::memory_order_relaxed);
   for (const auto& tb : s.buffers) {
-    std::lock_guard<std::mutex> tlock(tb->mu);
+    MutexLock tlock(&tb->mu);
     tb->events.clear();
   }
   internal::g_trace_enabled.store(true, std::memory_order_relaxed);
@@ -149,7 +152,7 @@ Result<std::string> StopTracing() {
   if (!internal::g_trace_enabled.exchange(false, std::memory_order_relaxed)) {
     return Status::InvalidArgument("no trace session is active");
   }
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(&s.mu);
   std::string json = DrainToJsonLocked(&s);
   if (!s.path.empty()) {
     std::FILE* f = std::fopen(s.path.c_str(), "w");
@@ -164,10 +167,10 @@ Result<std::string> StopTracing() {
 
 size_t BufferedTraceEvents() {
   TraceState& s = State();
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(&s.mu);
   size_t n = 0;
   for (const auto& tb : s.buffers) {
-    std::lock_guard<std::mutex> tlock(tb->mu);
+    MutexLock tlock(&tb->mu);
     n += tb->events.size();
   }
   return n;

@@ -1,0 +1,4 @@
+// Seeds [env-var-docs]: BULLION_SECRET_KNOB appears in no .md file.
+#include <cstdlib>
+
+const char* ReadKnob() { return std::getenv("BULLION_SECRET_KNOB"); }

@@ -1,0 +1,19 @@
+// Seeds [include-guard] (no pragma guard), [raw-mutex] (std::mutex
+// member), [mutex-unannotated] (Mutex member, zero GUARDED_BY in
+// file), [raw-new], and [bare-nolint].
+
+#include <mutex>
+
+class Mutex {};
+
+class Registry {
+ public:
+  int* Leak() { return new int(7); }  // -> raw-new
+
+ private:
+  std::mutex raw_mu_;  // -> raw-mutex
+  Mutex mu_;           // -> mutex-unannotated (no GUARDED_BY anywhere)
+  long count_;         // NOLINT
+};
+
+Registry& Get();

@@ -1,0 +1,9 @@
+// Seeds [metric-name] (malformed) and [metric-docs] (well-formed but
+// absent from src/obs/README.md).
+#include "core/locker.h"
+
+void RegisterMetrics() {
+  Get().GetCounter("BadMetric-Name");             // -> metric-name
+  Get().GetHistogram("bullion.core.orphan_ns");   // -> metric-docs
+  Get().GetHistogram("bullion.core.documented_ns");  // fine
+}

@@ -1,0 +1,21 @@
+// The compliant twin of bad/src/core/locker.h: guarded header,
+// annotated Mutex member, smart-pointer ownership, scoped NOLINT.
+
+#pragma once
+
+#include <memory>
+
+#define GUARDED_BY(x)
+
+class Mutex {};
+
+class Registry {
+ public:
+  std::unique_ptr<int> Make() { return std::make_unique<int>(7); }
+
+ private:
+  Mutex mu_;
+  long count_ GUARDED_BY(mu_);  // NOLINT(runtime/int)
+};
+
+Registry& Get();

@@ -1,0 +1,10 @@
+// Well-formed, documented metric and documented env var.
+#include <cstdlib>
+
+#include "core/locker.h"
+
+void RegisterMetrics() {
+  Get().GetHistogram("bullion.core.lookup_ns");
+}
+
+const char* ReadMode() { return std::getenv("BULLION_CORE_MODE"); }

@@ -1,0 +1,102 @@
+// Pins the project-invariant linter (tools/lint.py):
+//   * every rule fires on the seeded violations in
+//     tests/lint_fixtures/bad/,
+//   * the compliant twin tree in tests/lint_fixtures/clean/ passes,
+//   * and the real tree passes — so a rule regression or a new
+//     violation in src/ both fail ctest, not just CI.
+//
+// The linter is exercised through its real CLI (popen), the same way
+// CI and the cmake `lint` target invoke it.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace {
+
+// tests/lint_test.cc -> repo root, derived from __FILE__ so the test
+// works from any build directory.
+std::string RepoRoot() {
+  std::string file = __FILE__;
+  size_t slash = file.rfind('/');
+  std::string tests_dir = file.substr(0, slash);
+  slash = tests_dir.rfind('/');
+  return tests_dir.substr(0, slash);
+}
+
+struct LintRun {
+  int exit_code = -1;
+  std::string output;
+};
+
+LintRun RunLint(const std::string& root_arg) {
+  std::string cmd = "python3 " + RepoRoot() + "/tools/lint.py --root " +
+                    root_arg + " 2>&1";
+  LintRun run;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return run;
+  std::array<char, 4096> buf;
+  size_t n;
+  while ((n = fread(buf.data(), 1, buf.size(), pipe)) > 0) {
+    run.output.append(buf.data(), n);
+  }
+  int status = pclose(pipe);
+  if (WIFEXITED(status)) run.exit_code = WEXITSTATUS(status);
+  return run;
+}
+
+bool HavePython3() {
+  return std::system("python3 -c 'pass' > /dev/null 2>&1") == 0;
+}
+
+class LintTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!HavePython3()) GTEST_SKIP() << "python3 not available";
+  }
+};
+
+TEST_F(LintTest, BadFixtureTripsEveryRule) {
+  LintRun run = RunLint(RepoRoot() + "/tests/lint_fixtures/bad");
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  // One expectation per rule id: a silently-dead rule is the failure
+  // mode this test exists to catch.
+  for (const char* rule :
+       {"[metric-name]", "[metric-docs]", "[env-var-docs]", "[raw-mutex]",
+        "[mutex-unannotated]", "[raw-new]", "[include-guard]",
+        "[bare-nolint]"}) {
+    EXPECT_NE(run.output.find(rule), std::string::npos)
+        << "rule " << rule << " did not fire; output:\n"
+        << run.output;
+  }
+}
+
+TEST_F(LintTest, BadFixtureViolationsCarryFileAndLine) {
+  LintRun run = RunLint(RepoRoot() + "/tests/lint_fixtures/bad");
+  // Spot-check the path:line: prefix contract the CI annotations rely
+  // on (exact line numbers pinned in the fixture sources).
+  EXPECT_NE(run.output.find("src/core/locker.h:1: [include-guard]"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("src/core/env_user.cc:4: [env-var-docs]"),
+            std::string::npos)
+      << run.output;
+}
+
+TEST_F(LintTest, CleanFixturePasses) {
+  LintRun run = RunLint(RepoRoot() + "/tests/lint_fixtures/clean");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_TRUE(run.output.empty()) << run.output;
+}
+
+TEST_F(LintTest, RealTreePasses) {
+  LintRun run = RunLint(RepoRoot());
+  EXPECT_EQ(run.exit_code, 0)
+      << "tools/lint.py found violations in the tree:\n"
+      << run.output;
+}
+
+}  // namespace
