@@ -9,6 +9,9 @@
 //                                 exec/batch_stream.h, io/predicate.h
 //   Parallel scan layer        -- exec/scanner.h, exec/thread_pool.h
 //   Sharded datasets           -- dataset/* (multi-file logical tables)
+//   Point-lookup serving       -- serve/* (split-block Bloom filters,
+//                                 the bullion::Lookup front door with
+//                                 late materialization)
 //   DeleteExecutor             -- format/deletion.h (§2.1)
 //   Sparse sliding-window delta-- format/sparse_delta.h (§2.2)
 //   Flat footer                -- format/footer.h (§2.3)
@@ -153,6 +156,8 @@
 #include "quant/int_rehash.h"
 #include "quant/mixed_precision.h"
 #include "quant/quantize.h"
+#include "serve/bloom.h"
+#include "serve/lookup.h"
 
 namespace bullion {
 

@@ -74,8 +74,37 @@ class ScanStreamBuilder {
         bullion::Filter{std::move(column), op, value});
     return *this;
   }
+  /// Push down `column IN (values...)` — a single-column disjunction
+  /// of equalities. An empty list matches nothing. ANDs with the other
+  /// filters/clauses like any clause.
+  ScanStreamBuilder& FilterIn(std::string column,
+                              std::vector<FilterValue> values) {
+    spec_.filters.push_back(
+        bullion::Filter{std::move(column), std::move(values)});
+    return *this;
+  }
+  /// Push down a cross-column OR clause: `a == 1 OR b < 2`. Clauses
+  /// AND with each other and with plain filters (conjunctive normal
+  /// form).
+  ScanStreamBuilder& FilterAnyOf(FilterClause clause) {
+    spec_.filters.push_back(std::move(clause));
+    return *this;
+  }
   ScanStreamBuilder& Filters(std::vector<bullion::Filter> filters) {
-    spec_.filters = std::move(filters);
+    spec_.filters.clear();
+    spec_.filters.reserve(filters.size());
+    for (bullion::Filter& f : filters) {
+      spec_.filters.push_back(FilterClause(std::move(f)));
+    }
+    return *this;
+  }
+  /// Fetch only the filter columns up front and pread just the page
+  /// runs holding surviving rows of the other projected columns.
+  /// Results are identical; only I/O shrinks. Best when filters are
+  /// selective (point lookups); groups with in-place deletes silently
+  /// take the full-fetch path.
+  ScanStreamBuilder& LateMaterialize(bool on = true) {
+    spec_.late_materialize = on;
     return *this;
   }
   /// Restrict to (global, for datasets) row groups [begin, end).

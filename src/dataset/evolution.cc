@@ -207,9 +207,22 @@ Result<DatasetCompactionReport> DatasetCompactor::Compact(
         new_stats.push_back(ShardColumnStats{c, rewrite.column_stats[c]});
       }
     }
+    // Rewritten shards also regain fresh aggregate Bloom filters (the
+    // pre-rewrite filters covered deleted keys — still sound, but the
+    // rewrite's are tighter). Kept shards can't be backfilled the way
+    // zone maps are: differently sized split-block filters don't OR, so
+    // a kept shard without filters stays unlisted.
+    std::vector<ShardColumnBloom> new_blooms;
+    for (uint32_t c = 0; c < rewrite.column_blooms.size(); ++c) {
+      if (!rewrite.column_blooms[c].empty()) {
+        new_blooms.push_back(
+            ShardColumnBloom{c, std::move(rewrite.column_blooms[c])});
+      }
+    }
     shards.push_back(ShardInfo{new_name, rewrite.rows_after,
                                rewrite.row_groups_after, /*deleted_rows=*/0,
-                               new_generation, std::move(new_stats)});
+                               new_generation, std::move(new_stats),
+                               std::move(new_blooms)});
     ++report.shards_compacted;
     report.rows_reclaimed += rewrite.rows_before - rewrite.rows_after;
     report.bytes_after += rewrite.bytes_written;

@@ -15,6 +15,7 @@ constexpr uint32_t kManifestMagic = 0x4D485342;
 constexpr uint32_t kManifestVersionV1 = 1;
 constexpr uint32_t kManifestVersionV2 = 2;
 constexpr uint32_t kManifestVersionV3 = 3;
+constexpr uint32_t kManifestVersionV4 = 4;
 }  // namespace
 
 ShardManifest::ShardManifest(std::vector<ShardInfo> shards,
@@ -46,7 +47,7 @@ Result<ShardManifest::GroupRef> ShardManifest::group(uint32_t g) const {
 Buffer ShardManifest::Serialize() const {
   BufferBuilder out;
   out.Append<uint32_t>(kManifestMagic);
-  out.Append<uint32_t>(kManifestVersionV3);
+  out.Append<uint32_t>(kManifestVersionV4);
   varint::PutVarint64(&out, generation_);
   varint::PutVarint64(&out, shards_.size());
   for (const ShardInfo& s : shards_) {
@@ -67,6 +68,12 @@ Buffer ShardManifest::Serialize() const {
       varint::PutVarint64(&out, rec.min_bits);
       varint::PutVarint64(&out, rec.max_bits);
     }
+    varint::PutVarint64(&out, s.column_blooms.size());
+    for (const ShardColumnBloom& bloom : s.column_blooms) {
+      varint::PutVarint64(&out, bloom.column);
+      varint::PutVarint64(&out, bloom.bits.size());
+      out.AppendBytes(bloom.bits.data(), bloom.bits.size());
+    }
   }
   return out.Finish();
 }
@@ -79,13 +86,13 @@ Result<ShardManifest> ShardManifest::Parse(Slice data) {
   std::memcpy(&version, data.data() + 4, 4);
   pos = 8;
   if (magic != kManifestMagic) return Status::Corruption("bad manifest magic");
-  if (version != kManifestVersionV1 && version != kManifestVersionV2 &&
-      version != kManifestVersionV3) {
+  if (version < kManifestVersionV1 || version > kManifestVersionV4) {
     return Status::NotImplemented("manifest version " +
                                   std::to_string(version));
   }
   const bool v2 = version >= kManifestVersionV2;
   const bool v3 = version >= kManifestVersionV3;
+  const bool v4 = version >= kManifestVersionV4;
   uint64_t generation = 0;
   if (v2 && !varint::GetVarint64(data, &pos, &generation)) {
     return Status::Corruption("manifest generation truncated");
@@ -95,10 +102,11 @@ Result<ShardManifest> ShardManifest::Parse(Slice data) {
     return Status::Corruption("manifest shard count truncated");
   }
   // Each shard record is at least 3 bytes in v1 (empty name + two
-  // varints), 5 in v2, and 6 in v3 (+ the stats count), so a count the
-  // remaining bytes cannot hold is corruption — reject before
-  // reserve() so a hostile count can't throw/OOM.
-  const uint64_t min_record = v3 ? 6 : (v2 ? 5 : 3);
+  // varints), 5 in v2, 6 in v3 (+ the stats count), and 7 in v4 (+ the
+  // bloom count), so a count the remaining bytes cannot hold is
+  // corruption — reject before reserve() so a hostile count can't
+  // throw/OOM.
+  const uint64_t min_record = v4 ? 7 : v3 ? 6 : (v2 ? 5 : 3);
   if (count > (data.size() - pos) / min_record) {
     return Status::Corruption("manifest shard count implausible");
   }
@@ -163,6 +171,39 @@ Result<ShardManifest> ShardManifest::Parse(Slice data) {
         rec.max_bits = max_bits;
         s.column_stats.push_back(ShardColumnStats{
             static_cast<uint32_t>(column), ZoneMapFromRecord(rec)});
+      }
+    }
+    if (v4) {
+      uint64_t bloom_count;
+      if (!varint::GetVarint64(data, &pos, &bloom_count)) {
+        return Status::Corruption("manifest shard blooms truncated");
+      }
+      // Each bloom record is at least 2 varints + a 32-byte filter.
+      if (bloom_count > (data.size() - pos) / 34) {
+        return Status::Corruption("manifest shard bloom count implausible");
+      }
+      s.column_blooms.reserve(bloom_count);
+      for (uint64_t j = 0; j < bloom_count; ++j) {
+        uint64_t column, bits_len;
+        if (!varint::GetVarint64(data, &pos, &column) ||
+            !varint::GetVarint64(data, &pos, &bits_len) ||
+            bits_len > data.size() - pos) {
+          return Status::Corruption("manifest shard blooms truncated");
+        }
+        if (column > UINT32_MAX) {
+          return Status::Corruption("manifest bloom column implausible");
+        }
+        // Zero-length or ragged filters cannot come out of Serialize();
+        // reject them here so every stored filter wraps cleanly.
+        if (bits_len == 0 || bits_len % 32 != 0) {
+          return Status::Corruption("manifest bloom filter malformed");
+        }
+        ShardColumnBloom bloom;
+        bloom.column = static_cast<uint32_t>(column);
+        bloom.bits.assign(reinterpret_cast<const char*>(data.data()) + pos,
+                          bits_len);
+        pos += bits_len;
+        s.column_blooms.push_back(std::move(bloom));
       }
     }
     shards.push_back(std::move(s));

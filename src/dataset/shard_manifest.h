@@ -17,7 +17,7 @@
 // Manifest wire format (little-endian):
 //
 //   magic   u32   0x4D485342 ("BSHM")
-//   version u32   1, 2, or 3
+//   version u32   1, 2, 3, or 4
 //   -- v2+ only --
 //   generation    varint64   dataset generation (bumped every publish:
 //                            append or compaction)
@@ -37,7 +37,7 @@
 //                            (bumped by compaction; keys the decoded-
 //                            chunk cache so pre-rewrite entries can
 //                            never serve a post-rewrite scan)
-//     -- v3 only --
+//     -- v3+ only --
 //     stats_count varint64   aggregated per-column zone maps recorded
 //                            at publish time; filtered scans prune
 //                            whole shards against them before opening
@@ -47,12 +47,27 @@
 //                            live values (pruning stays sound).
 //     repeated `stats_count` times:
 //       column    varint64   leaf column index
-//       flags     u8         bit 0: min/max present, bit 1: real
-//       min_bits  varint64   raw 64-bit pattern (int64 or double)
+//       flags     u8         bit 0: min/max present, bit 1: real,
+//                            bit 2: binary prefix
+//       min_bits  varint64   raw 64-bit pattern (int64 / double /
+//                            packed binary prefix)
 //       max_bits  varint64
+//     -- v4 only --
+//     bloom_count varint64   aggregated per-column Bloom filters
+//                            (serve/bloom.h) recorded at publish time;
+//                            point lookups prove whole shards keyless
+//                            against them before opening a footer.
+//                            Deletes only remove rows, so a published
+//                            filter stays a superset of the live keys.
+//     repeated `bloom_count` times:
+//       column    varint64   leaf column index
+//       bits_len  varint64   serialized filter size (multiple of 32)
+//       bits      bits_len bytes (BloomFilter::ToBytes)
 //
 // Parse() accepts every version (older records load with deleted = 0,
-// generation = 0, and no stats); Serialize() always writes v3.
+// generation = 0, no stats, and no Bloom filters — lookups then probe
+// shard footers instead of skipping shards early); Serialize() always
+// writes v4.
 
 #pragma once
 
@@ -80,6 +95,16 @@ struct ShardColumnStats {
   }
 };
 
+/// \brief Aggregated Bloom filter of one leaf column across a whole
+/// shard (serve/bloom.h serialized form) — the manifest-level
+/// membership check point lookups skip entire shards with.
+struct ShardColumnBloom {
+  uint32_t column = 0;
+  std::string bits;
+
+  bool operator==(const ShardColumnBloom& o) const = default;
+};
+
 /// \brief One shard's entry in the manifest.
 struct ShardInfo {
   /// File name, relative to wherever the dataset lives (the reader
@@ -97,6 +122,13 @@ struct ShardInfo {
   /// scans then fall back to aggregating the shard footer's chunk
   /// stats). Only columns with a valid min/max are listed.
   std::vector<ShardColumnStats> column_stats;
+  /// Aggregated per-column Bloom filters at publish time (empty = none
+  /// recorded; lookups then cannot skip the shard without probing its
+  /// footer's chunk filters). Only Bloom-eligible columns are listed.
+  /// Unlike zone maps these cannot be backfilled from footer chunk
+  /// filters — differently sized split-block filters do not OR — so a
+  /// shard kept as-is by a pre-Bloom compactor simply stays unlisted.
+  std::vector<ShardColumnBloom> column_blooms;
 
   /// Deleted fraction recorded at publish time.
   double deleted_fraction() const {
@@ -113,11 +145,21 @@ struct ShardInfo {
     return ZoneMap{};
   }
 
+  /// Serialized aggregate Bloom filter of `column`, or nullptr if not
+  /// recorded (callers must then treat the shard as possibly holding
+  /// any key).
+  const std::string* column_bloom(uint32_t column) const {
+    for (const ShardColumnBloom& b : column_blooms) {
+      if (b.column == column) return &b.bits;
+    }
+    return nullptr;
+  }
+
   bool operator==(const ShardInfo& o) const {
     return name == o.name && num_rows == o.num_rows &&
            num_row_groups == o.num_row_groups &&
            deleted_rows == o.deleted_rows && generation == o.generation &&
-           column_stats == o.column_stats;
+           column_stats == o.column_stats && column_blooms == o.column_blooms;
   }
 };
 
@@ -162,10 +204,11 @@ class ShardManifest {
     return shards_ == o.shards_ && generation_ == o.generation_;
   }
 
-  /// Serializes to the on-disk manifest blob (always version 2).
+  /// Serializes to the on-disk manifest blob (always the current
+  /// version, v4).
   Buffer Serialize() const;
-  /// Parses a blob produced by Serialize() — current (v2) or legacy
-  /// (v1) format.
+  /// Parses a blob produced by Serialize() — current (v4) or legacy
+  /// (v1–v3) format.
   static Result<ShardManifest> Parse(Slice data);
 
  private:

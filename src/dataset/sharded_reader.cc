@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "serve/bloom.h"
+
 namespace bullion {
 
 Result<std::unique_ptr<ShardedTableReader>> ShardedTableReader::Open(
@@ -108,6 +111,37 @@ ZoneMap ShardZone(const ShardInfo& info, const FooterView& footer,
   return footer.column_zone_map(column);
 }
 
+/// True if the shard's published aggregate Bloom filter proves none of
+/// `filter`'s equality constants (kEq / kIn) appear in the column.
+/// Mirrors the chunk-level probe in exec/batch_stream.cc: anything
+/// malformed or type-mismatched answers false (cannot prune).
+bool ShardBloomProvesAbsent(const std::string& bits, ColumnRecord rec,
+                            const Filter& filter) {
+  if (filter.op != CompareOp::kEq && filter.op != CompareOp::kIn) {
+    return false;
+  }
+  Result<BloomFilterView> view = BloomFilterView::Wrap(Slice(bits));
+  if (!view.ok()) return false;
+  static obs::Counter* probes =
+      obs::MetricsRegistry::Global().GetCounter("bullion.bloom.probes");
+  static obs::Counter* negatives =
+      obs::MetricsRegistry::Global().GetCounter("bullion.bloom.negatives");
+  const auto physical = static_cast<PhysicalType>(rec.physical);
+  auto provably_absent = [&](const FilterValue& v) {
+    uint64_t h = 0;
+    if (!BloomHashFilterValue(physical, v, &h)) return false;
+    probes->Increment();
+    if (view->MayContain(h)) return false;
+    negatives->Increment();
+    return true;
+  };
+  if (filter.op == CompareOp::kEq) return provably_absent(filter.value);
+  for (const FilterValue& v : filter.values) {
+    if (!provably_absent(v)) return false;
+  }
+  return !filter.values.empty();
+}
+
 }  // namespace
 
 Result<std::unique_ptr<BatchStream>> OpenScanStream(
@@ -119,6 +153,7 @@ Result<std::unique_ptr<BatchStream>> OpenScanStream(
   }
 
   BatchStreamOptions options;
+  options.late_materialize = spec.late_materialize;
   options.batch_rows = spec.batch_rows;
   options.threads = spec.threads;
   options.prefetch_depth = spec.prefetch_depth;
@@ -179,18 +214,33 @@ Result<std::unique_ptr<BatchStream>> OpenScanStream(
     const uint32_t shard_cols = sf.num_columns();
 
     if (shard_pruned[s] < 0) {
+      // CNF pruning: the shard is provably empty when SOME clause's
+      // EVERY term is provably false here — by schema-evolution null
+      // back-fill (null matches no predicate), by the shard-level zone
+      // map, or by the manifest's aggregate Bloom filter.
       bool pruned = false;
-      for (const ResolvedFilter& f : plan.residual) {
-        uint32_t col = plan.fetch_columns[f.fetch_slot];
-        if (col >= shard_cols) {
-          // Every row of this shard is null for the filtered column
-          // (schema-evolution back-fill) and null matches no
-          // predicate: the whole shard is provably empty.
-          pruned = true;
-          break;
+      for (const ResolvedClause& clause : plan.residual) {
+        bool clause_empty = !clause.any_of.empty();
+        for (const ResolvedFilter& f : clause.any_of) {
+          uint32_t col = plan.fetch_columns[f.fetch_slot];
+          if (col >= shard_cols) continue;  // back-fill: term matches no row
+          bool term_empty =
+              fd && !ZoneMapMayMatch(ShardZone(manifest.shard(s), sf, col),
+                                     f.filter);
+          if (!term_empty && fd) {
+            const std::string* bloom =
+                manifest.shard(s).column_bloom(col);
+            if (bloom != nullptr) {
+              term_empty = ShardBloomProvesAbsent(
+                  *bloom, sf.column_record(col), f.filter);
+            }
+          }
+          if (!term_empty) {
+            clause_empty = false;
+            break;
+          }
         }
-        if (fd && !ZoneMapMayMatch(ShardZone(manifest.shard(s), sf, col),
-                                   f.op, f.value)) {
+        if (clause_empty) {
           pruned = true;
           break;
         }

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/bloom.h"
 
 namespace bullion {
 
@@ -44,45 +46,132 @@ Result<StreamColumnPlan> PlanStreamColumns(const FooterView& footer,
       ResolveProjection(footer, spec.columns, spec.column_names));
   plan.num_projected = plan.fetch_columns.size();
   plan.residual.reserve(spec.filters.size());
-  for (const Filter& f : spec.filters) {
-    BULLION_ASSIGN_OR_RETURN(uint32_t c, footer.FindColumn(f.column));
-    ColumnRecord rec = footer.column_record(c);
-    if (rec.list_depth != 0 ||
-        !HasPredicateOrder(static_cast<PhysicalType>(rec.physical))) {
+  for (const FilterClause& clause : spec.filters) {
+    if (clause.any_of.empty()) {
       return Status::InvalidArgument(
-          "predicate on column '" + f.column +
-          "': only scalar integer and float32/64 columns support filters");
+          "empty filter clause (a disjunction of nothing matches no row)");
     }
-    // Bind to an existing fetch slot when the column is already
-    // projected (or filtered twice); append a filter-only slot
-    // otherwise.
-    size_t slot = plan.fetch_columns.size();
-    for (size_t i = 0; i < plan.fetch_columns.size(); ++i) {
-      if (plan.fetch_columns[i] == c) {
-        slot = i;
-        break;
+    ResolvedClause resolved;
+    resolved.any_of.reserve(clause.any_of.size());
+    for (const Filter& f : clause.any_of) {
+      BULLION_ASSIGN_OR_RETURN(uint32_t c, footer.FindColumn(f.column));
+      ColumnRecord rec = footer.column_record(c);
+      const auto physical = static_cast<PhysicalType>(rec.physical);
+      const bool binary = physical == PhysicalType::kBinary;
+      if (rec.list_depth != 0 || (!binary && !HasPredicateOrder(physical))) {
+        return Status::InvalidArgument(
+            "predicate on column '" + f.column +
+            "': only scalar integer, float32/64, and binary columns support "
+            "filters");
       }
+      if (binary && f.op != CompareOp::kEq && f.op != CompareOp::kNe &&
+          f.op != CompareOp::kIn) {
+        return Status::InvalidArgument(
+            "predicate on binary column '" + f.column +
+            "': only ==, !=, and IN are supported");
+      }
+      // Constant domains are checked here, not mid-scan: a mismatch
+      // would otherwise surface as a row-evaluation error only for
+      // groups that survive pruning.
+      auto domain_ok = [binary](const FilterValue& v) {
+        return binary == v.is_binary;
+      };
+      if (f.op == CompareOp::kIn) {
+        for (const FilterValue& v : f.values) {
+          if (!domain_ok(v)) {
+            return Status::InvalidArgument(
+                "predicate on column '" + f.column +
+                "': IN list member type does not match the column");
+          }
+        }
+      } else if (!domain_ok(f.value)) {
+        return Status::InvalidArgument(
+            binary ? "predicate on binary column '" + f.column +
+                         "': constant must be a byte string"
+                   : "predicate on column '" + f.column +
+                         "': byte-string constant on a numeric column");
+      }
+      // Bind to an existing fetch slot when the column is already
+      // projected (or filtered twice); append a filter-only slot
+      // otherwise.
+      size_t slot = plan.fetch_columns.size();
+      for (size_t i = 0; i < plan.fetch_columns.size(); ++i) {
+        if (plan.fetch_columns[i] == c) {
+          slot = i;
+          break;
+        }
+      }
+      if (slot == plan.fetch_columns.size()) plan.fetch_columns.push_back(c);
+      resolved.any_of.push_back(ResolvedFilter{slot, f});
     }
-    if (slot == plan.fetch_columns.size()) plan.fetch_columns.push_back(c);
-    plan.residual.push_back(ResolvedFilter{slot, f.op, f.value});
+    plan.residual.push_back(std::move(resolved));
   }
   return plan;
 }
+
+namespace {
+
+/// True if chunk (local_group, col)'s Bloom filter proves the chunk
+/// holds none of the equality constants `filter` probes for. Only
+/// kEq / kIn can be disproven by membership; anything malformed,
+/// missing, or type-mismatched answers false (cannot prune).
+bool BloomProvesAbsent(const FooterView& footer, uint32_t local_group,
+                       uint32_t col, const Filter& filter) {
+  if (filter.op != CompareOp::kEq && filter.op != CompareOp::kIn) {
+    return false;
+  }
+  if (!footer.has_chunk_blooms()) return false;
+  Slice bits = footer.chunk_bloom(local_group, col);
+  if (bits.empty()) return false;  // ineligible column: no filter recorded
+  Result<BloomFilterView> view = BloomFilterView::Wrap(bits);
+  if (!view.ok()) return false;
+  static obs::Counter* probes =
+      obs::MetricsRegistry::Global().GetCounter("bullion.bloom.probes");
+  static obs::Counter* negatives =
+      obs::MetricsRegistry::Global().GetCounter("bullion.bloom.negatives");
+  const auto physical =
+      static_cast<PhysicalType>(footer.column_record(col).physical);
+  auto provably_absent = [&](const FilterValue& v) {
+    uint64_t h = 0;
+    if (!BloomHashFilterValue(physical, v, &h)) return false;
+    probes->Increment();
+    if (view->MayContain(h)) return false;
+    negatives->Increment();
+    return true;
+  };
+  if (filter.op == CompareOp::kEq) return provably_absent(filter.value);
+  // kIn: every member must be provably absent (the empty list is
+  // already pruned by the zone-map overload).
+  for (const FilterValue& v : filter.values) {
+    if (!provably_absent(v)) return false;
+  }
+  return !filter.values.empty();
+}
+
+}  // namespace
 
 bool GroupProvablyEmpty(const FooterView& footer, uint32_t local_group,
                         const StreamColumnPlan& plan,
                         const ReadOptions& read_options) {
   // Scans that keep deleted rows see zero/empty placeholders for
-  // physically erased values; the recorded bounds don't cover those,
-  // so pruning would be unsound.
+  // physically erased values; the recorded bounds (and the write-time
+  // Bloom filters) don't cover those, so pruning would be unsound.
   if (!read_options.filter_deleted) return false;
-  for (const ResolvedFilter& f : plan.residual) {
-    uint32_t col = plan.fetch_columns[f.fetch_slot];
-    // Columns this footer predates (schema-evolution back-fill) are
-    // decided by the shard-level pass, not per group.
-    if (col >= footer.num_columns()) continue;
-    ZoneMap zone = footer.chunk_zone_map(local_group, col);
-    if (!ZoneMapMayMatch(zone, f.op, f.value)) return true;
+  for (const ResolvedClause& clause : plan.residual) {
+    bool all_terms_empty = !clause.any_of.empty();
+    for (const ResolvedFilter& f : clause.any_of) {
+      uint32_t col = plan.fetch_columns[f.fetch_slot];
+      // Columns this footer predates (schema-evolution back-fill) are
+      // decided by the shard-level pass, not per group.
+      if (col >= footer.num_columns()) continue;
+      ZoneMap zone = footer.chunk_zone_map(local_group, col);
+      if (ZoneMapMayMatch(zone, f.filter) &&
+          !BloomProvesAbsent(footer, local_group, col, f.filter)) {
+        all_terms_empty = false;
+        break;
+      }
+    }
+    if (all_terms_empty) return true;
   }
   return false;
 }
@@ -121,6 +210,7 @@ Result<std::unique_ptr<BatchStream>> OpenScanStream(
     options.fetch_records.push_back(f.column_record(c));
   }
   options.residual = std::move(plan.residual);
+  options.late_materialize = spec.late_materialize;
   options.batch_rows = spec.batch_rows;
   options.threads = spec.threads;
   options.prefetch_depth = spec.prefetch_depth;
@@ -174,6 +264,10 @@ struct BatchStream::InFlight {
   /// Landing pad of each coalesced read, one per plan read; filled by
   /// the AIO service, consumed by that read's decode task.
   std::vector<Buffer> read_bufs;
+  /// Late materialization: fetch slots deferred past the residual.
+  /// Phase 1 fetched only the filter slots; these are filled at emit
+  /// time from the surviving page runs, already compacted.
+  std::vector<size_t> late_slots;
 
   // Guarded by the stream's mu_:
   size_t pending = 0;
@@ -187,9 +281,14 @@ Result<std::unique_ptr<BatchStream>> BatchStream::Create(
       options.fetch_records.size() != options.fetch_columns.size()) {
     return Status::InvalidArgument("batch stream fetch set inconsistent");
   }
-  for (const ResolvedFilter& f : options.residual) {
-    if (f.fetch_slot >= options.fetch_columns.size()) {
-      return Status::InvalidArgument("residual filter slot out of range");
+  for (const ResolvedClause& clause : options.residual) {
+    if (clause.any_of.empty()) {
+      return Status::InvalidArgument("empty residual clause");
+    }
+    for (const ResolvedFilter& f : clause.any_of) {
+      if (f.fetch_slot >= options.fetch_columns.size()) {
+        return Status::InvalidArgument("residual filter slot out of range");
+      }
     }
   }
   for (const StreamUnit& u : units) {
@@ -210,6 +309,17 @@ BatchStream::BatchStream(std::vector<StreamUnit> units,
   projected_records_.assign(
       options_.fetch_records.begin(),
       options_.fetch_records.begin() + options_.num_projected);
+  residual_slot_.assign(options_.fetch_columns.size(), 0);
+  residual_clauses_.reserve(options_.residual.size());
+  for (const ResolvedClause& clause : options_.residual) {
+    FilterClause fc;
+    fc.any_of.reserve(clause.any_of.size());
+    for (const ResolvedFilter& f : clause.any_of) {
+      residual_slot_[f.fetch_slot] = 1;
+      fc.any_of.push_back(f.filter);
+    }
+    residual_clauses_.push_back(std::move(fc));
+  }
 
   ThreadPool* pool = options_.pool;
   if (pool == nullptr && options_.threads > 1) {
@@ -263,9 +373,18 @@ Status BatchStream::SubmitNext() {
   fl->preset.assign(nfetch, 0);
   if (unit.prepare) unit.prepare(&fl->out, &fl->preset);
 
+  // Late materialization defers every non-filter slot to emit time
+  // (phase 2) — sound only when the group has no in-place deletes,
+  // because phase 2 addresses rows positionally by page.
+  const bool late = options_.late_materialize && !options_.residual.empty() &&
+                    unit.reader->footer().DeletedCount(unit.local_group) == 0;
   auto missing = std::make_shared<std::vector<uint32_t>>();
   for (size_t slot = 0; slot < nfetch; ++slot) {
     if (fl->preset[slot]) continue;
+    if (late && !residual_slot_[slot]) {
+      fl->late_slots.push_back(slot);
+      continue;
+    }
     fl->missing_slots.push_back(slot);
     missing->push_back(options_.fetch_columns[slot]);
   }
@@ -367,6 +486,137 @@ void BatchStream::OnReadLanded(
   cv_.NotifyAll();
 }
 
+Status BatchStream::MaterializeLateSlots(
+    InFlight* fl, const std::vector<uint32_t>& selection) {
+  BULLION_TRACE_SPAN("scan.late_materialize");
+  const StreamUnit& unit = *fl->unit;
+  // No survivors: every deferred slot becomes an empty column of its
+  // type — the group costs zero phase-2 preads.
+  if (selection.empty()) {
+    for (size_t slot : fl->late_slots) {
+      const ColumnRecord& rec = options_.fetch_records[slot];
+      fl->out[slot] = ColumnVector(static_cast<PhysicalType>(rec.physical),
+                                   rec.list_depth);
+    }
+    return Status::OK();
+  }
+
+  // Surviving pages, as maximal contiguous runs of chunk-relative page
+  // indices. Every chunk of a group shares this page/row layout
+  // (rows_per_page is file-global), so the runs are computed once and
+  // reused for every deferred slot.
+  const uint32_t rpp = unit.reader->footer().rows_per_page();
+  if (rpp == 0) return Status::Corruption("footer rows_per_page is zero");
+  std::vector<std::pair<uint32_t, uint32_t>> page_runs;
+  for (uint32_t r : selection) {
+    const uint32_t p = r / rpp;
+    if (!page_runs.empty() && p < page_runs.back().second) continue;
+    if (!page_runs.empty() && p == page_runs.back().second) {
+      ++page_runs.back().second;
+    } else {
+      page_runs.emplace_back(p, p + 1);
+    }
+  }
+
+  struct Run {
+    uint32_t page_begin = 0;  // chunk-relative
+    uint32_t page_end = 0;
+    uint32_t row_begin = 0;  // group-relative first row of page_begin
+    Buffer buf;
+    ColumnVector decoded;
+  };
+  struct SlotWork {
+    size_t slot = 0;
+    uint32_t col = 0;
+    std::vector<Run> runs;
+  };
+  std::vector<SlotWork> work(fl->late_slots.size());
+  for (size_t i = 0; i < fl->late_slots.size(); ++i) {
+    work[i].slot = fl->late_slots[i];
+    work[i].col = options_.fetch_columns[work[i].slot];
+    work[i].runs.reserve(page_runs.size());
+    for (const auto& [pb, pe] : page_runs) {
+      Run run;
+      run.page_begin = pb;
+      run.page_end = pe;
+      run.row_begin = pb * rpp;
+      work[i].runs.push_back(std::move(run));
+    }
+  }
+
+  // One AioRead per (slot, run), submitted as ONE batch; the consumer
+  // blocks here until the whole batch lands. Buffers live in `work`,
+  // which is fully built (stable addresses) before submission.
+  struct Landing {
+    size_t remaining = 0;
+    Status error;
+  };
+  Landing landing;  // guarded by mu_; all callbacks return before exit
+  std::vector<AioRead> batch;
+  uint64_t bytes_fetched = 0;
+  for (SlotWork& w : work) {
+    for (Run& run : w.runs) {
+      BULLION_ASSIGN_OR_RETURN(
+          auto extent, unit.reader->PageRunExtent(unit.local_group, w.col,
+                                                  run.page_begin,
+                                                  run.page_end));
+      AioRead r;
+      r.file = unit.reader->file();
+      r.offset = extent.first;
+      r.len = extent.second - extent.first;
+      r.out = &run.buf;
+      Landing* land = &landing;
+      r.done = [this, land](Status st) {
+        MutexLock lock(&mu_);
+        if (!st.ok() && land->error.ok()) land->error = std::move(st);
+        --land->remaining;
+        cv_.NotifyAll();
+      };
+      bytes_fetched += r.len;
+      batch.push_back(std::move(r));
+    }
+  }
+  landing.remaining = batch.size();
+  aio_->SubmitReadBatch(std::move(batch));
+  {
+    MutexLock lock(&mu_);
+    while (landing.remaining != 0) cv_.Wait(mu_);
+  }
+  BULLION_RETURN_NOT_OK(landing.error);
+  if (options_.report != nullptr) {
+    options_.report->bytes.fetch_add(bytes_fetched,
+                                     std::memory_order_relaxed);
+  }
+
+  // Decode each run and gather the survivors into compacted columns.
+  for (SlotWork& w : work) {
+    for (Run& run : w.runs) {
+      BULLION_RETURN_NOT_OK(unit.reader->DecodePageRun(
+          unit.local_group, w.col, run.page_begin, run.page_end,
+          run.buf.AsSlice(), options_.read_options, &run.decoded));
+      run.buf = Buffer();  // decode done; drop the raw bytes early
+    }
+    const ColumnRecord& rec = options_.fetch_records[w.slot];
+    ColumnVector compact(static_cast<PhysicalType>(rec.physical),
+                         rec.list_depth);
+    size_t ri = 0;
+    for (uint32_t r : selection) {
+      while (ri < w.runs.size() &&
+             r >= w.runs[ri].row_begin + w.runs[ri].decoded.num_rows()) {
+        ++ri;
+      }
+      if (ri == w.runs.size() || r < w.runs[ri].row_begin) {
+        return Status::Unknown("late materialization lost a surviving row");
+      }
+      compact.AppendRowFrom(
+          w.runs[ri].decoded,
+          static_cast<int64_t>(r - w.runs[ri].row_begin));
+    }
+    fl->out[w.slot] = std::move(compact);
+  }
+  return Status::OK();
+}
+
 Status BatchStream::EmitBatches(InFlight* fl) {
   BULLION_TRACE_SPAN("scan.emit");
   StageTimer emit_timer(options_.report != nullptr
@@ -377,25 +627,50 @@ Status BatchStream::EmitBatches(InFlight* fl) {
   for (size_t j = 0; j < fl->missing_slots.size(); ++j) {
     fl->out[fl->missing_slots[j]] = std::move(fl->temp[j]);
   }
-  const size_t rows = fl->out.empty() ? 0 : fl->out[0].num_rows();
+  // With late materialization, deferred slots are still empty here —
+  // take the row count from a slot that has data (at least one filter
+  // slot always does: late units have a non-empty residual).
+  std::vector<uint8_t> is_late(fl->out.size(), 0);
+  for (size_t slot : fl->late_slots) is_late[slot] = 1;
+  size_t rows = 0;
+  for (size_t slot = 0; slot < fl->out.size(); ++slot) {
+    if (!is_late[slot]) {
+      rows = fl->out[slot].num_rows();
+      break;
+    }
+  }
 
   std::vector<uint32_t> selection;
   bool filtered = false;
   if (!options_.residual.empty()) {
     std::vector<uint8_t> mask(rows, 1);
-    for (const ResolvedFilter& f : options_.residual) {
+    std::vector<const ColumnVector*> cols;
+    for (size_t ci = 0; ci < options_.residual.size(); ++ci) {
+      const ResolvedClause& clause = options_.residual[ci];
+      cols.clear();
+      cols.reserve(clause.any_of.size());
+      for (const ResolvedFilter& f : clause.any_of) {
+        cols.push_back(&fl->out[f.fetch_slot]);
+      }
       BULLION_RETURN_NOT_OK(
-          UpdatePredicateMask(fl->out[f.fetch_slot], f.op, f.value, &mask));
+          UpdateClauseMask(cols, residual_clauses_[ci], &mask));
     }
     selection = SelectionFromMask(mask);
     filtered = selection.size() != rows;
+  }
+
+  // Phase 2: fetch + decode only the page runs holding survivors of
+  // the deferred slots; they come back already compacted to the
+  // selection (and are never permuted again below).
+  if (!fl->late_slots.empty()) {
+    BULLION_RETURN_NOT_OK(MaterializeLateSlots(fl, selection));
   }
 
   // Project the surviving rows.
   std::vector<ColumnVector> proj;
   proj.reserve(options_.num_projected);
   for (size_t slot = 0; slot < options_.num_projected; ++slot) {
-    if (filtered) {
+    if (filtered && !is_late[slot]) {
       BULLION_ASSIGN_OR_RETURN(ColumnVector kept,
                                fl->out[slot].Permute(selection));
       proj.push_back(std::move(kept));

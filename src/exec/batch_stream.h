@@ -65,11 +65,19 @@ struct RowBatch {
   }
 };
 
-/// \brief A filter bound to a slot of the stream's fetch set.
+/// \brief A filter bound to a slot of the stream's fetch set. The
+/// bound Filter carries the op and constant(s) — including kIn value
+/// lists; its column name is redundant after binding.
 struct ResolvedFilter {
   size_t fetch_slot = 0;
-  CompareOp op = CompareOp::kEq;
-  FilterValue value;
+  Filter filter;
+};
+
+/// \brief A disjunction of bound filters (one FilterClause after
+/// column resolution). The stream's residual is an AND of these; a
+/// clause prunes an extent only when every term prunes it.
+struct ResolvedClause {
+  std::vector<ResolvedFilter> any_of;
 };
 
 /// \brief One row group's worth of streamable work, prepared by the
@@ -111,8 +119,16 @@ struct BatchStreamOptions {
   /// Leaf type of each fetch slot (schema of the stream even when no
   /// unit survives pruning).
   std::vector<ColumnRecord> fetch_records;
-  /// Residual predicates, ANDed row-wise after decode.
-  std::vector<ResolvedFilter> residual;
+  /// Residual predicate clauses, ANDed row-wise after decode (each
+  /// clause ORs its terms).
+  std::vector<ResolvedClause> residual;
+  /// Late materialization: fetch only the filter columns up front,
+  /// evaluate the residual, then pread just the page runs that hold
+  /// surviving rows of the remaining projection columns. Exactness is
+  /// unchanged — only I/O shrinks. Applied per group, and only to
+  /// groups with no in-place deletes (positional page addressing);
+  /// other groups silently take the full-fetch path.
+  bool late_materialize = false;
   /// Max rows per emitted batch; 0 = one batch per row group (the
   /// materializing wrappers rely on this 1:1 mapping).
   uint64_t batch_rows = 0;
@@ -188,8 +204,17 @@ class BatchStream {
                     std::shared_ptr<const std::vector<uint32_t>> missing,
                     std::shared_ptr<const ReadPlan> plan, size_t i, Status st);
   /// Applies residual filters to a completed group and appends its
-  /// batches to ready_.
+  /// batches to ready_. For late-materialized units this is also where
+  /// phase 2 runs: the surviving page runs of the deferred slots are
+  /// fetched (one AioRead batch) and decoded into already-compacted
+  /// columns before projection.
   Status EmitBatches(InFlight* fl);
+  /// Phase 2 of late materialization: fetches and decodes the page
+  /// runs of `fl`'s deferred slots covering `selection` (group-relative
+  /// surviving rows), leaving each deferred slot compacted to exactly
+  /// those rows.
+  Status MaterializeLateSlots(InFlight* fl,
+                              const std::vector<uint32_t>& selection);
   /// Stamps the report's wall time once (drain complete or stream
   /// teardown, whichever comes first).
   void RecordWall();
@@ -198,6 +223,13 @@ class BatchStream {
   std::vector<StreamUnit> units_;
   std::vector<uint32_t> projected_columns_;
   std::vector<ColumnRecord> projected_records_;
+  /// residual_slot_[slot] = 1 iff some residual term reads that fetch
+  /// slot (those slots are always fetched in phase 1).
+  std::vector<uint8_t> residual_slot_;
+  /// options_.residual re-shaped as FilterClauses (parallel vectors) so
+  /// the per-group row evaluation feeds UpdateClauseMask without
+  /// rebuilding the clause each time.
+  std::vector<FilterClause> residual_clauses_;
   size_t group_window_ = 1;
   size_t next_submit_ = 0;
   Status status_;  // sticky first failure
@@ -235,9 +267,14 @@ struct ScanStreamSpec {
   /// by index (takes precedence). Both empty = every leaf.
   std::vector<std::string> column_names;
   std::vector<uint32_t> columns;
-  /// Predicates, ANDed. Pruning uses footer/manifest zone maps;
-  /// residual evaluation makes the rows exact.
-  std::vector<Filter> filters;
+  /// Predicate clauses, ANDed; each clause ORs its terms, and a plain
+  /// Filter converts to a one-term clause, so simple conjunctive
+  /// filter lists read unchanged. Pruning uses footer/manifest zone
+  /// maps and Bloom filters; residual evaluation makes the rows exact.
+  std::vector<FilterClause> filters;
+  /// Fetch filter columns first and pread only surviving page runs of
+  /// the rest (see BatchStreamOptions::late_materialize).
+  bool late_materialize = false;
   /// Row-group range [group_begin, group_end), clamped to the source.
   uint32_t group_begin = 0;
   uint32_t group_end = UINT32_MAX;
@@ -267,20 +304,23 @@ Result<std::vector<uint32_t>> ResolveProjection(
 struct StreamColumnPlan {
   std::vector<uint32_t> fetch_columns;
   size_t num_projected = 0;
-  std::vector<ResolvedFilter> residual;
+  std::vector<ResolvedClause> residual;
 };
 
 /// Resolves spec.columns/column_names/filters against `footer`:
-/// projection first, filter-only columns appended, filters bound to
-/// fetch slots. Rejects predicates on unknown names and on column
-/// types without an order (binary, lists, raw-bit-pattern floats).
+/// projection first, filter-only columns appended, clause terms bound
+/// to fetch slots. Rejects predicates on unknown names and on column
+/// types without an order (lists, raw-bit-pattern floats); binary
+/// columns are accepted for kEq / kNe / kIn.
 Result<StreamColumnPlan> PlanStreamColumns(const FooterView& footer,
                                            const ScanStreamSpec& spec);
 
-/// True if `footer`'s zone maps prove no row of group `local_group`
-/// can satisfy every residual filter. Never prunes scans that keep
-/// deleted rows (their placeholder values are not covered by the
-/// recorded bounds).
+/// True if `footer`'s zone maps and chunk Bloom filters prove no row
+/// of group `local_group` can satisfy the residual (some clause's
+/// every term is provably false). Never prunes scans that keep deleted
+/// rows (their placeholder values are not covered by the recorded
+/// bounds, and deletes make the filters stale-but-superset only for
+/// filtered scans).
 bool GroupProvablyEmpty(const FooterView& footer, uint32_t local_group,
                         const StreamColumnPlan& plan,
                         const ReadOptions& read_options);

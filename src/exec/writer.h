@@ -108,6 +108,11 @@ class ParallelTableWriter {
   std::vector<ZoneMap> AggregatedColumnStats() const {
     return writer_.AggregatedColumnStats();
   }
+  /// Per-column shard-aggregate Bloom filters over the committed groups
+  /// (see TableWriter::AggregatedColumnBlooms).
+  std::vector<std::string> AggregatedColumnBlooms() const {
+    return writer_.AggregatedColumnBlooms();
+  }
 
  private:
   struct PendingGroup {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <unordered_set>
 
 namespace bullion {
 
@@ -241,43 +242,176 @@ bool CompareRow(T a, CompareOp op, T b) {
       return a > b;
     case CompareOp::kGe:
       return a >= b;
+    case CompareOp::kIn:
+      break;  // handled by the set paths below, never row-by-row
   }
   return false;
 }
 
+/// Match vector of `col IN (values)` on a numeric column. Two probe
+/// sets mirror the single-compare promotion rules: an int row matches
+/// an int member as int64 and a real member as double.
+Status InMatchNumeric(const ColumnVector& col,
+                      const std::vector<FilterValue>& values,
+                      std::vector<uint8_t>* match) {
+  std::unordered_set<int64_t> int_set;
+  std::unordered_set<double> real_set;
+  for (const FilterValue& v : values) {
+    if (v.is_binary) {
+      return Status::InvalidArgument(
+          "IN list mixes a byte-string member with a numeric column");
+    }
+    if (v.is_real) {
+      real_set.insert(v.r);
+    } else {
+      int_set.insert(v.i);
+      real_set.insert(static_cast<double>(v.i));
+    }
+  }
+  const bool col_is_int = col.domain() == ValueDomain::kInt;
+  const size_t n = match->size();
+  for (size_t r = 0; r < n; ++r) {
+    if (col.IsNull(r)) continue;
+    bool hit;
+    if (col_is_int) {
+      const int64_t x = col.int_values()[r];
+      hit = int_set.count(x) != 0 ||
+            (!real_set.empty() &&
+             real_set.count(static_cast<double>(x)) != 0);
+    } else {
+      hit = real_set.count(col.real_values()[r]) != 0;
+    }
+    if (hit) (*match)[r] = 1;
+  }
+  return Status::OK();
+}
+
+/// Match vector of one filter on a binary column (kEq / kNe / kIn over
+/// byte strings; ordering ops are not implemented row-level, matching
+/// the planner's rejection).
+Status BinaryMatch(const ColumnVector& col, const Filter& filter,
+                   std::vector<uint8_t>* match) {
+  const std::vector<std::string>& v = col.bin_values();
+  const size_t n = match->size();
+  if (filter.op == CompareOp::kIn) {
+    std::unordered_set<std::string_view> set;
+    for (const FilterValue& m : filter.values) {
+      if (!m.is_binary) {
+        return Status::InvalidArgument(
+            "IN list mixes a numeric member with a binary column");
+      }
+      set.insert(m.s);
+    }
+    for (size_t r = 0; r < n; ++r) {
+      if (!col.IsNull(r) && set.count(v[r]) != 0) (*match)[r] = 1;
+    }
+    return Status::OK();
+  }
+  if (filter.op != CompareOp::kEq && filter.op != CompareOp::kNe) {
+    return Status::InvalidArgument(
+        "binary columns support only ==, !=, and IN predicates");
+  }
+  if (!filter.value.is_binary) {
+    return Status::InvalidArgument(
+        "numeric constant compared against a binary column");
+  }
+  const bool want_eq = filter.op == CompareOp::kEq;
+  for (size_t r = 0; r < n; ++r) {
+    if (!col.IsNull(r) && (v[r] == filter.value.s) == want_eq) {
+      (*match)[r] = 1;
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
-Status UpdatePredicateMask(const ColumnVector& col, CompareOp op,
-                           const FilterValue& value,
-                           std::vector<uint8_t>* mask) {
+Status FilterMatchMask(const ColumnVector& col, const Filter& filter,
+                       std::vector<uint8_t>* match) {
   if (col.list_depth() != 0) {
     return Status::InvalidArgument("predicate on a list column");
   }
-  if (mask->size() != col.num_rows()) {
-    return Status::InvalidArgument("predicate mask size mismatch");
+  match->assign(col.num_rows(), 0);
+  if (col.domain() == ValueDomain::kBinary) {
+    if (col.physical() != PhysicalType::kBinary) {
+      return Status::InvalidArgument("predicate on unsupported column type");
+    }
+    return BinaryMatch(col, filter, match);
   }
   if (!HasPredicateOrder(col.physical())) {
     return Status::InvalidArgument(
-        "predicate on unsupported column type (binary or raw-bit float)");
+        "predicate on unsupported column type (raw-bit float)");
+  }
+  if (filter.op == CompareOp::kIn) {
+    return InMatchNumeric(col, filter.values, match);
+  }
+  if (filter.value.is_binary) {
+    return Status::InvalidArgument(
+        "byte-string constant compared against a numeric column");
   }
   const bool col_is_int = col.domain() == ValueDomain::kInt;
-  const size_t n = mask->size();
-  if (col_is_int && !value.is_real) {
+  const size_t n = match->size();
+  if (col_is_int && !filter.value.is_real) {
     const std::vector<int64_t>& v = col.int_values();
     for (size_t r = 0; r < n; ++r) {
-      if (!(*mask)[r]) continue;
-      if (col.IsNull(r) || !CompareRow<int64_t>(v[r], op, value.i)) {
-        (*mask)[r] = 0;
+      if (!col.IsNull(r) && CompareRow<int64_t>(v[r], filter.op,
+                                                filter.value.i)) {
+        (*match)[r] = 1;
       }
     }
     return Status::OK();
   }
-  const double c = value.AsReal();
+  const double c = filter.value.AsReal();
   for (size_t r = 0; r < n; ++r) {
-    if (!(*mask)[r]) continue;
+    if (col.IsNull(r)) continue;
     double x = col_is_int ? static_cast<double>(col.int_values()[r])
                           : col.real_values()[r];
-    if (col.IsNull(r) || !CompareRow<double>(x, op, c)) (*mask)[r] = 0;
+    if (CompareRow<double>(x, filter.op, c)) (*match)[r] = 1;
+  }
+  return Status::OK();
+}
+
+Status UpdatePredicateMask(const ColumnVector& col, CompareOp op,
+                           const FilterValue& value,
+                           std::vector<uint8_t>* mask) {
+  if (mask->size() != col.num_rows()) {
+    return Status::InvalidArgument("predicate mask size mismatch");
+  }
+  if (op == CompareOp::kIn) {
+    return Status::InvalidArgument(
+        "IN needs Filter::values; use FilterMatchMask");
+  }
+  Filter f("", op, value);
+  std::vector<uint8_t> match;
+  BULLION_RETURN_NOT_OK(FilterMatchMask(col, f, &match));
+  for (size_t r = 0; r < mask->size(); ++r) {
+    if (!match[r]) (*mask)[r] = 0;
+  }
+  return Status::OK();
+}
+
+Status UpdateClauseMask(const std::vector<const ColumnVector*>& cols,
+                        const FilterClause& clause,
+                        std::vector<uint8_t>* mask) {
+  if (cols.size() != clause.any_of.size()) {
+    return Status::InvalidArgument("clause term/column count mismatch");
+  }
+  if (clause.any_of.empty()) {
+    return Status::InvalidArgument("empty filter clause");
+  }
+  // Union the term match vectors, then AND the union into the mask.
+  std::vector<uint8_t> any(mask->size(), 0);
+  std::vector<uint8_t> match;
+  for (size_t t = 0; t < clause.any_of.size(); ++t) {
+    if (cols[t]->num_rows() != mask->size()) {
+      return Status::InvalidArgument("predicate mask size mismatch");
+    }
+    BULLION_RETURN_NOT_OK(FilterMatchMask(*cols[t], clause.any_of[t],
+                                            &match));
+    for (size_t r = 0; r < any.size(); ++r) any[r] |= match[r];
+  }
+  for (size_t r = 0; r < mask->size(); ++r) {
+    if (!any[r]) (*mask)[r] = 0;
   }
   return Status::OK();
 }

@@ -209,13 +209,32 @@ std::vector<uint32_t> SortPermutationDescending(
 // constant compares as int64, anything involving a real promotes to
 // double, and a null row never matches any predicate.
 
+/// Writes the per-row match vector of one Filter into `match` (resized
+/// to `col.num_rows()`; 1 = row satisfies the filter, null rows never
+/// match). This is the OR-able primitive: clause evaluation unions
+/// several of these before ANDing into the selection mask. Supports
+/// every CompareOp including kIn; numeric columns are the zone-map set
+/// (scalar true-integer and float32/64), binary columns accept
+/// kEq/kNe/kIn with byte-string constants.
+Status FilterMatchMask(const ColumnVector& col, const Filter& filter,
+                       std::vector<uint8_t>* match);
+
 /// ANDs `mask` (one byte per row, 1 = still selected) with
 /// `col <op> value` evaluated per row. `mask->size()` must equal
-/// `col.num_rows()`. Only scalar true-integer and float32/64 columns
-/// are supported — the same set that gets zone maps.
+/// `col.num_rows()`. Accepts the same column/op matrix as
+/// FilterMatchMask except kIn (which needs Filter::values — build a
+/// Filter and use FilterMatchMask).
 Status UpdatePredicateMask(const ColumnVector& col, CompareOp op,
                            const FilterValue& value,
                            std::vector<uint8_t>* mask);
+
+/// ANDs `mask` with the disjunction of `clause.any_of` evaluated per
+/// row: `cols[i]` carries the data of `clause.any_of[i]`'s column (the
+/// caller resolves names to fetched vectors; entries may repeat when
+/// terms share a column). All vectors must have `mask->size()` rows.
+Status UpdateClauseMask(const std::vector<const ColumnVector*>& cols,
+                        const FilterClause& clause,
+                        std::vector<uint8_t>* mask);
 
 /// Row indices whose mask byte is 1, in row order — feed to
 /// ColumnVector::Permute to materialize the surviving rows.

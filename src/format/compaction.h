@@ -37,6 +37,11 @@ struct CompactionReport {
   /// writer's running aggregate so publishers (the dataset compactor)
   /// need not re-open the file they just wrote.
   std::vector<ZoneMap> column_stats;
+  /// Per-column serialized shard-aggregate Bloom filters over the
+  /// rewritten file (one per leaf; empty = no filter). Same provenance
+  /// as column_stats: the compactor republishes these into the manifest
+  /// so rewritten shards regain their lookup fast path.
+  std::vector<std::string> column_blooms;
 };
 
 /// Derives WriterOptions matching the source file's physical layout:

@@ -27,11 +27,15 @@ static_assert(sizeof(FooterHeader) == 40);
 }  // namespace
 
 FooterBuilder::FooterBuilder(const Schema& schema, uint32_t rows_per_page,
-                             ComplianceLevel compliance, bool with_stats)
+                             ComplianceLevel compliance, bool with_stats,
+                             bool with_bloom)
     : schema_(schema),
       rows_per_page_(rows_per_page),
       compliance_(compliance),
-      with_stats_(with_stats) {}
+      with_stats_(with_stats),
+      // Bloom sections ride behind the stats section in the version
+      // ladder; without stats the footer stays v1 and carries neither.
+      with_bloom_(with_bloom && with_stats) {}
 
 void FooterBuilder::BeginRowGroup(uint32_t row_count) {
   uint64_t first =
@@ -47,6 +51,9 @@ void FooterBuilder::BeginRowGroup(uint32_t row_count) {
   if (with_stats_) {
     chunk_stats_.resize(chunk_stats_.size() + num_cols, ChunkStatsRecord{});
   }
+  if (with_bloom_) {
+    chunk_blooms_.resize(chunk_blooms_.size() + num_cols);
+  }
 }
 
 void FooterBuilder::SetChunk(uint32_t group, uint32_t column,
@@ -61,6 +68,13 @@ void FooterBuilder::SetChunkStats(uint32_t group, uint32_t column,
   if (!with_stats_) return;
   size_t idx = static_cast<size_t>(group) * schema_.num_leaves() + column;
   chunk_stats_[idx] = stats;
+}
+
+void FooterBuilder::SetChunkBloom(uint32_t group, uint32_t column,
+                                  std::string bytes) {
+  if (!with_bloom_) return;
+  size_t idx = static_cast<size_t>(group) * schema_.num_leaves() + column;
+  chunk_blooms_[idx] = std::move(bytes);
 }
 
 uint32_t FooterBuilder::AddPage(uint64_t file_offset, uint32_t row_count,
@@ -129,10 +143,25 @@ Result<Buffer> FooterBuilder::Finish(uint64_t data_end, uint64_t num_rows) {
               return schema_.leaves()[a].name < schema_.leaves()[b].name;
             });
 
+  // Per-chunk Bloom filters concatenate into one blob behind an
+  // offsets array (zero-length extent = chunk has no filter).
+  std::vector<uint32_t> bloom_offsets;
+  std::string bloom_blob;
+  if (with_bloom_) {
+    bloom_offsets.reserve(chunk_blooms_.size() + 1);
+    for (const std::string& b : chunk_blooms_) {
+      bloom_offsets.push_back(static_cast<uint32_t>(bloom_blob.size()));
+      bloom_blob += b;
+    }
+    bloom_offsets.push_back(static_cast<uint32_t>(bloom_blob.size()));
+  }
+
   // Section sizes. Version-1 footers (stats disabled) stop at the
-  // sorted-name index; version 2 appends the chunk-statistics section.
-  const uint32_t num_sections =
-      with_stats_ ? kNumFooterSections : kNumFooterSectionsV1;
+  // sorted-name index; version 2 appends the chunk-statistics section;
+  // version 3 the Bloom sections.
+  const uint32_t num_sections = with_bloom_    ? kNumFooterSections
+                                : with_stats_ ? kNumFooterSectionsV2
+                                              : kNumFooterSectionsV1;
   uint64_t sizes[kNumFooterSections];
   sizes[kSecGroupRowCounts] = 4ull * num_groups;
   sizes[kSecGroupFirstRow] = 8ull * num_groups;
@@ -152,6 +181,10 @@ Result<Buffer> FooterBuilder::Finish(uint64_t data_end, uint64_t num_rows) {
   if (with_stats_) {
     sizes[kSecChunkStats] = sizeof(ChunkStatsRecord) * chunk_stats_.size();
   }
+  if (with_bloom_) {
+    sizes[kSecBloomOffsets] = 4ull * bloom_offsets.size();
+    sizes[kSecBloomBlob] = bloom_blob.size();
+  }
 
   uint64_t dir_offset = sizeof(FooterHeader);
   uint64_t payload_offset = dir_offset + 8ull * num_sections;
@@ -170,7 +203,9 @@ Result<Buffer> FooterBuilder::Finish(uint64_t data_end, uint64_t num_rows) {
   std::memset(base, 0, footer_size);
 
   FooterHeader header{};
-  header.version = with_stats_ ? kFooterVersion : kFooterVersionV1;
+  header.version = with_bloom_    ? kFooterVersion
+                   : with_stats_ ? kFooterVersionV2
+                                 : kFooterVersionV1;
   header.num_columns = num_cols;
   header.num_row_groups = num_groups;
   header.total_pages = total_pages;
@@ -218,6 +253,11 @@ Result<Buffer> FooterBuilder::Finish(uint64_t data_end, uint64_t num_rows) {
     write_section(kSecChunkStats, chunk_stats_.data(),
                   sizes[kSecChunkStats]);
   }
+  if (with_bloom_) {
+    write_section(kSecBloomOffsets, bloom_offsets.data(),
+                  sizes[kSecBloomOffsets]);
+    write_section(kSecBloomBlob, bloom_blob.data(), sizes[kSecBloomBlob]);
+  }
   return buf;
 }
 
@@ -229,15 +269,19 @@ Result<FooterView> FooterView::Parse(Slice footer,
   FooterHeader header;
   std::memcpy(&header, footer.data(), sizeof(header));
   if (header.version != kFooterVersionV1 &&
+      header.version != kFooterVersionV2 &&
       header.version != kFooterVersion) {
     return Status::Corruption("unsupported footer version " +
                               std::to_string(header.version));
   }
-  // Version 1 predates the chunk-statistics section: its directory is
-  // one entry shorter and chunk_zone_map() reports unknown everywhere.
-  const bool has_stats = header.version == kFooterVersion;
-  const uint32_t num_sections =
-      has_stats ? kNumFooterSections : kNumFooterSectionsV1;
+  // Version 1 predates the chunk-statistics section and version 2 the
+  // Bloom sections: their directories are shorter, chunk_zone_map()
+  // reports unknown / chunk_bloom() empty for the missing data.
+  const bool has_stats = header.version >= kFooterVersionV2;
+  const bool has_blooms = header.version >= kFooterVersion;
+  const uint32_t num_sections = has_blooms   ? kNumFooterSections
+                                : has_stats ? kNumFooterSectionsV2
+                                            : kNumFooterSectionsV1;
   if (footer.size() < sizeof(FooterHeader) + 8ull * num_sections) {
     return Status::Corruption("footer too small");
   }
@@ -252,6 +296,7 @@ Result<FooterView> FooterView::Parse(Slice footer,
   view.data_end_ = header.data_end;
   view.compliance_ = static_cast<ComplianceLevel>(header.compliance);
   view.has_chunk_stats_ = has_stats;
+  view.has_chunk_blooms_ = has_blooms;
   std::memcpy(view.section_offset_, footer.data() + sizeof(FooterHeader),
               8ull * num_sections);
 
@@ -292,9 +337,27 @@ Result<FooterView> FooterView::Parse(Slice footer,
   expected[kSecNameSortedIdx] = 4 * n_cols;
   expected[kSecChunkStats] =
       sizeof(ChunkStatsRecord) * n_groups * n_cols;  // ignored for v1
+  expected[kSecBloomOffsets] =
+      4 * (n_groups * n_cols + 1);  // ignored below v3
+  expected[kSecBloomBlob] = 0;      // validated below via bloom offsets
   for (uint32_t s = 0; s < num_sections; ++s) {
     if (view.section_offset_[s] + expected[s] > footer.size()) {
       return Status::Corruption("footer section exceeds footer size");
+    }
+  }
+  // Bloom extents: offsets monotone, blob in bounds, every filter a
+  // whole number of 32-byte blocks (so chunk_bloom() slices always
+  // wrap cleanly).
+  if (has_blooms) {
+    uint64_t blob_base = view.section_offset_[kSecBloomBlob];
+    uint32_t prev_off = 0;
+    for (uint64_t i = 0; i <= n_groups * n_cols; ++i) {
+      uint32_t off = view.LoadU32(kSecBloomOffsets, i);
+      if (off < prev_off || blob_base + off > footer.size() ||
+          (off - prev_off) % 32 != 0) {
+        return Status::Corruption("footer bloom offsets out of range");
+      }
+      prev_off = off;
     }
   }
   // Deletion-vector extents.
@@ -363,7 +426,12 @@ ZoneMap ZoneMapFromRecord(const ChunkStatsRecord& rec) {
   if ((rec.flags & ChunkStatsRecord::kHasMinMax) == 0) return zone;
   zone.valid = true;
   zone.is_real = (rec.flags & ChunkStatsRecord::kIsReal) != 0;
-  if (zone.is_real) {
+  zone.is_binary = (rec.flags & ChunkStatsRecord::kIsBinary) != 0;
+  if (zone.is_binary) {
+    zone.is_real = false;
+    zone.min_b = rec.min_bits;
+    zone.max_b = rec.max_bits;
+  } else if (zone.is_real) {
     std::memcpy(&zone.min_r, &rec.min_bits, 8);
     std::memcpy(&zone.max_r, &rec.max_bits, 8);
   } else {
@@ -377,7 +445,11 @@ ChunkStatsRecord RecordFromZoneMap(const ZoneMap& zone) {
   ChunkStatsRecord rec;
   if (!zone.valid) return rec;
   rec.flags = ChunkStatsRecord::kHasMinMax;
-  if (zone.is_real) {
+  if (zone.is_binary) {
+    rec.flags |= ChunkStatsRecord::kIsBinary;
+    rec.min_bits = zone.min_b;
+    rec.max_bits = zone.max_b;
+  } else if (zone.is_real) {
     rec.flags |= ChunkStatsRecord::kIsReal;
     std::memcpy(&rec.min_bits, &zone.min_r, 8);
     std::memcpy(&rec.max_bits, &zone.max_r, 8);

@@ -17,15 +17,20 @@
 //   page_compression_types), group/page/root checksums (Merkle),
 //   deletion vectors (fixed full-bitmap slots so level-2 deletes can
 //   update them in place), column records + name blob + sorted index
-//   (= paper's column_sizes/column_offsets/schema), and — footer
-//   version 2 — per-chunk min/max statistics (zone maps) that let a
-//   filtered scan prove a row group irrelevant before issuing a pread.
+//   (= paper's column_sizes/column_offsets/schema), — footer version
+//   2 — per-chunk min/max statistics (zone maps) that let a filtered
+//   scan prove a row group irrelevant before issuing a pread, and —
+//   footer version 3 — per-chunk split-block Bloom filters
+//   (serve/bloom.h) that let a point lookup prove a key absent before
+//   issuing one.
 //
 // Versioning: version-1 footers (written before the stats section
-// existed, or with WriterOptions::write_chunk_stats = false) parse
-// fine — they simply report has_chunk_stats() == false and every
-// chunk_zone_map() as unknown, so scans over them fetch everything and
-// stay exact via residual predicate evaluation.
+// existed, or with WriterOptions::write_chunk_stats = false) and
+// version-2 footers (pre-Bloom, or bloom_bits_per_key <= 0) parse
+// fine — they simply report has_chunk_stats() / has_chunk_blooms() ==
+// false and every chunk_zone_map() as unknown / chunk_bloom() as
+// empty, so scans over them fetch everything and stay exact via
+// residual predicate evaluation.
 
 #pragma once
 
@@ -56,14 +61,17 @@ enum class ComplianceLevel : uint8_t {
 constexpr uint32_t kFooterMagic = 0x4C4C5542;  // "BULL"
 /// Legacy footer layout: no chunk-statistics section.
 constexpr uint32_t kFooterVersionV1 = 1;
-/// Current footer layout: v1 + the kSecChunkStats zone-map section.
-constexpr uint32_t kFooterVersion = 2;
+/// v1 + the kSecChunkStats zone-map section.
+constexpr uint32_t kFooterVersionV2 = 2;
+/// Current footer layout: v2 + the per-chunk Bloom-filter sections
+/// (serve/bloom.h) the point-lookup tier probes.
+constexpr uint32_t kFooterVersion = 3;
 /// Trailer appended after the footer: [footer_size:u32][magic:u32].
 constexpr size_t kTrailerSize = 8;
 
 /// Section ids in the footer directory. Version-1 footers end at
 /// kSecNameSortedIdx (15 directory entries); version 2 appends
-/// kSecChunkStats.
+/// kSecChunkStats; version 3 appends the two Bloom sections.
 enum FooterSection : uint32_t {
   kSecGroupRowCounts = 0,   // u32[num_groups]
   kSecGroupFirstRow = 1,    // u64[num_groups]
@@ -80,8 +88,11 @@ enum FooterSection : uint32_t {
   kSecColumnRecords = 12,   // ColumnRecord[num_cols]
   kSecNameBlob = 13,        // bytes
   kSecNameSortedIdx = 14,   // u32[num_cols]
-  kSecChunkStats = 15,      // ChunkStatsRecord[num_groups*num_cols] (v2)
-  kNumFooterSections = 16,
+  kSecChunkStats = 15,      // ChunkStatsRecord[num_groups*num_cols] (v2+)
+  kSecBloomOffsets = 16,    // u32[num_groups*num_cols + 1] into the blob (v3)
+  kSecBloomBlob = 17,       // concatenated per-chunk filters (v3)
+  kNumFooterSections = 18,
+  kNumFooterSectionsV2 = 16,
   kNumFooterSectionsV1 = 15,
 };
 
@@ -99,20 +110,26 @@ static_assert(sizeof(ColumnRecord) == 12);
 
 /// Fixed-width per-chunk statistics record in kSecChunkStats: the
 /// min/max of chunk (group, column)'s values at write time. min_bits /
-/// max_bits hold the raw 64-bit pattern of an int64 or a double,
-/// selected by flag bit 1. A record with bit 0 clear means "no
-/// statistics" — binary, list, and raw-bit-pattern float columns never
-/// get one, and scans treat the chunk as possibly matching anything.
-/// In-place deletion only removes rows, so recorded bounds stay a
-/// superset of the live values — pruning against them remains sound.
+/// max_bits hold the raw 64-bit pattern of an int64, a double, or —
+/// bit 2 set — the big-endian-packed 8-byte prefixes of a binary
+/// column's min/max values (io/predicate.h PackPrefix). A record with
+/// bit 0 clear means "no statistics" — list and raw-bit-pattern float
+/// columns never get one, and scans treat the chunk as possibly
+/// matching anything. In-place deletion only removes rows, so recorded
+/// bounds stay a superset of the live values — pruning against them
+/// remains sound. Binary-prefix records were introduced alongside the
+/// v3 Bloom sections but need no version gate of their own: a v2
+/// reader built before bit 2 existed would mis-read one as int bounds,
+/// but no such reader ships — the flag and the enum landed together.
 struct ChunkStatsRecord {
   uint64_t min_bits = 0;
   uint64_t max_bits = 0;
-  uint32_t flags = 0;  // bit 0: min/max present; bit 1: values are real
+  uint32_t flags = 0;  // bit 0: present; bit 1: real; bit 2: binary prefix
   uint32_t pad = 0;
 
   static constexpr uint32_t kHasMinMax = 1;
   static constexpr uint32_t kIsReal = 2;
+  static constexpr uint32_t kIsBinary = 4;
 };
 static_assert(sizeof(ChunkStatsRecord) == 24);
 
@@ -127,11 +144,15 @@ ChunkStatsRecord RecordFromZoneMap(const ZoneMap& zone);
 /// flat layout.
 class FooterBuilder {
  public:
-  /// `with_stats` selects the footer version: true writes version 2
-  /// with the chunk-statistics section, false the legacy version-1
-  /// layout (no stats; readers then skip no data but stay exact).
+  /// `with_stats` / `with_bloom` select the footer version: stats only
+  /// writes version 2, stats + Bloom filters version 3, neither the
+  /// legacy version-1 layout (readers then skip no data but stay
+  /// exact). Bloom filters require the stats section — with_bloom is
+  /// ignored when with_stats is false (the footer stays version 1:
+  /// never prune, stay exact).
   FooterBuilder(const Schema& schema, uint32_t rows_per_page,
-                ComplianceLevel compliance, bool with_stats = true);
+                ComplianceLevel compliance, bool with_stats = true,
+                bool with_bloom = false);
 
   /// Called once per row group, before its chunks are recorded.
   void BeginRowGroup(uint32_t row_count);
@@ -155,6 +176,13 @@ class FooterBuilder {
   void SetChunkStats(uint32_t group, uint32_t column,
                      const ChunkStatsRecord& stats);
 
+  /// Records chunk (group, logical column)'s serialized Bloom filter
+  /// (serve/bloom.h BloomFilter::ToBytes). Chunks never given one
+  /// serialize as a zero-length extent ("no filter, may contain
+  /// anything"). Ignored when the builder was constructed without
+  /// bloom.
+  void SetChunkBloom(uint32_t group, uint32_t column, std::string bytes);
+
   /// Serializes the footer given the end of the data region.
   Result<Buffer> Finish(uint64_t data_end, uint64_t num_rows);
 
@@ -163,6 +191,7 @@ class FooterBuilder {
   uint32_t rows_per_page_;
   ComplianceLevel compliance_;
   bool with_stats_;
+  bool with_bloom_;
   std::vector<uint32_t> group_row_counts_;
   std::vector<uint64_t> group_first_row_;
   std::vector<uint32_t> group_first_page_;
@@ -173,6 +202,7 @@ class FooterBuilder {
   std::vector<uint8_t> page_encodings_;
   std::vector<uint64_t> page_hashes_;
   std::vector<ChunkStatsRecord> chunk_stats_;
+  std::vector<std::string> chunk_blooms_;
 };
 
 /// \brief Zero-copy view over a serialized footer.
@@ -278,6 +308,20 @@ class FooterView {
   /// the column lacks statistics (or the file has zero groups).
   ZoneMap column_zone_map(uint32_t c) const;
 
+  /// True if this footer carries the version-3 Bloom-filter sections.
+  bool has_chunk_blooms() const { return has_chunk_blooms_; }
+  /// Serialized Bloom filter of chunk (g, c); empty when the footer
+  /// predates filters or the chunk has none (callers must then treat
+  /// the chunk as possibly containing any key). Wrap non-empty bytes
+  /// with BloomFilterView::Wrap (serve/bloom.h) to probe.
+  Slice chunk_bloom(uint32_t g, uint32_t c) const {
+    if (!has_chunk_blooms_) return Slice();
+    size_t idx = static_cast<size_t>(g) * num_columns_ + c;
+    uint32_t b = LoadU32(kSecBloomOffsets, idx);
+    uint32_t e = LoadU32(kSecBloomOffsets, idx + 1);
+    return footer_.SubSlice(section_offset_[kSecBloomBlob] + b, e - b);
+  }
+
   /// Binary search over the sorted-name index ("binary map scan").
   Result<uint32_t> FindColumn(std::string_view name) const;
 
@@ -324,6 +368,7 @@ class FooterView {
   uint64_t data_end_ = 0;
   ComplianceLevel compliance_ = ComplianceLevel::kLevel0;
   bool has_chunk_stats_ = false;
+  bool has_chunk_blooms_ = false;
   uint64_t section_offset_[kNumFooterSections] = {};
 };
 

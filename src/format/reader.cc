@@ -166,6 +166,63 @@ Result<ReadPlan> TableReader::PlanProjection(
   return BuildReadPlan(std::move(requests), plan_options);
 }
 
+Result<std::pair<uint64_t, uint64_t>> TableReader::PageRunExtent(
+    uint32_t g, uint32_t c, uint32_t page_begin, uint32_t page_end) const {
+  const FooterView& f = footer_view_;
+  if (g >= f.num_row_groups() || c >= f.num_columns()) {
+    return Status::InvalidArgument("group/column out of range");
+  }
+  auto [first_page, end_page] = f.chunk_pages(g, c);
+  if (page_begin >= page_end || end_page - first_page < page_end) {
+    return Status::InvalidArgument("page run out of chunk range");
+  }
+  // page_offset(first_page + page_end) is sentinel-safe at the chunk's
+  // (and the file's) last page.
+  return std::make_pair(f.page_offset(first_page + page_begin),
+                        f.page_offset(first_page + page_end));
+}
+
+Status TableReader::DecodePageRun(uint32_t g, uint32_t c, uint32_t page_begin,
+                                  uint32_t page_end, Slice bytes,
+                                  const ReadOptions& options,
+                                  ColumnVector* out) const {
+  const FooterView& f = footer_view_;
+  BULLION_ASSIGN_OR_RETURN(auto extent,
+                           PageRunExtent(g, c, page_begin, page_end));
+  if (bytes.size() != extent.second - extent.first) {
+    return Status::InvalidArgument("page run bytes size mismatch");
+  }
+  ColumnRecord rec = f.column_record(c);
+  *out = ColumnVector(static_cast<PhysicalType>(rec.physical), rec.list_depth);
+  auto [first_page, end_page] = f.chunk_pages(g, c);
+  (void)end_page;
+  for (uint32_t p = first_page + page_begin; p < first_page + page_end; ++p) {
+    uint64_t page_off = f.page_offset(p) - extent.first;
+    uint64_t slot = f.page_slot_size(p);
+    if (page_off + slot > bytes.size()) {
+      return Status::Corruption("page extends past run bytes");
+    }
+    Slice page = bytes.SubSlice(page_off, slot);
+    if (options.verify_checksums && HashPage(page) != f.page_hash(p)) {
+      return Status::Corruption("page checksum mismatch at page " +
+                                std::to_string(p));
+    }
+    ColumnVector decoded(static_cast<PhysicalType>(rec.physical),
+                         rec.list_depth);
+    BULLION_RETURN_NOT_OK(DecodePage(page, &decoded));
+    if (decoded.num_rows() != f.page_row_count(p)) {
+      // In-place deletion shortened this page; the caller's no-deletes
+      // precondition does not hold, so positional row addressing would
+      // be wrong.
+      return Status::Corruption("page run decode hit a shortened page");
+    }
+    for (uint32_t r = 0; r < f.page_row_count(p); ++r) {
+      out->AppendRowFrom(decoded, static_cast<int64_t>(r));
+    }
+  }
+  return Status::OK();
+}
+
 Status TableReader::ExecuteCoalescedRead(uint32_t g,
                                          const std::vector<uint32_t>& columns,
                                          const CoalescedRead& read,

@@ -96,6 +96,24 @@ class TableReader {
                              const ReadOptions& options,
                              std::vector<ColumnVector>* out) const;
 
+  /// Byte extent [begin, end) of pages [page_begin, page_end) of chunk
+  /// (g, c) — chunk-relative page indices, so page 0 is the chunk's
+  /// first page. The late-materialization fetch path preads exactly
+  /// this span and hands it to DecodePageRun. Pure metadata work.
+  Result<std::pair<uint64_t, uint64_t>> PageRunExtent(
+      uint32_t g, uint32_t c, uint32_t page_begin, uint32_t page_end) const;
+
+  /// Decodes pages [page_begin, page_end) (chunk-relative) of chunk
+  /// (g, c) from `bytes`, the exact PageRunExtent span, appending every
+  /// stored row to `*out` (which is reset to the column's type). Unlike
+  /// the chunk decode path this does NOT realign or filter deleted
+  /// rows: callers (exec/batch_stream.cc late materialization) must
+  /// only use it on groups with no in-place deletes — a page that
+  /// decodes short of its recorded row count is reported as corruption.
+  Status DecodePageRun(uint32_t g, uint32_t c, uint32_t page_begin,
+                       uint32_t page_end, Slice bytes,
+                       const ReadOptions& options, ColumnVector* out) const;
+
   /// The underlying file, for async fetch submission. Thread-safe for
   /// concurrent positional reads (RandomAccessFile contract).
   const RandomAccessFile* file() const { return file_.get(); }

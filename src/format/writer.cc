@@ -6,17 +6,27 @@
 #include "format/merkle.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/bloom.h"
 
 namespace bullion {
 
 ZoneMap ComputeZoneMap(const ColumnVector& column, size_t row_begin,
                        size_t row_end) {
-  // Only scalar columns whose type has a predicate order
-  // (io/predicate.h: true ints and float32/64) get stats; everything
-  // else stays "unknown" and is never pruned. Scalar columns hold one
-  // value per row, so the row range indexes the value arrays directly.
-  if (column.list_depth() != 0 || row_begin >= row_end ||
-      !HasPredicateOrder(column.physical())) {
+  // Scalar columns whose type has a predicate order (io/predicate.h:
+  // true ints and float32/64) get value bounds; scalar binary columns
+  // get bounded-prefix bounds; everything else stays "unknown" and is
+  // never pruned. Scalar columns hold one value per row, so the row
+  // range indexes the value arrays directly.
+  if (column.list_depth() != 0 || row_begin >= row_end) {
+    return ZoneMap{};
+  }
+  if (column.physical() == PhysicalType::kBinary) {
+    const std::vector<std::string>& v = column.bin_values();
+    auto [lo, hi] =
+        std::minmax_element(v.begin() + row_begin, v.begin() + row_end);
+    return ZoneMap::OfBinaryPrefixes(PackPrefix(*lo), PackPrefix(*hi));
+  }
+  if (!HasPredicateOrder(column.physical())) {
     return ZoneMap{};
   }
   if (column.domain() == ValueDomain::kInt) {
@@ -122,6 +132,8 @@ Result<StagedRowGroup> StageValidatedRowGroup(
   staged.columns = std::move(columns);
   staged.row_count = static_cast<uint32_t>(rows);
   staged.compute_page_stats = options.write_chunk_stats;
+  staged.bloom_bits_per_key =
+      options.write_chunk_stats ? options.bloom_bits_per_key : 0.0;
   if (options.column_order.empty()) {
     staged.order.resize(schema.num_leaves());
     for (uint32_t c = 0; c < staged.order.size(); ++c) staged.order[c] = c;
@@ -169,10 +181,25 @@ Result<EncodedPage> EncodeStagedPage(const StagedRowGroup& staged,
   const ColumnVector& col = (*staged.columns)[t.column];
   BULLION_ASSIGN_OR_RETURN(EncodedPage page,
                            EncodePage(col, t.row_begin, t.row_end, t.options));
-  // Zone maps ride the parallel encode stage so the ordered commit
-  // stage stays I/O-only.
+  // Zone maps and Bloom key hashes ride the parallel encode stage so
+  // the ordered commit stage stays I/O-only.
   if (staged.compute_page_stats) {
     page.zone = ComputeZoneMap(col, t.row_begin, t.row_end);
+    if (staged.bloom_bits_per_key > 0.0 &&
+        BloomEligibleColumn(col.physical(), col.list_depth())) {
+      page.key_hashes.reserve(t.row_end - t.row_begin);
+      if (col.domain() == ValueDomain::kInt) {
+        const std::vector<int64_t>& v = col.int_values();
+        for (size_t r = t.row_begin; r < t.row_end; ++r) {
+          page.key_hashes.push_back(BloomHashInt(v[r]));
+        }
+      } else {
+        const std::vector<std::string>& v = col.bin_values();
+        for (size_t r = t.row_begin; r < t.row_end; ++r) {
+          page.key_hashes.push_back(BloomHashBinary(v[r]));
+        }
+      }
+    }
   }
   encode_hist->Record(obs::NowNs() - encode_start);
   return page;
@@ -185,7 +212,8 @@ TableWriter::TableWriter(Schema schema, WritableFile* file,
       options_(std::move(options)),
       init_status_(ValidateWriterOptions(options_, schema_)),
       footer_(schema_, options_.rows_per_page, options_.compliance,
-              options_.write_chunk_stats) {
+              options_.write_chunk_stats,
+              options_.bloom_bits_per_key > 0.0) {
   if (options_.write_block_bytes > 0) {
     agg_ = std::make_unique<AggregatedWriteBuffer>(
         file_, options_.write_block_bytes, options_.aio);
@@ -230,18 +258,26 @@ Status TableWriter::CommitEncodedGroup(const StagedRowGroup& staged,
     return Status::InvalidArgument("encoded page count disagrees with stage");
   }
   footer_.BeginRowGroup(staged.row_count);
+  const bool with_bloom =
+      options_.write_chunk_stats && options_.bloom_bits_per_key > 0.0;
   if (options_.write_chunk_stats && column_stats_.empty()) {
     column_stats_.resize(schema_.num_leaves());
+  }
+  if (with_bloom && column_key_hashes_.empty()) {
+    column_key_hashes_.resize(schema_.num_leaves());
   }
   for (size_t oi = 0; oi < staged.order.size(); ++oi) {
     uint32_t c = staged.order[oi];
     uint64_t chunk_offset = offset_;
     uint32_t first_page = 0;
     bool first = true;
-    // The chunk's zone map is the merge of its pages' zones — each was
-    // computed by the (parallel) encode stage; min/max merging is
-    // schedule-independent, so the footer stays deterministic.
+    // The chunk's zone map is the merge of its pages' zones and its
+    // Bloom filter is built from the page-order concatenation of the
+    // pages' key hashes — both were computed by the (parallel) encode
+    // stage, and merging/concatenation here is schedule-independent, so
+    // the footer stays deterministic.
     ZoneMap chunk_zone;
+    std::vector<uint64_t> chunk_hashes;
     for (size_t t = staged.column_task_begin[oi];
          t < staged.column_task_begin[oi + 1]; ++t) {
       const EncodedPage& page = pages[t];
@@ -254,6 +290,10 @@ Status TableWriter::CommitEncodedGroup(const StagedRowGroup& staged,
         chunk_zone = page.zone;
       } else {
         chunk_zone.Merge(page.zone);
+      }
+      if (with_bloom) {
+        chunk_hashes.insert(chunk_hashes.end(), page.key_hashes.begin(),
+                            page.key_hashes.end());
       }
       BULLION_RETURN_NOT_OK(sink_->Append(page.data.AsSlice()));
       offset_ += page.data.size();
@@ -268,6 +308,15 @@ Status TableWriter::CommitEncodedGroup(const StagedRowGroup& staged,
         column_stats_[c].Merge(chunk_zone);
       }
     }
+    if (with_bloom && !chunk_hashes.empty()) {
+      footer_.SetChunkBloom(
+          group_index_, c,
+          BloomFilter::Build(chunk_hashes, options_.bloom_bits_per_key)
+              .ToBytes());
+      column_key_hashes_[c].insert(column_key_hashes_[c].end(),
+                                   chunk_hashes.begin(),
+                                   chunk_hashes.end());
+    }
   }
   num_rows_ += staged.row_count;
   ++group_index_;
@@ -277,6 +326,17 @@ Status TableWriter::CommitEncodedGroup(const StagedRowGroup& staged,
 std::vector<ZoneMap> TableWriter::AggregatedColumnStats() const {
   if (!column_stats_.empty()) return column_stats_;
   return std::vector<ZoneMap>(schema_.num_leaves());
+}
+
+std::vector<std::string> TableWriter::AggregatedColumnBlooms() const {
+  std::vector<std::string> blooms(schema_.num_leaves());
+  for (size_t c = 0; c < column_key_hashes_.size(); ++c) {
+    if (column_key_hashes_[c].empty()) continue;
+    blooms[c] = BloomFilter::Build(column_key_hashes_[c],
+                                   options_.bloom_bits_per_key)
+                    .ToBytes();
+  }
+  return blooms;
 }
 
 Status TableWriter::Finish() {

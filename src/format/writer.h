@@ -71,8 +71,16 @@ struct WriterOptions {
   int32_t quality_sort_column = -1;
   /// Record per-chunk min/max statistics (zone maps) in the footer so
   /// filtered scans can prune row groups before fetching them. False
-  /// emits the legacy version-1 footer layout with no stats section.
+  /// emits the legacy version-1 footer layout with no stats section
+  /// (and, since filters live behind stats in the version ladder, no
+  /// Bloom filters either, whatever bloom_bits_per_key says).
   bool write_chunk_stats = true;
+  /// Bits per key of the per-chunk split-block Bloom filters
+  /// (serve/bloom.h) recorded for Bloom-eligible columns (scalar ints
+  /// and binary). ~10 bits/key gives ~1% false positives; <= 0
+  /// disables filters and emits a version-2 footer. See
+  /// src/serve/README.md for the tuning math.
+  double bloom_bits_per_key = 10.0;
   /// Optional write-side accounting: commits bump pages_encoded here
   /// (bytes_written / write_ops are counted by the WritableFile).
   IoStats* stats = nullptr;
@@ -124,6 +132,10 @@ struct StagedRowGroup {
   /// (WriterOptions::write_chunk_stats); false makes the stats opt-out
   /// actually free.
   bool compute_page_stats = true;
+  /// Bloom sizing forwarded from WriterOptions (0 when stats are off or
+  /// filters disabled); > 0 makes the encode stage also collect per-page
+  /// key hashes for Bloom-eligible columns.
+  double bloom_bits_per_key = 0.0;
 
   size_t num_tasks() const { return tasks.size(); }
 };
@@ -185,6 +197,16 @@ class TableWriter {
   /// without min/max, stats disabled, or nothing committed yet).
   std::vector<ZoneMap> AggregatedColumnStats() const;
 
+  /// Per-column serialized shard-aggregate Bloom filters built over
+  /// every key committed so far — what a sharded writer publishes into
+  /// the manifest so whole shards can be skipped before their footers
+  /// are even opened. Empty strings mean the column has no filter
+  /// (ineligible type, filters disabled, or nothing committed yet).
+  /// Built from the accumulated key hashes rather than by merging chunk
+  /// filters: filters of different sizes cannot be OR-ed, and the
+  /// shard-level filter wants shard-level sizing.
+  std::vector<std::string> AggregatedColumnBlooms() const;
+
  private:
   Schema schema_;
   WritableFile* file_;
@@ -203,13 +225,18 @@ class TableWriter {
   /// Running per-column aggregate of the committed chunk stats; becomes
   /// invalid for a column as soon as one committed chunk lacks stats.
   std::vector<ZoneMap> column_stats_;
+  /// Running per-column key hashes of every committed chunk (Bloom-
+  /// eligible columns only; empty vectors otherwise) — the raw material
+  /// for AggregatedColumnBlooms().
+  std::vector<std::vector<uint64_t>> column_key_hashes_;
 };
 
 /// Min/max of rows [row_begin, row_end) of `column`, or an invalid map
-/// for types that have none (binary, lists, raw-bit-pattern floats) or
-/// real ranges containing NaN. The encode stage computes this per page
-/// (in parallel); commit merges a chunk's page zones into the footer's
-/// statistics section.
+/// for types that have none (lists, raw-bit-pattern floats) or real
+/// ranges containing NaN. Binary columns get bounded-prefix bounds
+/// (io/predicate.h PackPrefix). The encode stage computes this per
+/// page (in parallel); commit merges a chunk's page zones into the
+/// footer's statistics section.
 ZoneMap ComputeZoneMap(const ColumnVector& column, size_t row_begin,
                        size_t row_end);
 

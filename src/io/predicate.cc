@@ -5,11 +5,15 @@
 namespace bullion {
 
 void ZoneMap::Merge(const ZoneMap& o) {
-  if (!valid || !o.valid || is_real != o.is_real) {
+  if (!valid || !o.valid || is_real != o.is_real ||
+      is_binary != o.is_binary) {
     valid = false;
     return;
   }
-  if (is_real) {
+  if (is_binary) {
+    min_b = std::min(min_b, o.min_b);
+    max_b = std::max(max_b, o.max_b);
+  } else if (is_real) {
     min_r = std::min(min_r, o.min_r);
     max_r = std::max(max_r, o.max_r);
   } else {
@@ -38,6 +42,35 @@ bool RangeMayMatch(T min_v, T max_v, CompareOp op, T c) {
       return max_v > c;
     case CompareOp::kGe:
       return max_v >= c;
+    case CompareOp::kIn:
+      break;  // Filter-level op; handled by the Filter overload.
+  }
+  return true;
+}
+
+/// Pruning against packed 8-byte prefixes. PackPrefix is monotone but
+/// NOT strictly so (strings sharing an 8-byte prefix collapse), so the
+/// only sound rules are the ones derivable from "v <= c implies
+/// pack(v) <= pack(c)":
+///   kEq prunes when pack(c) falls outside [min_b, max_b];
+///   kLt/kLe prune when min_b > pack(c) (every value then exceeds c);
+///   kGt/kGe prune when max_b < pack(c);
+///   kNe never prunes (prefix equality cannot prove value equality).
+bool BinaryMayMatch(uint64_t min_b, uint64_t max_b, CompareOp op,
+                    uint64_t c) {
+  switch (op) {
+    case CompareOp::kEq:
+      return min_b <= c && c <= max_b;
+    case CompareOp::kNe:
+      return true;
+    case CompareOp::kLt:
+    case CompareOp::kLe:
+      return min_b <= c;
+    case CompareOp::kGt:
+    case CompareOp::kGe:
+      return max_b >= c;
+    case CompareOp::kIn:
+      break;  // Filter-level op; handled by the Filter overload.
   }
   return true;
 }
@@ -47,6 +80,14 @@ bool RangeMayMatch(T min_v, T max_v, CompareOp op, T c) {
 bool ZoneMapMayMatch(const ZoneMap& zone, CompareOp op,
                      const FilterValue& value) {
   if (!zone.valid) return true;  // unknown extent: cannot prune
+  if (op == CompareOp::kIn) return true;  // needs the Filter overload
+  if (zone.is_binary || value.is_binary) {
+    // Domain mismatch (binary zone vs numeric constant or vice versa)
+    // cannot prune; the planner rejects such filters before they get
+    // here, but stay conservative regardless.
+    if (!zone.is_binary || !value.is_binary) return true;
+    return BinaryMayMatch(zone.min_b, zone.max_b, op, PackPrefix(value.s));
+  }
   if (!zone.is_real && !value.is_real) {
     return RangeMayMatch<int64_t>(zone.min_i, zone.max_i, op, value.i);
   }
@@ -57,6 +98,18 @@ bool ZoneMapMayMatch(const ZoneMap& zone, CompareOp op,
   double min_v = zone.is_real ? zone.min_r : static_cast<double>(zone.min_i);
   double max_v = zone.is_real ? zone.max_r : static_cast<double>(zone.max_i);
   return RangeMayMatch<double>(min_v, max_v, op, value.AsReal());
+}
+
+bool ZoneMapMayMatch(const ZoneMap& zone, const Filter& filter) {
+  if (filter.op != CompareOp::kIn) {
+    return ZoneMapMayMatch(zone, filter.op, filter.value);
+  }
+  // IN is a disjunction of equalities: the extent may match iff any
+  // member may. The empty list matches no row, so it always prunes.
+  for (const FilterValue& v : filter.values) {
+    if (ZoneMapMayMatch(zone, CompareOp::kEq, v)) return true;
+  }
+  return false;
 }
 
 const char* CompareOpName(CompareOp op) {
@@ -73,6 +126,8 @@ const char* CompareOpName(CompareOp op) {
       return ">";
     case CompareOp::kGe:
       return ">=";
+    case CompareOp::kIn:
+      return "IN";
   }
   return "?";
 }

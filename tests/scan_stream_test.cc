@@ -534,8 +534,12 @@ TEST(ScanStream, ManifestStatsSurviveSerializeParse) {
   EXPECT_FALSE(zone.is_real);
   EXPECT_EQ(zone.min_i, 0);
   EXPECT_EQ(zone.max_i, 99);
-  // Binary and list columns record no stats.
-  EXPECT_FALSE(parsed->shard(0).column_zone(2).valid);
+  // Binary columns record packed-prefix bounds; list columns still
+  // record no stats.
+  ZoneMap tag_zone = parsed->shard(0).column_zone(2);
+  ASSERT_TRUE(tag_zone.valid);
+  EXPECT_TRUE(tag_zone.is_binary);
+  EXPECT_LE(tag_zone.min_b, tag_zone.max_b);
   EXPECT_FALSE(parsed->shard(0).column_zone(3).valid);
 }
 
